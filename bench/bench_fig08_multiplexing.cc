@@ -1,0 +1,130 @@
+// Copyright (c) NetKernel reproduction authors.
+// Figure 8 (use case 1, §6.1): per-core RPS of three AGs, Baseline vs
+// NetKernel multiplexing.
+//
+// Baseline deploys each AG as an independent VM provisioned for its peak
+// (4 cores each => 12 cores). NetKernel runs each AG's application logic in a
+// 1-core VM and multiplexes their TCP processing onto one shared
+// kernel-stack NSM (5 cores) plus CoreEngine (1 core) => 9 cores total, a
+// 3-core saving, which lifts per-core RPS by ~33% at identical offered load.
+//
+// Scaling note: the hour-long trace is replayed compressed (each "minute" is
+// 250 ms of virtual time) and trace RPS is scaled so AG peaks need ~4
+// Baseline cores, matching the paper's sizing.
+
+#include "bench/harness.h"
+
+using namespace netkernel;
+
+namespace {
+
+constexpr Cycles kAgAppCycles = 30000;  // proxy/LB request handling
+constexpr double kRpsScale = 700.0;     // normalized trace unit -> RPS
+constexpr SimTime kBinTime = 250 * kMillisecond;  // one compressed "minute"
+constexpr int kMinutes = 60;
+
+struct AgLoad {
+  apps::AgTrace trace;
+  apps::ServerStats server;
+  apps::LoadGenStats load;
+};
+
+// Replays trace-driven open-loop arrivals against one AG server VM.
+sim::Task<void> ReplayTrace(core::Vm* client, netsim::IpAddr ip, uint16_t port,
+                            const apps::AgTrace* trace, apps::LoadGenStats* stats,
+                            uint64_t seed) {
+  sim::EventLoop* loop = client->api().loop();
+  Rng rng(seed);
+  auto sh_stats = stats;
+  for (int minute = 0; minute < kMinutes; ++minute) {
+    double rps = trace->rps()[static_cast<size_t>(minute)] * kRpsScale;
+    SimTime bin_end = loop->Now() + kBinTime;
+    // The compressed bin still carries the full per-minute rate.
+    while (loop->Now() < bin_end) {
+      double gap_s = rng.NextExponential(1.0 / (rps + 1.0));
+      SimTime gap = FromSeconds(gap_s);
+      if (loop->Now() + gap >= bin_end) {
+        co_await sim::Delay(loop, bin_end - loop->Now());
+        break;
+      }
+      co_await sim::Delay(loop, gap);
+      apps::LoadGenConfig one;
+      one.server_ip = ip;
+      one.port = port;
+      apps::IssueOneRequest(client, client->vcpu(static_cast<int>(rng.Next() % 16) %
+                                                 client->num_vcpus()),
+                            one, sh_stats);
+    }
+  }
+  sh_stats->done = true;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig 8: per-core RPS, Baseline (12 cores) vs NetKernel (9 cores)",
+                     "paper Fig 8 (+33% per-core RPS from multiplexing)");
+  auto fleet = apps::GenerateAgFleet(64, 2018);
+  std::sort(fleet.begin(), fleet.end(),
+            [](const apps::AgTrace& a, const apps::AgTrace& b) { return a.Mean() > b.Mean(); });
+
+  double per_core_rps[2] = {0, 0};
+  int cores_used[2] = {0, 0};
+  TimeSeries series[2] = {TimeSeries(kBinTime), TimeSeries(kBinTime)};
+
+  for (int mode = 0; mode < 2; ++mode) {  // 0 = Baseline, 1 = NetKernel
+    bool nk = mode == 1;
+    bench::Testbed tb;
+    core::Vm* client = tb.MakePeer(16);
+    core::Nsm* nsm = nullptr;
+    std::vector<core::Vm*> ags;
+    if (nk) {
+      nsm = tb.host_a().CreateNsm("nsm", 5, core::NsmKind::kKernel);
+      for (int i = 0; i < 3; ++i) {
+        ags.push_back(tb.host_a().CreateNetkernelVm("ag" + std::to_string(i), 1, nsm));
+      }
+      cores_used[mode] = 3 * 1 + 5 + 1;  // VMs + NSM + CoreEngine
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        ags.push_back(tb.host_a().CreateBaselineVm("ag" + std::to_string(i), 4));
+      }
+      cores_used[mode] = 12;
+    }
+
+    std::vector<std::unique_ptr<AgLoad>> loads;
+    for (int i = 0; i < 3; ++i) {
+      auto load = std::make_unique<AgLoad>();
+      load->trace = fleet[static_cast<size_t>(i)];
+      load->load.rps_series = &series[mode];
+      apps::EpollServerConfig scfg;
+      scfg.port = 8080;
+      scfg.app_cycles_per_request = kAgAppCycles;
+      apps::StartEpollServer(ags[static_cast<size_t>(i)], scfg, &load->server);
+      sim::Spawn(ReplayTrace(client, ags[static_cast<size_t>(i)]->ip(), 8080, &load->trace,
+                             &load->load, 33 + static_cast<uint64_t>(i)));
+      loads.push_back(std::move(load));
+    }
+    tb.Run(static_cast<SimTime>(kMinutes) * kBinTime + kSecond);
+    uint64_t completed = 0, errors = 0;
+    for (auto& l : loads) {
+      completed += l->load.completed;
+      errors += l->load.errors;
+    }
+    double span_s = ToSeconds(static_cast<SimTime>(kMinutes) * kBinTime);
+    per_core_rps[mode] = static_cast<double>(completed) / span_s / cores_used[mode];
+    std::printf("%s: %llu requests, %llu errors, %d cores => %.0f RPS/core\n",
+                nk ? "NetKernel" : "Baseline ", static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(errors), cores_used[mode],
+                per_core_rps[mode]);
+  }
+
+  std::printf("\n%6s %16s %16s\n", "min", "Baseline/core", "NetKernel/core");
+  for (int t = 0; t < kMinutes; ++t) {
+    std::printf("%6d %16.0f %16.0f\n", t,
+                series[0].BinValue(static_cast<size_t>(t)) / ToSeconds(kBinTime) / 12.0,
+                series[1].BinValue(static_cast<size_t>(t)) / ToSeconds(kBinTime) / 9.0);
+  }
+  std::printf("\nper-core RPS improvement: %.0f%% (paper: ~33%%)\n",
+              100.0 * (per_core_rps[1] / per_core_rps[0] - 1.0));
+  return 0;
+}

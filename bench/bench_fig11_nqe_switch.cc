@@ -1,0 +1,65 @@
+// Copyright (c) NetKernel reproduction authors.
+// Figure 11: CoreEngine NQE switching throughput vs polling batch size.
+//
+// This is a *real* microbenchmark (google-benchmark, actual CPU): one switch
+// operation is what CoreEngine does per NQE — dequeue from the GuestLib-side
+// ring, a connection-table lookup, and enqueue into the ServiceLib-side ring
+// (two 32-byte copies through lockless SPSC rings, §7.2). The paper reports
+// 8.0 M NQEs/s unbatched rising to 198.5 M NQEs/s at batch 256 on a 2.3 GHz
+// Xeon; absolute numbers here depend on the machine, the *shape* (large
+// monotone gains from batching) is the reproduced result.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "src/shm/nqe.h"
+#include "src/shm/spsc_ring.h"
+
+namespace {
+
+using netkernel::shm::MakeNqe;
+using netkernel::shm::Nqe;
+using netkernel::shm::NqeOp;
+using netkernel::shm::SpscRing;
+
+void BM_NqeSwitch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  SpscRing<Nqe> vm_ring(4096);
+  SpscRing<Nqe> nsm_ring(4096);
+  // Minimal connection table, as CoreEngine consults per NQE.
+  std::unordered_map<uint64_t, uint64_t> conn_table;
+  for (uint64_t i = 0; i < 64; ++i) conn_table[i] = i;
+
+  std::vector<Nqe> buf(batch);
+  uint64_t sock = 0;
+  uint64_t switched = 0;
+  for (auto _ : state) {
+    // Producer side: the guest enqueues a batch of send NQEs.
+    for (size_t i = 0; i < batch; ++i) {
+      buf[i] = MakeNqe(NqeOp::kSend, 1, 0, static_cast<uint32_t>(sock++ % 64), 0, 4096, 64);
+    }
+    vm_ring.EnqueueBatch(buf.data(), batch);
+    // CoreEngine: drain the batch, look each NQE up, forward it.
+    size_t n = vm_ring.DequeueBatch(buf.data(), batch);
+    for (size_t i = 0; i < n; ++i) {
+      auto it = conn_table.find(buf[i].vm_sock);
+      benchmark::DoNotOptimize(it->second);
+    }
+    nsm_ring.EnqueueBatch(buf.data(), n);
+    // ServiceLib side drains (keeps the ring from filling).
+    nsm_ring.DequeueBatch(buf.data(), batch);
+    switched += n;
+    benchmark::ClobberMemory();
+  }
+  state.counters["NQEs/s"] =
+      benchmark::Counter(static_cast<double>(switched), benchmark::Counter::kIsRate);
+  state.counters["batch"] = static_cast<double>(batch);
+}
+
+BENCHMARK(BM_NqeSwitch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Copyright (c) NetKernel reproduction authors.
+// Figure 12: application-level message copy throughput through the hugepage
+// datapath, vs message size.
+//
+// Real microbenchmark. One iteration is the paper's §7.2 sequence: (1) the
+// application issues a send, (2) GuestLib allocates a hugepage chunk and
+// copies the message in, (3) it prepares a send NQE with the data pointer,
+// (4) "CoreEngine" moves the NQE between rings, (5) ServiceLib resolves the
+// pointer and releases the chunk. The paper measures 4.9 Gbps at 64 B rising
+// to 144 Gbps at 8 KB; the shape (copy-dominated growth with message size)
+// is the reproduced result.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/shm/hugepage_pool.h"
+#include "src/shm/nqe.h"
+#include "src/shm/spsc_ring.h"
+
+namespace {
+
+using netkernel::shm::HugepagePool;
+using netkernel::shm::MakeNqe;
+using netkernel::shm::Nqe;
+using netkernel::shm::NqeOp;
+using netkernel::shm::SpscRing;
+
+void BM_HugepageCopyPath(benchmark::State& state) {
+  const uint32_t msg = static_cast<uint32_t>(state.range(0));
+  HugepagePool pool(16 * 1024 * 1024);
+  SpscRing<Nqe> send_ring(1024);
+  SpscRing<Nqe> nsm_ring(1024);
+  std::vector<uint8_t> app_buf(msg, 0xab);
+
+  uint64_t bytes = 0;
+  Nqe nqe;
+  for (auto _ : state) {
+    uint64_t off = pool.Alloc(msg);                       // (2) chunk
+    std::memcpy(pool.Data(off), app_buf.data(), msg);     // (2) copy in
+    send_ring.TryEnqueue(
+        MakeNqe(NqeOp::kSend, 1, 0, 7, 0, off, msg));     // (3) NQE
+    send_ring.TryDequeue(&nqe);                           // (4) switch
+    nsm_ring.TryEnqueue(nqe);
+    nsm_ring.TryDequeue(&nqe);
+    benchmark::DoNotOptimize(pool.Data(nqe.data_ptr));    // (5) resolve
+    pool.Free(nqe.data_ptr);
+    bytes += msg;
+    benchmark::ClobberMemory();
+  }
+  state.counters["Gbps"] = benchmark::Counter(static_cast<double>(bytes) * 8.0,
+                                              benchmark::Counter::kIsRate,
+                                              benchmark::Counter::kIs1000);
+  state.counters["msg"] = static_cast<double>(msg);
+}
+
+BENCHMARK(BM_HugepageCopyPath)
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Copyright (c) NetKernel reproduction authors.
+// Figures 13 & 14: single-TCP-stream send and receive throughput with the
+// kernel-stack NSM, vs message size, 1 vCPU for the VM and 1 for the NSM.
+//
+// Paper anchors: send tops at 30.9 Gbps, receive at 13.6 Gbps (RX is far
+// more CPU-intensive due to interrupts), and NetKernel matches Baseline at
+// every message size.
+
+#include "bench/harness.h"
+
+using namespace netkernel;
+using bench::PrintHeader;
+using bench::RunStreamExperiment;
+
+int main() {
+  const uint32_t sizes[] = {64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+
+  PrintHeader("Fig 13: single-stream SEND throughput (Gbps), 1 vCPU",
+              "paper Fig 13 (Baseline == NetKernel, ~31G at 16KB)");
+  std::printf("%8s %12s %12s\n", "msg(B)", "Baseline", "NetKernel");
+  for (uint32_t msg : sizes) {
+    double base = RunStreamExperiment(false, true, 1, 1, msg).gbps;
+    double nk = RunStreamExperiment(true, true, 1, 1, msg).gbps;
+    std::printf("%8u %12.1f %12.1f\n", msg, base, nk);
+  }
+
+  PrintHeader("Fig 14: single-stream RECEIVE throughput (Gbps), 1 vCPU",
+              "paper Fig 14 (Baseline == NetKernel, ~13.6G at 16KB)");
+  std::printf("%8s %12s %12s\n", "msg(B)", "Baseline", "NetKernel");
+  for (uint32_t msg : sizes) {
+    double base = RunStreamExperiment(false, false, 1, 1, msg).gbps;
+    double nk = RunStreamExperiment(true, false, 1, 1, msg).gbps;
+    std::printf("%8u %12.1f %12.1f\n", msg, base, nk);
+  }
+  return 0;
+}

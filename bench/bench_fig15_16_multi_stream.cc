@@ -1,0 +1,35 @@
+// Copyright (c) NetKernel reproduction authors.
+// Figures 15 & 16: 8-stream TCP send and receive throughput with the
+// kernel-stack NSM, vs message size, 1 vCPU.
+//
+// Paper anchors: send tops at 55.2 Gbps and receive at 17.4 Gbps with 16 KB
+// messages; NetKernel tracks Baseline throughout.
+
+#include "bench/harness.h"
+
+using namespace netkernel;
+using bench::PrintHeader;
+using bench::RunStreamExperiment;
+
+int main() {
+  const uint32_t sizes[] = {64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+
+  PrintHeader("Fig 15: 8-stream SEND throughput (Gbps), 1 vCPU",
+              "paper Fig 15 (~55G at 16KB, Baseline == NetKernel)");
+  std::printf("%8s %12s %12s\n", "msg(B)", "Baseline", "NetKernel");
+  for (uint32_t msg : sizes) {
+    double base = RunStreamExperiment(false, true, 1, 8, msg).gbps;
+    double nk = RunStreamExperiment(true, true, 1, 8, msg).gbps;
+    std::printf("%8u %12.1f %12.1f\n", msg, base, nk);
+  }
+
+  PrintHeader("Fig 16: 8-stream RECEIVE throughput (Gbps), 1 vCPU",
+              "paper Fig 16 (~17.4G at 16KB, Baseline == NetKernel)");
+  std::printf("%8s %12s %12s\n", "msg(B)", "Baseline", "NetKernel");
+  for (uint32_t msg : sizes) {
+    double base = RunStreamExperiment(false, false, 1, 8, msg).gbps;
+    double nk = RunStreamExperiment(true, false, 1, 8, msg).gbps;
+    std::printf("%8u %12.1f %12.1f\n", msg, base, nk);
+  }
+  return 0;
+}

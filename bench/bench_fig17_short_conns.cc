@@ -1,0 +1,27 @@
+// Copyright (c) NetKernel reproduction authors.
+// Figure 17: short-TCP-connection performance (RPS and goodput) vs message
+// size, 1 vCPU kernel-stack NSM, epoll servers, concurrency 1000,
+// non-keepalive. Paper anchor: ~70 K RPS below 1 KB, degrading for larger
+// responses as memory copies dominate.
+
+#include "bench/harness.h"
+
+using namespace netkernel;
+using bench::PrintHeader;
+using bench::RunRpsExperiment;
+
+int main() {
+  PrintHeader("Fig 17: RPS + goodput vs message size (conc 1000, 1 vCPU)",
+              "paper Fig 17 (~70 Krps small msgs, both systems equal)");
+  std::printf("%8s %14s %14s %14s %14s\n", "msg(B)", "Base Krps", "NK Krps", "Base Gbps",
+              "NK Gbps");
+  for (uint32_t msg : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    auto base = RunRpsExperiment(false, core::NsmKind::kKernel, 1, 40000, 1000, msg);
+    auto nk = RunRpsExperiment(true, core::NsmKind::kKernel, 1, 40000, 1000, msg);
+    double base_gbps = base.krps * 1e3 * msg * 8 / 1e9;
+    double nk_gbps = nk.krps * 1e3 * msg * 8 / 1e9;
+    std::printf("%8u %14.1f %14.1f %14.2f %14.2f\n", msg, base.krps, nk.krps, base_gbps,
+                nk_gbps);
+  }
+  return 0;
+}

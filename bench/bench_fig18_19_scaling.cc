@@ -1,0 +1,31 @@
+// Copyright (c) NetKernel reproduction authors.
+// Figures 18 & 19: throughput scalability with vCPUs (8 streams, 8 KB
+// messages). Paper anchors: send reaches 100G line rate with 3 vCPUs;
+// receive reaches 91G with 8 vCPUs; NetKernel tracks Baseline.
+
+#include "bench/harness.h"
+
+using namespace netkernel;
+using bench::PrintHeader;
+using bench::RunStreamExperiment;
+
+int main() {
+  PrintHeader("Fig 18: SEND throughput of 8 streams vs #vCPUs (8KB msgs)",
+              "paper Fig 18 (line rate at >= 3 vCPUs)");
+  std::printf("%6s %12s %12s\n", "vCPUs", "Baseline", "NetKernel");
+  for (int c = 1; c <= 8; ++c) {
+    double base = RunStreamExperiment(false, true, c, 8, 8192).gbps;
+    double nk = RunStreamExperiment(true, true, c, 8, 8192).gbps;
+    std::printf("%6d %12.1f %12.1f\n", c, base, nk);
+  }
+
+  PrintHeader("Fig 19: RECEIVE throughput of 8 streams vs #vCPUs (8KB msgs)",
+              "paper Fig 19 (~91G at 8 vCPUs)");
+  std::printf("%6s %12s %12s\n", "vCPUs", "Baseline", "NetKernel");
+  for (int c = 1; c <= 8; ++c) {
+    double base = RunStreamExperiment(false, false, c, 8, 8192).gbps;
+    double nk = RunStreamExperiment(true, false, c, 8, 8192).gbps;
+    std::printf("%6d %12.1f %12.1f\n", c, base, nk);
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Copyright (c) NetKernel reproduction authors.
+// Figure 20: short-connection scalability with vCPUs (64 B messages,
+// SO_REUSEPORT epoll servers), for Baseline, the kernel-stack NSM, and the
+// mTCP NSM. Paper anchors: kernel stack scales ~5.7x to ~400 Krps at 8
+// vCPUs; mTCP delivers 190K / 366K / 652K / 1.1M at 1/2/4/8 vCPUs.
+
+#include "bench/harness.h"
+
+using namespace netkernel;
+using bench::PrintHeader;
+using bench::RunRpsExperiment;
+
+int main() {
+  PrintHeader("Fig 20: RPS vs #vCPUs (64B messages, conc 1000)",
+              "paper Fig 20 (kernel ~70K->400K; mTCP 190K->1.1M)");
+  std::printf("%6s %14s %14s %16s\n", "vCPUs", "Baseline", "NetKernel", "NetKernel+mTCP");
+  for (int c : {1, 2, 4, 8}) {
+    uint64_t budget = static_cast<uint64_t>(c) * 50000;
+    auto base = RunRpsExperiment(false, core::NsmKind::kKernel, c, budget, 1000, 64);
+    auto nk = RunRpsExperiment(true, core::NsmKind::kKernel, c, budget, 1000, 64);
+    auto mtcp = RunRpsExperiment(true, core::NsmKind::kMtcp, c, 2 * budget, 1000, 64);
+    std::printf("%6d %13.1fK %13.1fK %15.1fK\n", c, base.krps, nk.krps, mtcp.krps);
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Copyright (c) NetKernel reproduction authors.
+// Shared topology builders and measurement helpers for the per-figure
+// benchmark binaries. Every bench reproduces one table or figure of the
+// paper's evaluation (§6-§7); EXPERIMENTS.md maps outputs to paper numbers.
+
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/netkernel.h"
+
+namespace netkernel::bench {
+
+// A two-host testbed mirroring the paper's §7.1 setup: the measured host and
+// a peer ("the other testbed machine") that is never the bottleneck.
+class Testbed {
+ public:
+  explicit Testbed(netsim::Link::Config port = {})
+      : fabric_(&loop_),
+        host_a_(&loop_, &fabric_, "hostA", core::Host::Options{port, {}}),
+        host_b_(&loop_, &fabric_, "hostB", core::Host::Options{port, {}}) {}
+
+  sim::EventLoop& loop() { return loop_; }
+  netsim::Fabric& fabric() { return fabric_; }
+  core::Host& host_a() { return host_a_; }
+  core::Host& host_b() { return host_b_; }
+
+  // The measured server/sender VM in NetKernel mode with its NSM.
+  core::Vm* MakeNkVm(int vm_cores, int nsm_cores, core::NsmKind kind,
+                     tcp::TcpStackConfig cfg = {}) {
+    nsm_ = host_a_.CreateNsm("nsm", nsm_cores, kind, std::move(cfg));
+    return host_a_.CreateNetkernelVm("vm", vm_cores, nsm_);
+  }
+  core::Nsm* nsm() { return nsm_; }
+
+  // The measured VM in Baseline mode.
+  core::Vm* MakeBaselineVm(int cores, tcp::TcpStackConfig cfg = {}) {
+    return host_a_.CreateBaselineVm("vm", cores, std::move(cfg));
+  }
+
+  // The peer machine: plenty of cores, sink cost profile.
+  core::Vm* MakePeer(int cores = 16) {
+    tcp::TcpStackConfig cfg;
+    cfg.profile = tcp::SinkProfile();
+    return host_b_.CreateBaselineVm("peer", cores, std::move(cfg));
+  }
+
+  void Run(SimTime t) { loop_.Run(loop_.Now() + t); }
+
+ private:
+  sim::EventLoop loop_;
+  netsim::Fabric fabric_;
+  core::Host host_a_;
+  core::Host host_b_;
+  core::Nsm* nsm_ = nullptr;
+};
+
+// Measures steady-state receive goodput: warms up for `warmup`, then counts
+// sink bytes over `window`. Returns Gbps.
+inline double MeasureGoodputGbps(Testbed& tb, const apps::StreamStats& sink, SimTime warmup,
+                                 SimTime window) {
+  tb.Run(warmup);
+  uint64_t b0 = sink.bytes_received;
+  SimTime t0 = tb.loop().Now();
+  tb.Run(window);
+  SimTime span = tb.loop().Now() - t0;
+  return span > 0 ? RateOf(sink.bytes_received - b0, span) / kGbps : 0.0;
+}
+
+// One row of a send- or receive-throughput experiment (Figs 13-16).
+// `measure_send`: the measured VM transmits; otherwise it receives.
+struct ThroughputResult {
+  double gbps = 0;
+  uint64_t retransmits = 0;
+};
+
+inline ThroughputResult RunStreamExperiment(bool netkernel, bool measure_send, int vm_cores,
+                                            int conns, uint32_t msg_size,
+                                            SimTime window = 40 * kMillisecond,
+                                            core::NsmKind kind = core::NsmKind::kKernel) {
+  Testbed tb;
+  core::Vm* vm = netkernel ? tb.MakeNkVm(vm_cores, vm_cores, kind)
+                           : tb.MakeBaselineVm(vm_cores);
+  core::Vm* peer = tb.MakePeer();
+  apps::StreamStats sink_stats, send_stats;
+  core::Vm* sender = measure_send ? vm : peer;
+  core::Vm* receiver = measure_send ? peer : vm;
+  apps::StartStreamSink(receiver, 9000, &sink_stats);
+  apps::StreamConfig cfg;
+  cfg.dst_ip = receiver->ip();
+  cfg.port = 9000;
+  cfg.connections = conns;
+  cfg.message_size = msg_size;
+  apps::StartStreamSenders(sender, cfg, &send_stats);
+  ThroughputResult r;
+  r.gbps = MeasureGoodputGbps(tb, sink_stats, window / 2, window);
+  tcp::TcpStack* st = netkernel ? tb.nsm()->stack() : vm->guest_stack();
+  r.retransmits = st->stats().retransmits;
+  return r;
+}
+
+// One row of a short-connection experiment (Figs 17/20, Tables 3/5).
+struct RpsResult {
+  double krps = 0;
+  uint64_t errors = 0;
+  Summary latency_us;
+};
+
+inline RpsResult RunRpsExperiment(bool netkernel, core::NsmKind kind, int cores,
+                                  uint64_t total_requests, int concurrency, uint32_t msg_size,
+                                  Cycles app_cycles = 0, SimTime horizon = 60 * kSecond) {
+  Testbed tb;
+  core::Vm* vm = netkernel ? tb.MakeNkVm(cores, cores, kind) : tb.MakeBaselineVm(cores);
+  core::Vm* peer = tb.MakePeer();
+  apps::ServerStats sstat;
+  apps::EpollServerConfig scfg;
+  scfg.port = 8080;
+  scfg.request_size = msg_size;
+  scfg.response_size = msg_size;
+  scfg.app_cycles_per_request = app_cycles;
+  apps::StartEpollServer(vm, scfg, &sstat);
+  apps::LoadGenStats lstat;
+  apps::LoadGenConfig lcfg;
+  lcfg.server_ip = vm->ip();
+  lcfg.port = 8080;
+  lcfg.concurrency = concurrency;
+  lcfg.total_requests = total_requests;
+  lcfg.request_size = msg_size;
+  lcfg.response_size = msg_size;
+  apps::StartLoadGen(peer, lcfg, &lstat);
+  tb.Run(horizon);
+  RpsResult r;
+  r.krps = lstat.RequestsPerSec() / 1e3;
+  r.errors = lstat.errors;
+  r.latency_us = std::move(lstat.latency_us);
+  return r;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace netkernel::bench
+
+#endif  // BENCH_HARNESS_H_

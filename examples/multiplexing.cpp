@@ -1,0 +1,78 @@
+// Copyright (c) NetKernel reproduction authors.
+// Use case 1 (§6.1): multiplexing several bursty application gateways onto
+// one shared Network Stack Module.
+//
+// Three "application gateway" VMs — each just 1 vCPU of application logic —
+// share a single 2-vCPU kernel-stack NSM. A trace-driven client drives
+// bursty request load at all three. Compare the cores used with the Baseline
+// deployment (each AG would reserve multiple dedicated cores for its peak).
+
+#include <cstdio>
+
+#include "src/core/netkernel.h"
+
+using namespace netkernel;
+
+int main() {
+  sim::EventLoop loop;
+  netsim::Fabric fabric(&loop);
+  core::Host host(&loop, &fabric, "host");
+  core::Host client_host(&loop, &fabric, "client-host");
+
+  // One shared NSM; three AG VMs with one app core each.
+  core::Nsm* nsm = host.CreateNsm("shared-nsm", 2, core::NsmKind::kKernel);
+  std::vector<core::Vm*> ags;
+  apps::ServerStats stats[3];
+  for (int i = 0; i < 3; ++i) {
+    ags.push_back(host.CreateNetkernelVm("ag" + std::to_string(i), 1, nsm));
+    apps::EpollServerConfig cfg;
+    cfg.port = 8080;
+    cfg.app_cycles_per_request = 20000;  // proxy/LB request handling
+    apps::StartEpollServer(ags.back(), cfg, &stats[i]);
+  }
+
+  tcp::TcpStackConfig cli_cfg;
+  cli_cfg.profile = tcp::SinkProfile();
+  core::Vm* client = client_host.CreateBaselineVm("client", 8, cli_cfg);
+
+  // Bursty open-loop load with staggered peaks (each AG bursts alone).
+  apps::LoadGenStats lstats[3];
+  for (int i = 0; i < 3; ++i) {
+    apps::LoadGenConfig cfg;
+    cfg.server_ip = ags[static_cast<size_t>(i)]->ip();
+    cfg.port = 8080;
+    cfg.total_requests = 0;
+    cfg.open_loop_rps = 3000;  // baseline hum
+    cfg.seed = 100 + static_cast<uint64_t>(i);
+    apps::StartLoadGen(client, cfg, &lstats[i]);
+    // A burst of 25K rps for 200 ms, staggered per AG.
+    loop.Schedule((200 + i * 400) * kMillisecond, [&, i] {
+      apps::LoadGenConfig burst;
+      burst.server_ip = ags[static_cast<size_t>(i)]->ip();
+      burst.port = 8080;
+      burst.open_loop_rps = 25000;
+      burst.total_requests = 5000;
+      burst.seed = 200 + static_cast<uint64_t>(i);
+      apps::StartLoadGen(client, burst, &lstats[i]);
+    });
+  }
+
+  loop.Run(1600 * kMillisecond);
+
+  std::printf("Three bursty AGs multiplexed on one 2-vCPU NSM (+1 CoreEngine core):\n\n");
+  uint64_t total = 0;
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  ag%d: served %8llu requests (%llu errors)\n", i,
+                static_cast<unsigned long long>(lstats[i].completed),
+                static_cast<unsigned long long>(lstats[i].errors));
+    total += lstats[i].completed;
+  }
+  SimTime span = loop.Now();
+  int nk_cores = 3 * 1 + 2 + 1;
+  std::printf("\n  NetKernel: %d cores -> %.0f requests/s/core\n", nk_cores,
+              static_cast<double>(total) / ToSeconds(span) / nk_cores);
+  std::printf("  Baseline would reserve ~4 cores per AG for these peaks (12 cores).\n");
+  std::printf("  NSM utilization during the run: %.0f%% (core 0)\n",
+              100.0 * nsm->vcpu(0)->Utilization(span));
+  return 0;
+}

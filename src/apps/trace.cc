@@ -1,0 +1,63 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/apps/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netkernel::apps {
+
+AgTrace AgTrace::Generate(uint64_t seed, const AgTraceParams& p) {
+  Rng rng(seed);
+  AgTrace trace;
+  trace.rps_.reserve(static_cast<size_t>(p.minutes));
+  // AR(1) in log space: x_{t+1} = mu + ar1*(x_t - mu) + e, e ~ N(0, s_e),
+  // with s_e chosen so the stationary stddev equals log_sigma.
+  double innovation_sigma = p.log_sigma * std::sqrt(1.0 - p.ar1 * p.ar1);
+  double x = p.log_mean + p.log_sigma * rng.NextGaussian();
+  for (int t = 0; t < p.minutes; ++t) {
+    double rps = std::exp(x);
+    if (rng.NextBool(p.spike_prob)) {
+      double mult = p.spike_mult_min +
+                    rng.NextDouble() * (p.spike_mult_max - p.spike_mult_min);
+      rps *= mult;
+    }
+    trace.rps_.push_back(std::min(rps, p.cap));
+    x = p.log_mean + p.ar1 * (x - p.log_mean) + innovation_sigma * rng.NextGaussian();
+  }
+  return trace;
+}
+
+double AgTrace::Peak() const {
+  double peak = 0;
+  for (double v : rps_) peak = std::max(peak, v);
+  return peak;
+}
+
+double AgTrace::Mean() const {
+  if (rps_.empty()) return 0;
+  double sum = 0;
+  for (double v : rps_) sum += v;
+  return sum / static_cast<double>(rps_.size());
+}
+
+double AgTrace::FractionBelow(double frac) const {
+  if (rps_.empty()) return 0;
+  double threshold = frac * Peak();
+  size_t below = 0;
+  for (double v : rps_) {
+    if (v <= threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(rps_.size());
+}
+
+std::vector<AgTrace> GenerateAgFleet(int count, uint64_t seed, const AgTraceParams& params) {
+  std::vector<AgTrace> fleet;
+  fleet.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    fleet.push_back(AgTrace::Generate(seed + static_cast<uint64_t>(i) * 7919, params));
+  }
+  return fleet;
+}
+
+}  // namespace netkernel::apps

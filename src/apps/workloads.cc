@@ -1,0 +1,296 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/apps/workloads.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/sim/task.h"
+
+namespace netkernel::apps {
+
+using core::kEpollErr;
+using core::kEpollHup;
+using core::kEpollIn;
+using core::SocketApi;
+
+namespace {
+
+int ResolveThreads(core::Vm* vm, int threads) {
+  return threads > 0 ? threads : vm->num_vcpus();
+}
+
+sim::Task<void> ServerThread(core::Vm* vm, int thread_idx, EpollServerConfig cfg,
+                             ServerStats* stats) {
+  SocketApi& api = vm->api();
+  sim::CpuCore* core = vm->vcpu(thread_idx % vm->num_vcpus());
+  sim::EventLoop* loop = api.loop();
+
+  int lfd = co_await api.Socket(core);
+  NK_CHECK(lfd >= 0);
+  int r = co_await api.Bind(core, lfd, 0, cfg.port);
+  NK_CHECK(r == 0);
+  r = co_await api.Listen(core, lfd, 1024, /*reuseport=*/true);
+  NK_CHECK(r == 0);
+
+  int ep = api.EpollCreate();
+  api.EpollCtl(ep, lfd, kEpollIn);
+
+  struct ConnState {
+    uint32_t recvd = 0;
+  };
+  std::unordered_map<int, ConnState> conns;
+  std::vector<uint8_t> rbuf(std::max<uint32_t>(cfg.request_size, 16 * 1024));
+  std::vector<uint8_t> resp(cfg.response_size, 0x5a);
+
+  for (;;) {
+    auto evs = co_await api.EpollWait(core, ep, static_cast<size_t>(cfg.max_events),
+                                      50 * kMillisecond);
+    for (const core::EpollEvent& ev : evs) {
+      if (ev.fd == lfd) {
+        int cfd = co_await api.Accept(core, lfd);
+        if (cfd >= 0) {
+          api.EpollCtl(ep, cfd, kEpollIn);
+          conns[cfd] = ConnState{};
+          ++stats->accepted;
+        }
+        continue;
+      }
+      auto it = conns.find(ev.fd);
+      if (it == conns.end()) continue;
+      if ((ev.events & (kEpollErr | kEpollHup)) != 0 && (ev.events & kEpollIn) == 0) {
+        co_await api.Close(core, ev.fd);
+        conns.erase(ev.fd);
+        continue;
+      }
+      int64_t n = co_await api.Recv(core, ev.fd, rbuf.data(),
+                                    cfg.request_size - it->second.recvd);
+      if (n <= 0) {
+        co_await api.Close(core, ev.fd);
+        conns.erase(ev.fd);
+        continue;
+      }
+      stats->bytes_in += static_cast<uint64_t>(n);
+      it->second.recvd += static_cast<uint32_t>(n);
+      if (it->second.recvd < cfg.request_size) continue;
+      it->second.recvd = 0;
+
+      if (cfg.app_cycles_per_request > 0) {
+        co_await core->Work(cfg.app_cycles_per_request);  // application logic
+      }
+      int64_t sent = co_await api.Send(core, ev.fd, resp.data(), resp.size());
+      if (sent > 0) stats->bytes_out += static_cast<uint64_t>(sent);
+      ++stats->requests;
+      if (stats->rps_series != nullptr) stats->rps_series->Add(loop->Now(), 1.0);
+      if (!cfg.keepalive) {
+        co_await api.Close(core, ev.fd);
+        conns.erase(ev.fd);
+      }
+    }
+  }
+}
+
+struct LoadGenShared {
+  LoadGenConfig cfg;
+  LoadGenStats* stats;
+  int active_slots = 0;
+};
+
+sim::Task<void> OneRequest(core::Vm* vm, sim::CpuCore* core,
+                           std::shared_ptr<LoadGenShared> sh) {
+  SocketApi& api = vm->api();
+  sim::EventLoop* loop = api.loop();
+  LoadGenStats* stats = sh->stats;
+  const LoadGenConfig& cfg = sh->cfg;
+
+  std::vector<uint8_t> req(cfg.request_size, 0xa5);
+  std::vector<uint8_t> buf(std::max<uint32_t>(cfg.response_size, 4096));
+
+  SimTime t0 = loop->Now();
+  if (stats->first_issue < 0) stats->first_issue = t0;
+  int fd = co_await api.Socket(core);
+  if (fd < 0) {
+    ++stats->errors;
+    co_return;
+  }
+  int r = co_await api.Connect(core, fd, cfg.server_ip, cfg.port);
+  if (r != 0) {
+    ++stats->errors;
+    co_await api.Close(core, fd);
+    co_return;
+  }
+  int64_t sent = co_await api.Send(core, fd, req.data(), req.size());
+  if (sent < static_cast<int64_t>(req.size())) {
+    ++stats->errors;
+    co_await api.Close(core, fd);
+    co_return;
+  }
+  uint64_t got = 0;
+  while (got < cfg.response_size) {
+    int64_t n = co_await api.Recv(core, fd, buf.data(), buf.size());
+    if (n <= 0) break;
+    got += static_cast<uint64_t>(n);
+  }
+  co_await api.Close(core, fd);
+  if (got >= cfg.response_size) {
+    ++stats->completed;
+    stats->last_complete = loop->Now();
+    stats->latency_us.Add(static_cast<double>(loop->Now() - t0) / kMicrosecond);
+    if (stats->rps_series != nullptr) stats->rps_series->Add(loop->Now(), 1.0);
+  } else {
+    ++stats->errors;
+  }
+}
+
+sim::Task<void> ClosedLoopSlot(core::Vm* vm, sim::CpuCore* core,
+                               std::shared_ptr<LoadGenShared> sh) {
+  LoadGenStats* stats = sh->stats;
+  for (;;) {
+    if (sh->cfg.total_requests > 0 && stats->issued >= sh->cfg.total_requests) break;
+    ++stats->issued;
+    co_await OneRequest(vm, core, sh);
+  }
+  if (--sh->active_slots == 0) stats->done = true;
+}
+
+sim::Task<void> OpenLoopArrivals(core::Vm* vm, std::shared_ptr<LoadGenShared> sh) {
+  SocketApi& api = vm->api();
+  sim::EventLoop* loop = api.loop();
+  Rng rng(sh->cfg.seed);
+  int threads = ResolveThreads(vm, sh->cfg.threads);
+  uint64_t i = 0;
+  for (;;) {
+    if (sh->cfg.total_requests > 0 && sh->stats->issued >= sh->cfg.total_requests) break;
+    double gap_s = rng.NextExponential(1.0 / sh->cfg.open_loop_rps);
+    co_await sim::Delay(loop, FromSeconds(gap_s));
+    // Bound outstanding requests (SYN backlog protection).
+    if (sh->stats->issued - sh->stats->completed - sh->stats->errors > 65536) continue;
+    ++sh->stats->issued;
+    sim::CpuCore* core = vm->vcpu(static_cast<int>(i++ % threads) % vm->num_vcpus());
+    sim::Spawn(OneRequest(vm, core, sh));
+  }
+  sh->stats->done = true;
+}
+
+sim::Task<void> StreamSinkThread(core::Vm* vm, int thread_idx, uint16_t port,
+                                 StreamStats* stats) {
+  SocketApi& api = vm->api();
+  sim::CpuCore* core = vm->vcpu(thread_idx % vm->num_vcpus());
+  sim::EventLoop* loop = api.loop();
+
+  int lfd = co_await api.Socket(core);
+  NK_CHECK(lfd >= 0);
+  NK_CHECK(0 == co_await api.Bind(core, lfd, 0, port));
+  NK_CHECK(0 == co_await api.Listen(core, lfd, 256, true));
+  int ep = api.EpollCreate();
+  api.EpollCtl(ep, lfd, kEpollIn);
+
+  std::unordered_map<int, size_t> conn_index;
+  std::vector<uint8_t> buf(64 * 1024);
+
+  for (;;) {
+    auto evs = co_await api.EpollWait(core, ep, 64, 50 * kMillisecond);
+    for (const core::EpollEvent& ev : evs) {
+      if (ev.fd == lfd) {
+        int cfd = co_await api.Accept(core, lfd);
+        if (cfd >= 0) {
+          api.EpollCtl(ep, cfd, kEpollIn);
+          conn_index[cfd] = stats->per_conn_bytes.size();
+          stats->per_conn_bytes.push_back(0);
+        }
+        continue;
+      }
+      auto it = conn_index.find(ev.fd);
+      if (it == conn_index.end()) continue;
+      int64_t n = co_await api.Recv(core, ev.fd, buf.data(), buf.size());
+      if (n <= 0) {
+        co_await api.Close(core, ev.fd);
+        conn_index.erase(ev.fd);
+        continue;
+      }
+      stats->bytes_received += static_cast<uint64_t>(n);
+      stats->per_conn_bytes[it->second] += static_cast<uint64_t>(n);
+      if (stats->goodput_series != nullptr) {
+        stats->goodput_series->Add(loop->Now(), static_cast<double>(n));
+      }
+    }
+  }
+}
+
+sim::Task<void> StreamSenderConn(core::Vm* vm, sim::CpuCore* core, StreamConfig cfg,
+                                 StreamStats* stats) {
+  SocketApi& api = vm->api();
+  sim::EventLoop* loop = api.loop();
+  int fd = co_await api.Socket(core);
+  if (fd < 0) co_return;
+  if (0 != co_await api.Connect(core, fd, cfg.dst_ip, cfg.port)) co_return;
+
+  std::vector<uint8_t> msg(cfg.message_size, 0xc3);
+  double per_conn_gbps = cfg.paced_gbps > 0 ? cfg.paced_gbps / cfg.connections : 0;
+  for (;;) {
+    if (cfg.bytes_limit > 0 && stats->bytes_sent >= cfg.bytes_limit) break;
+    int64_t n = co_await api.Send(core, fd, msg.data(), msg.size());
+    if (n <= 0) break;
+    stats->bytes_sent += static_cast<uint64_t>(n);
+    ++stats->messages;
+    if (per_conn_gbps > 0) {
+      SimTime gap = static_cast<SimTime>(static_cast<double>(n) * 8.0 /
+                                         (per_conn_gbps * 1e9) * kSecond);
+      co_await sim::Delay(loop, gap);
+    }
+  }
+  co_await api.Close(core, fd);
+}
+
+}  // namespace
+
+void StartEpollServer(core::Vm* vm, EpollServerConfig config, ServerStats* stats) {
+  int threads = ResolveThreads(vm, config.threads);
+  for (int t = 0; t < threads; ++t) {
+    sim::Spawn(ServerThread(vm, config.first_thread + t, config, stats));
+  }
+}
+
+void IssueOneRequest(core::Vm* vm, sim::CpuCore* core, const LoadGenConfig& config,
+                     LoadGenStats* stats) {
+  auto sh = std::make_shared<LoadGenShared>();
+  sh->cfg = config;
+  sh->stats = stats;
+  ++stats->issued;
+  sim::Spawn(OneRequest(vm, core, sh));
+}
+
+void StartLoadGen(core::Vm* vm, LoadGenConfig config, LoadGenStats* stats) {
+  auto sh = std::make_shared<LoadGenShared>();
+  sh->cfg = config;
+  sh->stats = stats;
+  if (config.open_loop_rps > 0) {
+    sim::Spawn(OpenLoopArrivals(vm, sh));
+    return;
+  }
+  int threads = ResolveThreads(vm, config.threads);
+  sh->active_slots = config.concurrency;
+  for (int c = 0; c < config.concurrency; ++c) {
+    sim::CpuCore* core = vm->vcpu((c % threads) % vm->num_vcpus());
+    sim::Spawn(ClosedLoopSlot(vm, core, sh));
+  }
+}
+
+void StartStreamSink(core::Vm* vm, uint16_t port, StreamStats* stats, int threads,
+                     int first_thread) {
+  int n = ResolveThreads(vm, threads);
+  for (int t = 0; t < n; ++t) {
+    sim::Spawn(StreamSinkThread(vm, first_thread + t, port, stats));
+  }
+}
+
+void StartStreamSenders(core::Vm* vm, StreamConfig config, StreamStats* stats) {
+  int threads = ResolveThreads(vm, config.threads);
+  for (int c = 0; c < config.connections; ++c) {
+    sim::CpuCore* core = vm->vcpu((c % threads) % vm->num_vcpus());
+    sim::Spawn(StreamSenderConn(vm, core, config, stats));
+  }
+}
+
+}  // namespace netkernel::apps

@@ -1,0 +1,128 @@
+// Copyright (c) NetKernel reproduction authors.
+// Guest workloads used across the evaluation, written against SocketApi so
+// they run unmodified on Baseline and NetKernel VMs (and on kernel or mTCP
+// NSMs — the paper's "deploy mTCP without API change" story, §6.3):
+//   * EpollServer  — the multi-threaded epoll short-response server of
+//                    §7.3/§7.4 (also stands in for nginx with app cycles).
+//   * LoadGen      — ab-style closed-loop client with a concurrency level,
+//                    total request count, and latency percentiles (§7.7), or
+//                    open-loop Poisson arrivals at a target rate.
+//   * StreamSender/StreamSink — iperf-style bulk TCP streams (§7.3-§7.5).
+
+#ifndef SRC_APPS_WORKLOADS_H_
+#define SRC_APPS_WORKLOADS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/host.h"
+#include "src/core/socket_api.h"
+
+namespace netkernel::apps {
+
+// ---------------------------------------------------------------------------
+// Epoll server
+// ---------------------------------------------------------------------------
+
+struct EpollServerConfig {
+  uint16_t port = 8080;
+  uint32_t request_size = 64;
+  uint32_t response_size = 64;
+  bool keepalive = false;
+  int threads = 0;       // 0 = one per vCPU
+  int first_thread = 0;  // vCPU index of the first server thread
+  // Application-logic cycles per request (0 = pure echo; nonzero models an
+  // nginx/application-gateway request handler).
+  Cycles app_cycles_per_request = 0;
+  int max_events = 64;
+};
+
+struct ServerStats {
+  uint64_t requests = 0;
+  uint64_t accepted = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  // Per-interval requests for time-series figures (optional).
+  TimeSeries* rps_series = nullptr;
+};
+
+// Spawns the server tasks (they run for the remainder of the simulation).
+void StartEpollServer(core::Vm* vm, EpollServerConfig config, ServerStats* stats);
+
+// ---------------------------------------------------------------------------
+// Load generator (ab-style)
+// ---------------------------------------------------------------------------
+
+struct LoadGenConfig {
+  netsim::IpAddr server_ip = 0;
+  uint16_t port = 8080;
+  int concurrency = 100;
+  uint64_t total_requests = 100000;  // 0 = unbounded (run for sim horizon)
+  uint32_t request_size = 64;
+  uint32_t response_size = 64;
+  int threads = 0;         // 0 = one per vCPU
+  double open_loop_rps = 0;  // >0: Poisson arrivals at this rate instead of
+                             // closed-loop slots
+  uint64_t seed = 42;
+};
+
+struct LoadGenStats {
+  Summary latency_us;  // request-response latency in microseconds
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  SimTime first_issue = -1;
+  SimTime last_complete = 0;
+  bool done = false;
+  TimeSeries* rps_series = nullptr;
+
+  double RequestsPerSec() const {
+    SimTime span = last_complete - first_issue;
+    return span > 0 ? static_cast<double>(completed) / ToSeconds(span) : 0.0;
+  }
+};
+
+void StartLoadGen(core::Vm* vm, LoadGenConfig config, LoadGenStats* stats);
+
+// Issues exactly one request (connect/request/response/close) from `core`,
+// recording latency/errors into `stats`. Used by trace replayers that manage
+// their own arrival process.
+void IssueOneRequest(core::Vm* vm, sim::CpuCore* core, const LoadGenConfig& config,
+                     LoadGenStats* stats);
+
+// ---------------------------------------------------------------------------
+// Bulk streams (iperf-style)
+// ---------------------------------------------------------------------------
+
+struct StreamConfig {
+  netsim::IpAddr dst_ip = 0;
+  uint16_t port = 9000;
+  int connections = 1;
+  uint32_t message_size = 8192;
+  int threads = 0;  // 0 = one per vCPU; connections round-robin over threads
+  uint64_t bytes_limit = 0;  // 0 = unbounded
+  double paced_gbps = 0;     // >0: pace the aggregate offered load
+};
+
+struct StreamStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages = 0;
+  TimeSeries* goodput_series = nullptr;  // bytes binned by arrival time
+  // Per-connection receive counters (Fig 9 fairness accounting).
+  std::vector<uint64_t> per_conn_bytes;
+};
+
+// Sink: accepts connections on `port` and drains them forever.
+void StartStreamSink(core::Vm* vm, uint16_t port, StreamStats* stats, int threads = 0,
+                     int first_thread = 0);
+
+// Senders: open `connections` streams to the sink and send continuously.
+void StartStreamSenders(core::Vm* vm, StreamConfig config, StreamStats* stats);
+
+}  // namespace netkernel::apps
+
+#endif  // SRC_APPS_WORKLOADS_H_

@@ -1,0 +1,29 @@
+// Copyright (c) NetKernel reproduction authors.
+// Lightweight invariant-checking macros (always on, including release builds).
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `cond` is false. Used for internal invariants
+// whose violation indicates a bug, never for recoverable runtime errors.
+#define NK_CHECK(cond)                                                                   \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "NK_CHECK failed: %s at %s:%d\n", #cond, __FILE__, __LINE__); \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#define NK_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "NK_CHECK failed: %s (%s) at %s:%d\n", #cond, msg,        \
+                   __FILE__, __LINE__);                                              \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

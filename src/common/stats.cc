@@ -1,0 +1,90 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace netkernel {
+
+void Summary::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+}
+
+void Summary::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::Min() const {
+  if (samples_.empty()) return 0.0;
+  Sort();
+  return samples_.front();
+}
+
+double Summary::Max() const {
+  if (samples_.empty()) return 0.0;
+  Sort();
+  return samples_.back();
+}
+
+double Summary::Mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double n = static_cast<double>(samples_.size());
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  NK_CHECK(p >= 0.0 && p <= 100.0);
+  Sort();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Summary::Row(double scale) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%10.2f %10.2f %10.2f %10.2f %10.2f", Min() / scale,
+                Mean() / scale, Stddev() / scale, Median() / scale, Max() / scale);
+  return buf;
+}
+
+void TimeSeries::Add(SimTime t, double value) {
+  if (t < start_) return;
+  size_t bin = static_cast<size_t>((t - start_) / bin_width_);
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0.0);
+  bins_[bin] += value;
+}
+
+double TimeSeries::Peak(bool ignore_last_partial) const {
+  double peak = 0.0;
+  size_t n = bins_.size();
+  if (ignore_last_partial && n > 0) n -= 1;
+  for (size_t i = 0; i < n; ++i) peak = std::max(peak, bins_[i]);
+  return peak;
+}
+
+double TimeSeries::MeanBin() const {
+  if (bins_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double b : bins_) sum += b;
+  return sum / static_cast<double>(bins_.size());
+}
+
+}  // namespace netkernel

@@ -1,0 +1,89 @@
+// Copyright (c) NetKernel reproduction authors.
+// Summary statistics and binned time series used by the benchmark harness to
+// report the same rows/series the paper's tables and figures report.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace netkernel {
+
+// Accumulates samples and reports min/mean/stddev/median/max/percentiles.
+// Keeps all samples; intended for bench-scale sample counts (<= tens of M).
+class Summary {
+ public:
+  void Add(double sample);
+
+  size_t Count() const { return samples_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Stddev() const;
+  // p in [0, 100]. Nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // "min mean stddev median max" with the given unit scale divisor.
+  std::string Row(double scale = 1.0) const;
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+// Counts events (or bytes) into fixed-width virtual-time bins, producing the
+// per-interval series used by Fig 7/8/21.
+class TimeSeries {
+ public:
+  TimeSeries(SimTime bin_width, SimTime start = 0) : bin_width_(bin_width), start_(start) {}
+
+  void Add(SimTime t, double value);
+
+  SimTime bin_width() const { return bin_width_; }
+  size_t NumBins() const { return bins_.size(); }
+  double BinValue(size_t i) const { return i < bins_.size() ? bins_[i] : 0.0; }
+  SimTime BinStart(size_t i) const { return start_ + static_cast<SimTime>(i) * bin_width_; }
+
+  // Value of the largest bin (ignoring a partial final bin if told to).
+  double Peak(bool ignore_last_partial = false) const;
+  double MeanBin() const;
+
+ private:
+  SimTime bin_width_;
+  SimTime start_;
+  std::vector<double> bins_;
+};
+
+// Simple throughput meter: counts bytes, reports Gbps over an interval.
+class Meter {
+ public:
+  void AddBytes(uint64_t n) { bytes_ += n; }
+  void AddEvents(uint64_t n = 1) { events_ += n; }
+  uint64_t bytes() const { return bytes_; }
+  uint64_t events() const { return events_; }
+  double Gbps(SimTime elapsed) const { return RateOf(bytes_, elapsed) / kGbps; }
+  double EventsPerSec(SimTime elapsed) const {
+    return elapsed <= 0 ? 0.0 : static_cast<double>(events_) / ToSeconds(elapsed);
+  }
+  void Reset() {
+    bytes_ = 0;
+    events_ = 0;
+  }
+
+ private:
+  uint64_t bytes_ = 0;
+  uint64_t events_ = 0;
+};
+
+}  // namespace netkernel
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,64 @@
+// Copyright (c) NetKernel reproduction authors.
+// Token bucket used by CoreEngine to rate-limit a VM in bytes/s or NQEs/s
+// (paper §4.4, §7.6). Operates on virtual time supplied by the caller.
+
+#ifndef SRC_COMMON_TOKEN_BUCKET_H_
+#define SRC_COMMON_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace netkernel {
+
+class TokenBucket {
+ public:
+  // rate: tokens per second; burst: bucket depth in tokens.
+  // A rate of 0 means "unlimited": TryConsume always succeeds.
+  TokenBucket(double rate_per_sec = 0.0, double burst = 0.0)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  bool unlimited() const { return rate_ <= 0.0; }
+  double rate() const { return rate_; }
+
+  // Refills by elapsed virtual time, then consumes `amount` tokens if
+  // available. Returns true if consumed.
+  bool TryConsume(SimTime now, double amount) {
+    if (unlimited()) return true;
+    Refill(now);
+    if (tokens_ >= amount) {
+      tokens_ -= amount;
+      return true;
+    }
+    return false;
+  }
+
+  // Virtual time at which `amount` tokens will be available (>= now).
+  SimTime NextAvailable(SimTime now, double amount) const {
+    if (unlimited()) return now;
+    double tokens = CurrentTokens(now);
+    if (tokens >= amount) return now;
+    double deficit = amount - tokens;
+    return now + static_cast<SimTime>(deficit / rate_ * kSecond) + 1;
+  }
+
+  double CurrentTokens(SimTime now) const {
+    double t = tokens_ + rate_ * ToSeconds(now - last_refill_);
+    return t > burst_ ? burst_ : t;
+  }
+
+ private:
+  void Refill(SimTime now) {
+    tokens_ = CurrentTokens(now);
+    last_refill_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace netkernel
+
+#endif  // SRC_COMMON_TOKEN_BUCKET_H_

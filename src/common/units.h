@@ -1,0 +1,63 @@
+// Copyright (c) NetKernel reproduction authors.
+// Units used throughout the simulation: virtual time, data sizes, and rates.
+//
+// Virtual time is an integer count of nanoseconds since simulation start.
+// Rates are expressed in bits per second; helper literals convert between
+// the human-friendly units used in the paper (Gbps, KB, us) and base units.
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace netkernel {
+
+// Virtual time in nanoseconds. Signed so durations can be subtracted safely.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+constexpr SimTime FromSeconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+// Data sizes in bytes.
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Rates in bits per second.
+using BitRate = double;
+constexpr BitRate kKbps = 1e3;
+constexpr BitRate kMbps = 1e6;
+constexpr BitRate kGbps = 1e9;
+
+// Time to serialize `bytes` at `rate` bits/s.
+constexpr SimTime TransmitTime(uint64_t bytes, BitRate rate) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / rate * kSecond);
+}
+
+// Achieved rate in bits/s for `bytes` delivered over `elapsed` virtual time.
+constexpr BitRate RateOf(uint64_t bytes, SimTime elapsed) {
+  return elapsed <= 0 ? 0.0
+                      : static_cast<double>(bytes) * 8.0 / (static_cast<double>(elapsed) / kSecond);
+}
+
+// CPU cycles. The paper's testbed runs Xeon E5-2698 v3 cores at 2.3 GHz; all
+// cost-model constants are expressed in cycles of such a core.
+using Cycles = uint64_t;
+constexpr double kCpuHz = 2.3e9;
+
+constexpr SimTime CyclesToTime(Cycles c) {
+  return static_cast<SimTime>(static_cast<double>(c) / kCpuHz * kSecond);
+}
+constexpr Cycles TimeToCycles(SimTime t) {
+  return static_cast<Cycles>(static_cast<double>(t) / kSecond * kCpuHz);
+}
+
+}  // namespace netkernel
+
+#endif  // SRC_COMMON_UNITS_H_

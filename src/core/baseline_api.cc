@@ -1,0 +1,187 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/core/baseline_api.h"
+
+#include <algorithm>
+
+namespace netkernel::core {
+
+BaselineSocketApi::BaselineSocketApi(sim::EventLoop* loop, tcp::TcpStack* stack)
+    : loop_(loop), stack_(stack), epolls_(loop, [this](int fd) { return Readiness(fd); }) {}
+
+BaselineSocketApi::Fd* BaselineSocketApi::FindFd(int fd) {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : &it->second;
+}
+
+int BaselineSocketApi::WrapSocket(tcp::SocketId sid) {
+  int fd = next_fd_++;
+  Fd f;
+  f.sid = sid;
+  f.ev = std::make_unique<sim::SimEvent>(loop_);
+  fds_.emplace(fd, std::move(f));
+  InstallCallbacks(fd);
+  return fd;
+}
+
+void BaselineSocketApi::InstallCallbacks(int fd) {
+  Fd* f = FindFd(fd);
+  tcp::SocketCallbacks cbs;
+  cbs.on_connect = [this, fd](int err) {
+    Fd* f2 = FindFd(fd);
+    if (f2 == nullptr) return;
+    f2->connect_done = true;
+    f2->connect_result = err;
+    f2->ev->NotifyAll();
+    epolls_.NotifyFd(fd);
+  };
+  auto notify = [this, fd] {
+    Fd* f2 = FindFd(fd);
+    if (f2 == nullptr) return;
+    f2->ev->NotifyAll();
+    epolls_.NotifyFd(fd);
+  };
+  cbs.on_readable = notify;
+  cbs.on_writable = notify;
+  cbs.on_acceptable = notify;
+  cbs.on_error = [this, fd](int err) {
+    Fd* f2 = FindFd(fd);
+    if (f2 == nullptr) return;
+    f2->error = true;
+    f2->err = err;
+    f2->ev->NotifyAll();
+    epolls_.NotifyFd(fd);
+  };
+  stack_->SetCallbacks(f->sid, std::move(cbs));
+}
+
+uint32_t BaselineSocketApi::Readiness(int fd) {
+  Fd* f = FindFd(fd);
+  if (f == nullptr) return kEpollErr | kEpollHup;
+  uint32_t r = 0;
+  if (f->error) r |= kEpollErr;
+  if (stack_->HasPendingAccept(f->sid)) r |= kEpollIn;
+  if (stack_->RecvAvailable(f->sid) > 0 || stack_->FinReceived(f->sid)) r |= kEpollIn;
+  tcp::TcpState st = stack_->State(f->sid);
+  if ((st == tcp::TcpState::kEstablished || st == tcp::TcpState::kCloseWait) &&
+      stack_->SendBufSpace(f->sid) > 0) {
+    r |= kEpollOut;
+  }
+  if (!stack_->Exists(f->sid)) r |= kEpollHup;
+  return r;
+}
+
+sim::Task<int> BaselineSocketApi::Socket(sim::CpuCore* core) {
+  co_await core->Work(stack_->config().profile.syscall);
+  co_return WrapSocket(stack_->CreateSocket());
+}
+
+sim::Task<int> BaselineSocketApi::Bind(sim::CpuCore* core, int fd, netsim::IpAddr ip,
+                                       uint16_t port) {
+  co_await core->Work(stack_->config().profile.syscall);
+  Fd* f = FindFd(fd);
+  if (f == nullptr) co_return tcp::kNotConnected;
+  co_return stack_->Bind(f->sid, ip, port);
+}
+
+sim::Task<int> BaselineSocketApi::Listen(sim::CpuCore* core, int fd, int backlog,
+                                         bool reuseport) {
+  co_await core->Work(stack_->config().profile.syscall);
+  Fd* f = FindFd(fd);
+  if (f == nullptr) co_return tcp::kNotConnected;
+  co_return stack_->Listen(f->sid, backlog, reuseport);
+}
+
+sim::Task<int> BaselineSocketApi::Connect(sim::CpuCore* core, int fd, netsim::IpAddr ip,
+                                          uint16_t port) {
+  co_await core->Work(stack_->config().profile.syscall);
+  Fd* f = FindFd(fd);
+  if (f == nullptr) co_return tcp::kNotConnected;
+  int r = stack_->Connect(f->sid, ip, port);
+  if (r != tcp::kOk) co_return r;
+  while (true) {
+    f = FindFd(fd);
+    if (f == nullptr) co_return tcp::kConnReset;
+    if (f->connect_done) co_return f->connect_result;
+    co_await f->ev->Wait();
+  }
+}
+
+sim::Task<int> BaselineSocketApi::Accept(sim::CpuCore* core, int fd) {
+  co_await core->Work(stack_->config().profile.syscall);
+  for (;;) {
+    Fd* f = FindFd(fd);
+    if (f == nullptr) co_return tcp::kNotConnected;
+    tcp::SocketId child = stack_->Accept(f->sid);
+    if (child != tcp::kInvalidSocket) {
+      int cfd = WrapSocket(child);
+      FindFd(cfd)->connect_done = true;
+      co_return cfd;
+    }
+    if (f->error) co_return f->err;
+    co_await f->ev->Wait();
+  }
+}
+
+sim::Task<int64_t> BaselineSocketApi::Send(sim::CpuCore* core, int fd, const uint8_t* data,
+                                           uint64_t len) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  uint64_t sent = 0;
+  while (sent < len) {
+    Fd* f = FindFd(fd);
+    if (f == nullptr) co_return tcp::kNotConnected;
+    if (f->error) co_return f->err;
+    uint64_t queued = stack_->Send(f->sid, data + sent, len - sent);
+    if (queued > 0) {
+      // Copy from userspace into kernel socket buffer.
+      co_await core->Work(static_cast<Cycles>(p.copy_per_byte * queued));
+      sent += queued;
+      continue;
+    }
+    if (!stack_->Exists(f->sid)) co_return tcp::kConnReset;
+    co_await f->ev->Wait();
+  }
+  co_return static_cast<int64_t>(sent);
+}
+
+sim::Task<int64_t> BaselineSocketApi::Recv(sim::CpuCore* core, int fd, uint8_t* out,
+                                           uint64_t max) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  for (;;) {
+    Fd* f = FindFd(fd);
+    if (f == nullptr) co_return tcp::kNotConnected;
+    uint64_t n = stack_->Recv(f->sid, out, max);
+    if (n > 0) {
+      co_await core->Work(static_cast<Cycles>(p.copy_per_byte * n));
+      co_return static_cast<int64_t>(n);
+    }
+    if (stack_->FinReceived(f->sid)) co_return 0;
+    if (f->error) co_return f->err;
+    if (!stack_->Exists(f->sid)) co_return 0;
+    co_await f->ev->Wait();
+  }
+}
+
+sim::Task<int> BaselineSocketApi::Close(sim::CpuCore* core, int fd) {
+  co_await core->Work(stack_->config().profile.syscall);
+  Fd* f = FindFd(fd);
+  if (f == nullptr) co_return tcp::kNotConnected;
+  stack_->Close(f->sid);
+  epolls_.RemoveFd(fd);
+  fds_.erase(fd);
+  co_return tcp::kOk;
+}
+
+sim::Task<std::vector<EpollEvent>> BaselineSocketApi::EpollWait(sim::CpuCore* core, int epfd,
+                                                                size_t max_events,
+                                                                SimTime timeout) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  std::vector<EpollEvent> evs = co_await epolls_.Wait(epfd, max_events, timeout);
+  co_await core->Work(p.epoll_wakeup + p.epoll_fetch * evs.size());
+  co_return evs;
+}
+
+}  // namespace netkernel::core

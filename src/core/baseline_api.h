@@ -1,0 +1,69 @@
+// Copyright (c) NetKernel reproduction authors.
+// BaselineSocketApi: the paper's "existing architecture" (Figure 1a).
+//
+// The TCP stack runs inside the guest; every socket call is a guest syscall
+// whose cycles land on the calling vCPU, and the stack's protocol work shares
+// those same vCPUs. This is the Baseline every evaluation figure compares
+// NetKernel against.
+
+#ifndef SRC_CORE_BASELINE_API_H_
+#define SRC_CORE_BASELINE_API_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/epoll.h"
+#include "src/core/socket_api.h"
+#include "src/tcpstack/stack.h"
+
+namespace netkernel::core {
+
+class BaselineSocketApi : public SocketApi {
+ public:
+  // `stack` must outlive the API; its cores are the guest's vCPUs.
+  BaselineSocketApi(sim::EventLoop* loop, tcp::TcpStack* stack);
+
+  sim::EventLoop* loop() override { return loop_; }
+
+  sim::Task<int> Socket(sim::CpuCore* core) override;
+  sim::Task<int> Bind(sim::CpuCore* core, int fd, netsim::IpAddr ip, uint16_t port) override;
+  sim::Task<int> Listen(sim::CpuCore* core, int fd, int backlog, bool reuseport) override;
+  sim::Task<int> Connect(sim::CpuCore* core, int fd, netsim::IpAddr ip, uint16_t port) override;
+  sim::Task<int> Accept(sim::CpuCore* core, int fd) override;
+  sim::Task<int64_t> Send(sim::CpuCore* core, int fd, const uint8_t* data, uint64_t len) override;
+  sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) override;
+  sim::Task<int> Close(sim::CpuCore* core, int fd) override;
+
+  int EpollCreate() override { return epolls_.Create(); }
+  int EpollCtl(int epfd, int fd, uint32_t mask) override { return epolls_.Ctl(epfd, fd, mask); }
+  sim::Task<std::vector<EpollEvent>> EpollWait(sim::CpuCore* core, int epfd, size_t max_events,
+                                               SimTime timeout) override;
+
+  tcp::TcpStack* stack() { return stack_; }
+
+ private:
+  struct Fd {
+    tcp::SocketId sid = tcp::kInvalidSocket;
+    std::unique_ptr<sim::SimEvent> ev;
+    bool connect_done = false;
+    int connect_result = 0;
+    bool error = false;
+    int err = 0;
+  };
+
+  int WrapSocket(tcp::SocketId sid);
+  void InstallCallbacks(int fd);
+  uint32_t Readiness(int fd);
+  Fd* FindFd(int fd);
+
+  sim::EventLoop* loop_;
+  tcp::TcpStack* stack_;
+  std::unordered_map<int, Fd> fds_;
+  int next_fd_ = 3;
+  EpollRegistry epolls_;
+};
+
+}  // namespace netkernel::core
+
+#endif  // SRC_CORE_BASELINE_API_H_

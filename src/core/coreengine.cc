@@ -1,0 +1,302 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/core/coreengine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace netkernel::core {
+
+using shm::Nqe;
+using shm::NqeOp;
+
+CoreEngine::CoreEngine(sim::EventLoop* loop, sim::CpuCore* core, CoreEngineConfig config)
+    : loop_(loop), core_(core), config_(config) {}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+CeMessage CoreEngine::HandleControlMessage(CeMessage req) {
+  switch (static_cast<CeOp>(req.ce_op)) {
+    case CeOp::kDeregisterVm:
+      DeregisterVmDevice(static_cast<uint8_t>(req.ce_data));
+      return {static_cast<uint32_t>(CeOp::kOk), req.ce_data};
+    case CeOp::kDeregisterNsm:
+      DeregisterNsmDevice(static_cast<uint8_t>(req.ce_data));
+      return {static_cast<uint32_t>(CeOp::kOk), req.ce_data};
+    case CeOp::kAssignVmToNsm: {
+      uint8_t vm = static_cast<uint8_t>(req.ce_data >> 8);
+      uint8_t nsm = static_cast<uint8_t>(req.ce_data & 0xff);
+      if (vms_.count(vm) == 0 || nsms_.count(nsm) == 0) {
+        return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
+      }
+      AssignVmToNsm(vm, nsm);
+      return {static_cast<uint32_t>(CeOp::kOk), req.ce_data};
+    }
+    default:
+      // Register ops need a device pointer and use the direct API below.
+      return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
+  }
+}
+
+void CoreEngine::RegisterVmDevice(uint8_t vm_id, shm::NkDevice* dev) {
+  NK_CHECK(vms_.count(vm_id) == 0);
+  VmState st;
+  st.dev = dev;
+  vms_.emplace(vm_id, std::move(st));
+  vm_rr_order_.push_back(vm_id);
+}
+
+void CoreEngine::RegisterNsmDevice(uint8_t nsm_id, shm::NkDevice* dev) {
+  NK_CHECK(nsms_.count(nsm_id) == 0);
+  nsms_[nsm_id] = dev;
+  nsm_rr_order_.push_back(nsm_id);
+}
+
+void CoreEngine::DeregisterVmDevice(uint8_t vm_id) {
+  vms_.erase(vm_id);
+  vm_rr_order_.erase(std::remove(vm_rr_order_.begin(), vm_rr_order_.end(), vm_id),
+                     vm_rr_order_.end());
+  for (auto it = conn_table_.begin(); it != conn_table_.end();) {
+    if ((it->first >> 32) == vm_id) {
+      it = conn_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CoreEngine::DeregisterNsmDevice(uint8_t nsm_id) {
+  nsms_.erase(nsm_id);
+  nsm_rr_order_.erase(std::remove(nsm_rr_order_.begin(), nsm_rr_order_.end(), nsm_id),
+                      nsm_rr_order_.end());
+}
+
+void CoreEngine::AssignVmToNsm(uint8_t vm_id, uint8_t nsm_id) {
+  auto it = vms_.find(vm_id);
+  NK_CHECK(it != vms_.end());
+  NK_CHECK(nsms_.count(nsm_id) != 0);
+  it->second.nsm_id = nsm_id;
+  it->second.has_nsm = true;
+}
+
+void CoreEngine::SetVmByteRate(uint8_t vm_id, double bytes_per_sec, double burst_bytes) {
+  auto it = vms_.find(vm_id);
+  NK_CHECK(it != vms_.end());
+  it->second.byte_bucket = TokenBucket(bytes_per_sec, burst_bytes);
+}
+
+void CoreEngine::SetVmOpRate(uint8_t vm_id, double nqes_per_sec, double burst_nqes) {
+  auto it = vms_.find(vm_id);
+  NK_CHECK(it != vms_.end());
+  it->second.op_bucket = TokenBucket(nqes_per_sec, burst_nqes);
+}
+
+// ---------------------------------------------------------------------------
+// Datapath
+// ---------------------------------------------------------------------------
+
+void CoreEngine::NotifyVmOutbound(uint8_t vm_id) { ScheduleRound(); }
+void CoreEngine::NotifyNsmOutbound(uint8_t nsm_id) { ScheduleRound(); }
+
+void CoreEngine::ScheduleRound() {
+  if (round_scheduled_) return;
+  round_scheduled_ = true;
+  loop_->ScheduleAfter(0, [this] { ProcessRound(); });
+}
+
+bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
+                            std::vector<Delivery>& plan, Cycles& cost, SimTime* retry_at) {
+  const SimTime now = loop_->Now();
+  // Isolation: per-VM egress policing before switching (paper §7.6).
+  if (!vm.op_bucket.TryConsume(now, 1.0)) {
+    SimTime t = vm.op_bucket.NextAvailable(now, 1.0);
+    if (*retry_at == kSimTimeNever || t < *retry_at) *retry_at = t;
+    ++stats_.throttled_nqes;
+    return false;
+  }
+  if (from_send_ring && nqe.size > 0 &&
+      !vm.byte_bucket.TryConsume(now, static_cast<double>(nqe.size))) {
+    SimTime t = vm.byte_bucket.NextAvailable(now, static_cast<double>(nqe.size));
+    if (*retry_at == kSimTimeNever || t < *retry_at) *retry_at = t;
+    ++stats_.throttled_nqes;
+    // The op-bucket token is intentionally kept: conservative policing.
+    return false;
+  }
+
+  uint64_t key = ConnKey(nqe.vm_id, nqe.vm_sock);
+  auto op = nqe.Op();
+  ConnEntry* entry = nullptr;
+  auto eit = conn_table_.find(key);
+  if (eit != conn_table_.end()) entry = &eit->second;
+
+  if (entry == nullptr) {
+    // New connection: map to the VM's current NSM (Fig 6 step 1-2).
+    if (!vm.has_nsm) return true;  // drop: no NSM assigned
+    shm::NkDevice* ndev = nsms_.count(vm.nsm_id) ? nsms_[vm.nsm_id] : nullptr;
+    if (ndev == nullptr) return true;
+    ConnEntry e;
+    e.nsm_id = vm.nsm_id;
+    e.nsm_qset = static_cast<uint8_t>((key * 0x9e3779b97f4a7c15ULL >> 32) %
+                                      static_cast<uint64_t>(ndev->num_queue_sets()));
+    e.vm_qset = nqe.queue_set;
+    if (op == NqeOp::kAccept) {
+      // GuestLib announced the guest handle of an accepted connection; the
+      // NSM socket id rides in op_data (Fig 6 step 3).
+      e.nsm_sock = nqe.op_data;
+      e.complete = true;
+    }
+    entry = &conn_table_.emplace(key, e).first->second;
+    cost += config_.costs.ce_table_insert;
+    ++stats_.table_inserts;
+  } else {
+    cost += config_.costs.ce_table_lookup;
+  }
+
+  shm::NkDevice* ndev = nsms_.count(entry->nsm_id) ? nsms_[entry->nsm_id] : nullptr;
+  if (ndev == nullptr) return true;  // NSM gone; drop
+
+  Delivery d;
+  d.dst = ndev;
+  d.qset = entry->nsm_qset;
+  d.to_send_ring = from_send_ring;
+  d.nqe = nqe;
+  plan.push_back(d);
+  if (from_send_ring) stats_.send_bytes_switched += nqe.size;
+  if (op == NqeOp::kClose) conn_table_.erase(key);
+  return true;
+}
+
+void CoreEngine::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
+                             Cycles& cost) {
+  auto vit = vms_.find(nqe.vm_id);
+  if (vit == vms_.end() || vit->second.dev == nullptr) return;  // VM gone
+
+  auto op = nqe.Op();
+  // Fig 6 step 4: the NSM's first response for a connection carries the NSM
+  // socket id in op_data; complete the table entry.
+  if (op == NqeOp::kOpResult &&
+      static_cast<NqeOp>(nqe.reserved[0]) == NqeOp::kSocket) {
+    auto eit = conn_table_.find(ConnKey(nqe.vm_id, nqe.vm_sock));
+    if (eit != conn_table_.end() && !eit->second.complete) {
+      eit->second.nsm_sock = nqe.op_data;
+      eit->second.complete = true;
+      cost += config_.costs.ce_table_lookup;
+    }
+  }
+
+  Delivery d;
+  d.dst = vit->second.dev;
+  d.qset = nqe.queue_set;
+  if (d.qset >= vit->second.dev->num_queue_sets()) d.qset = 0;
+  d.to_receive_ring = op == NqeOp::kRecvData || op == NqeOp::kFinReceived;
+  d.nqe = nqe;
+  plan.push_back(d);
+}
+
+void CoreEngine::ProcessRound() {
+  round_scheduled_ = false;
+  retry_timer_.Cancel();
+
+  std::vector<Delivery> plan;
+  Cycles cost = 0;
+  SimTime retry_at = kSimTimeNever;
+  uint64_t total = 0;
+  const int batch = config_.batch;
+  Nqe nqe;
+
+  // Poll every VM queue set round-robin (fair sharing, §4.4).
+  for (uint8_t vm_id : vm_rr_order_) {
+    VmState& vm = vms_[vm_id];
+    for (int qs = 0; qs < vm.dev->num_queue_sets(); ++qs) {
+      shm::QueueSet& q = vm.dev->queue_set(qs);
+      // Send ring before job ring: a close NQE must not overtake the data
+      // NQEs the guest enqueued before it.
+      int taken_send = 0;
+      while (taken_send < batch && q.send.Peek(&nqe)) {
+        if (!RouteVmNqe(nqe, true, vm, plan, cost, &retry_at)) break;
+        q.send.TryDequeue(&nqe);
+        ++taken_send;
+      }
+      int taken = 0;
+      while (taken < batch && q.job.Peek(&nqe)) {
+        if (!RouteVmNqe(nqe, false, vm, plan, cost, &retry_at)) break;
+        q.job.TryDequeue(&nqe);
+        ++taken;
+      }
+      int n = taken + taken_send;
+      if (n > 0) {
+        cost += config_.costs.CePerNqe(n) * static_cast<Cycles>(n);
+        total += static_cast<uint64_t>(n);
+      }
+    }
+  }
+
+  // Poll every NSM queue set.
+  for (uint8_t nsm_id : nsm_rr_order_) {
+    shm::NkDevice* dev = nsms_[nsm_id];
+    for (int qs = 0; qs < dev->num_queue_sets(); ++qs) {
+      shm::QueueSet& q = dev->queue_set(qs);
+      int n = 0;
+      while (n < batch && q.completion.TryDequeue(&nqe)) {
+        RouteNsmNqe(nqe, nsm_id, plan, cost);
+        ++n;
+      }
+      while (n < 2 * batch && q.receive.TryDequeue(&nqe)) {
+        RouteNsmNqe(nqe, nsm_id, plan, cost);
+        ++n;
+      }
+      if (n > 0) {
+        cost += config_.costs.CePerNqe(n) * static_cast<Cycles>(n);
+        total += static_cast<uint64_t>(n);
+      }
+    }
+  }
+
+  if (total == 0 && plan.empty()) {
+    if (retry_at != kSimTimeNever) {
+      retry_timer_ = loop_->Schedule(retry_at, [this] { ScheduleRound(); });
+    }
+    return;
+  }
+
+  ++stats_.rounds;
+  stats_.nqes_switched += total;
+
+  core_->Charge(cost, [this, plan = std::move(plan)] {
+    // Deliver the switched NQEs into destination rings and ring doorbells.
+    std::vector<shm::NkDevice*> to_wake;
+    for (const Delivery& d : plan) {
+      shm::QueueSet& q = d.dst->queue_set(d.qset);
+      shm::SpscRing<Nqe>* ring;
+      if (d.to_receive_ring) {
+        ring = &q.receive;
+      } else if (d.to_send_ring) {
+        ring = &q.send;
+      } else if (d.nqe.Op() == NqeOp::kOpResult || d.nqe.Op() == NqeOp::kConnectResult ||
+                 d.nqe.Op() == NqeOp::kAcceptedConn || d.nqe.Op() == NqeOp::kSendResult) {
+        ring = &q.completion;
+      } else {
+        ring = &q.job;
+      }
+      if (!ring->TryEnqueue(d.nqe)) {
+        // Destination ring full: the real system would stall the producer;
+        // with 4K-deep rings this indicates a severe overload. Drop + count.
+        continue;
+      }
+      if (std::find(to_wake.begin(), to_wake.end(), d.dst) == to_wake.end()) {
+        to_wake.push_back(d.dst);
+      }
+    }
+    for (shm::NkDevice* dev : to_wake) dev->Wake();
+    ProcessRound();  // keep polling while work remains
+  });
+
+  if (retry_at != kSimTimeNever) {
+    retry_timer_ = loop_->Schedule(retry_at, [this] { ScheduleRound(); });
+  }
+}
+
+}  // namespace netkernel::core

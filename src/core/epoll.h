@@ -1,0 +1,96 @@
+// Copyright (c) NetKernel reproduction authors.
+// Level-triggered epoll registry shared by both SocketApi implementations.
+// Readiness is computed on demand through a callback supplied by the owning
+// API, so the registry never caches stale state; socket-state changes only
+// wake blocked waiters.
+
+#ifndef SRC_CORE_EPOLL_H_
+#define SRC_CORE_EPOLL_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/socket_api.h"
+#include "src/sim/task.h"
+
+namespace netkernel::core {
+
+class EpollRegistry {
+ public:
+  EpollRegistry(sim::EventLoop* loop, std::function<uint32_t(int fd)> readiness)
+      : loop_(loop), readiness_(std::move(readiness)) {}
+
+  int Create() {
+    int epfd = next_epfd_++;
+    eps_[epfd] = std::make_unique<Ep>(loop_);
+    return epfd;
+  }
+
+  int Ctl(int epfd, int fd, uint32_t mask) {
+    auto it = eps_.find(epfd);
+    if (it == eps_.end()) return -1;
+    if (mask == 0) {
+      it->second->interest.erase(fd);
+    } else {
+      it->second->interest[fd] = mask;
+    }
+    return 0;
+  }
+
+  // Blocks until at least one watched fd is ready or `timeout` elapses
+  // (timeout < 0 = forever, 0 = poll). Level-triggered.
+  sim::Task<std::vector<EpollEvent>> Wait(int epfd, size_t max_events, SimTime timeout) {
+    auto it = eps_.find(epfd);
+    if (it == eps_.end()) co_return {};
+    Ep* ep = it->second.get();
+    SimTime deadline = timeout < 0 ? kSimTimeNever : loop_->Now() + timeout;
+    for (;;) {
+      std::vector<EpollEvent> ready;
+      for (const auto& [fd, mask] : ep->interest) {
+        uint32_t r = readiness_(fd) & (mask | kEpollErr | kEpollHup);
+        if (r != 0) {
+          ready.push_back({fd, r});
+          if (ready.size() >= max_events) break;
+        }
+      }
+      if (!ready.empty() || timeout == 0) co_return ready;
+      if (loop_->Now() >= deadline) co_return ready;
+      sim::EventHandle timer;
+      if (deadline != kSimTimeNever) {
+        sim::SimEvent* ev = &ep->ev;
+        timer = loop_->Schedule(deadline, [ev] { ev->NotifyAll(); });
+      }
+      co_await ep->ev.Wait();
+      timer.Cancel();
+    }
+  }
+
+  // Wakes every epoll instance watching `fd` (socket state changed).
+  void NotifyFd(int fd) {
+    for (auto& [epfd, ep] : eps_) {
+      if (ep->interest.count(fd) != 0) ep->ev.NotifyAll();
+    }
+  }
+
+  void RemoveFd(int fd) {
+    for (auto& [epfd, ep] : eps_) ep->interest.erase(fd);
+  }
+
+ private:
+  struct Ep {
+    explicit Ep(sim::EventLoop* loop) : ev(loop) {}
+    std::unordered_map<int, uint32_t> interest;
+    sim::SimEvent ev;
+  };
+
+  sim::EventLoop* loop_;
+  std::function<uint32_t(int fd)> readiness_;
+  std::unordered_map<int, std::unique_ptr<Ep>> eps_;
+  int next_epfd_ = 1000000;  // distinct from socket fds
+};
+
+}  // namespace netkernel::core
+
+#endif  // SRC_CORE_EPOLL_H_

@@ -1,0 +1,404 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/core/guestlib.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace netkernel::core {
+
+using shm::MakeNqe;
+using shm::Nqe;
+using shm::NqeOp;
+
+GuestLib::GuestLib(sim::EventLoop* loop, uint8_t vm_id, CoreEngine* ce, shm::NkDevice* dev,
+                   shm::HugepagePool* pool, std::vector<sim::CpuCore*> vcpus, Config config)
+    : loop_(loop),
+      vm_id_(vm_id),
+      ce_(ce),
+      dev_(dev),
+      pool_(pool),
+      vcpus_(std::move(vcpus)),
+      config_(config),
+      epolls_(loop, [this](int fd) { return Readiness(fd); }),
+      drain_scheduled_(static_cast<size_t>(dev->num_queue_sets()), false),
+      poll_until_(static_cast<size_t>(dev->num_queue_sets()), 0),
+      overflow_(static_cast<size_t>(dev->num_queue_sets())) {
+  NK_CHECK(static_cast<int>(vcpus_.size()) == dev->num_queue_sets());
+  dev_->SetWakeCallback([this] { OnDeviceWake(); });
+}
+
+GuestLib::GuestLib(sim::EventLoop* loop, uint8_t vm_id, CoreEngine* ce, shm::NkDevice* dev,
+                   shm::HugepagePool* pool, std::vector<sim::CpuCore*> vcpus)
+    : GuestLib(loop, vm_id, ce, dev, pool, std::move(vcpus), Config()) {}
+
+GuestLib::GSock* GuestLib::FindByFd(int fd) {
+  auto it = fd_to_handle_.find(fd);
+  if (it == fd_to_handle_.end()) return nullptr;
+  return FindByHandle(it->second);
+}
+
+GuestLib::GSock* GuestLib::FindByHandle(uint32_t handle) {
+  auto it = socks_.find(handle);
+  return it == socks_.end() ? nullptr : it->second.get();
+}
+
+int GuestLib::QueueSetOf(sim::CpuCore* core) const {
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    if (vcpus_[i] == core) return static_cast<int>(i);
+  }
+  return 0;
+}
+
+GuestLib::GSock& GuestLib::NewSock(sim::CpuCore* core) {
+  auto g = std::make_unique<GSock>();
+  g->handle = next_handle_++;
+  g->fd = next_fd_++;
+  g->qset = QueueSetOf(core);
+  g->ev = std::make_unique<sim::SimEvent>(loop_);
+  g->send_limit = config_.sndbuf_bytes;
+  GSock& ref = *g;
+  fd_to_handle_[ref.fd] = ref.handle;
+  socks_[ref.handle] = std::move(g);
+  return ref;
+}
+
+uint32_t GuestLib::Readiness(int fd) {
+  GSock* g = FindByFd(fd);
+  if (g == nullptr) return kEpollErr | kEpollHup;
+  uint32_t r = 0;
+  if (g->error) r |= kEpollErr;
+  if (!g->pending_conns.empty()) r |= kEpollIn;
+  if (g->rx_bytes > 0 || g->fin) r |= kEpollIn;
+  if (g->connected && g->send_usage < g->send_limit) r |= kEpollOut;
+  return r;
+}
+
+void GuestLib::EnqueueJob(GSock& g, Nqe nqe) {
+  nqe.vm_id = vm_id_;
+  nqe.queue_set = static_cast<uint8_t>(g.qset);
+  EnqueueRing(false, g.qset, nqe);
+}
+
+void GuestLib::EnqueueSend(GSock& g, Nqe nqe) {
+  nqe.vm_id = vm_id_;
+  nqe.queue_set = static_cast<uint8_t>(g.qset);
+  EnqueueRing(true, g.qset, nqe);
+}
+
+void GuestLib::EnqueueRing(bool send_ring, int qset, Nqe nqe) {
+  Overflow& ov = overflow_[static_cast<size_t>(qset)];
+  shm::QueueSet& q = dev_->queue_set(qset);
+  shm::SpscRing<Nqe>& ring = send_ring ? q.send : q.job;
+  // Preserve FIFO: once anything is parked, everything goes through the park.
+  if (ov.nqes.empty() && ring.TryEnqueue(nqe)) {
+    ++nqes_sent_;
+    ce_->NotifyVmOutbound(vm_id_);
+    return;
+  }
+  ov.nqes.emplace_back(send_ring, nqe);
+  if (!ov.flush_scheduled) {
+    ov.flush_scheduled = true;
+    loop_->ScheduleAfter(20 * kMicrosecond, [this, qset] { FlushOverflow(qset); });
+  }
+}
+
+void GuestLib::FlushOverflow(int qset) {
+  Overflow& ov = overflow_[static_cast<size_t>(qset)];
+  ov.flush_scheduled = false;
+  shm::QueueSet& q = dev_->queue_set(qset);
+  bool progressed = false;
+  while (!ov.nqes.empty()) {
+    auto& [send_ring, nqe] = ov.nqes.front();
+    shm::SpscRing<Nqe>& ring = send_ring ? q.send : q.job;
+    if (!ring.TryEnqueue(nqe)) break;
+    ++nqes_sent_;
+    progressed = true;
+    ov.nqes.pop_front();
+  }
+  if (progressed) ce_->NotifyVmOutbound(vm_id_);
+  if (!ov.nqes.empty() && !ov.flush_scheduled) {
+    ov.flush_scheduled = true;
+    loop_->ScheduleAfter(20 * kMicrosecond, [this, qset] { FlushOverflow(qset); });
+  }
+}
+
+sim::Task<int> GuestLib::DoControlOp(sim::CpuCore* core, GSock& g, Nqe nqe) {
+  co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
+  g.op_done = false;
+  uint32_t handle = g.handle;
+  EnqueueJob(g, nqe);
+  for (;;) {
+    GSock* g2 = FindByHandle(handle);
+    if (g2 == nullptr) co_return tcp::kConnReset;
+    if (g2->op_done) co_return g2->op_result;
+    if (g2->error) co_return g2->err;
+    co_await g2->ev->Wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SocketApi
+// ---------------------------------------------------------------------------
+
+sim::Task<int> GuestLib::Socket(sim::CpuCore* core) {
+  // The guest kernel rewrites SOCK_STREAM to SOCK_NETKERNEL (§5): socket
+  // creation becomes a kSocket NQE answered by the NSM.
+  GSock& g = NewSock(core);
+  int fd = g.fd;
+  int r = co_await DoControlOp(core, g, MakeNqe(NqeOp::kSocket, vm_id_, 0, g.handle));
+  if (r != 0) co_return r;
+  co_return fd;
+}
+
+sim::Task<int> GuestLib::Bind(sim::CpuCore* core, int fd, netsim::IpAddr ip, uint16_t port) {
+  GSock* g = FindByFd(fd);
+  if (g == nullptr) co_return tcp::kNotConnected;
+  co_return co_await DoControlOp(
+      core, *g, MakeNqe(NqeOp::kBind, vm_id_, 0, g->handle, shm::PackAddr(ip, port)));
+}
+
+sim::Task<int> GuestLib::Listen(sim::CpuCore* core, int fd, int backlog, bool reuseport) {
+  GSock* g = FindByFd(fd);
+  if (g == nullptr) co_return tcp::kNotConnected;
+  g->listening = true;
+  Nqe nqe = MakeNqe(NqeOp::kListen, vm_id_, 0, g->handle, static_cast<uint64_t>(backlog));
+  nqe.reserved[1] = reuseport ? 1 : 0;
+  co_return co_await DoControlOp(core, *g, nqe);
+}
+
+sim::Task<int> GuestLib::Connect(sim::CpuCore* core, int fd, netsim::IpAddr ip, uint16_t port) {
+  GSock* g = FindByFd(fd);
+  if (g == nullptr) co_return tcp::kNotConnected;
+  co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
+  uint32_t handle = g->handle;
+  EnqueueJob(*g, MakeNqe(NqeOp::kConnect, vm_id_, 0, g->handle, shm::PackAddr(ip, port)));
+  for (;;) {
+    GSock* g2 = FindByHandle(handle);
+    if (g2 == nullptr) co_return tcp::kConnReset;
+    if (g2->connect_done) {
+      if (g2->connect_result == 0) g2->connected = true;
+      co_return g2->connect_result;
+    }
+    co_await g2->ev->Wait();
+  }
+}
+
+sim::Task<int> GuestLib::Accept(sim::CpuCore* core, int fd) {
+  co_await core->Work(config_.syscall);
+  for (;;) {
+    GSock* g = FindByFd(fd);
+    if (g == nullptr) co_return tcp::kNotConnected;
+    if (g->error) co_return g->err;
+    if (!g->pending_conns.empty()) {
+      uint64_t nsm_sock = g->pending_conns.front();
+      g->pending_conns.pop_front();
+      // Create the guest-side socket for the accepted connection and announce
+      // its handle so CoreEngine can complete the connection-table entry.
+      GSock& child = NewSock(core);
+      child.connected = true;
+      child.connect_done = true;
+      co_await core->Work(config_.costs.guestlib_translate);
+      EnqueueJob(child, MakeNqe(NqeOp::kAccept, vm_id_, 0, child.handle, nsm_sock));
+      co_return child.fd;
+    }
+    co_await g->ev->Wait();
+  }
+}
+
+sim::Task<int64_t> GuestLib::Send(sim::CpuCore* core, int fd, const uint8_t* data,
+                                  uint64_t len) {
+  co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
+  uint64_t sent = 0;
+  uint32_t handle;
+  {
+    GSock* g = FindByFd(fd);
+    if (g == nullptr) co_return tcp::kNotConnected;
+    handle = g->handle;
+  }
+  while (sent < len) {
+    GSock* g = FindByHandle(handle);
+    if (g == nullptr) co_return tcp::kConnReset;
+    if (g->error) co_return g->err;
+    if (!g->connected) co_return tcp::kNotConnected;
+    uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(shm::HugepagePool::kMaxChunk, len - sent));
+    if (g->send_usage + chunk > g->send_limit) {
+      co_await g->ev->Wait();  // kSendResult returns credits
+      continue;
+    }
+    uint64_t off = pool_->Alloc(chunk);
+    if (off == shm::HugepagePool::kInvalidOffset) {
+      // Hugepage region exhausted: wait for in-flight sends to drain.
+      if (g->send_usage > 0) {
+        co_await g->ev->Wait();
+      } else {
+        co_await sim::Delay(loop_, 50 * kMicrosecond);
+      }
+      continue;
+    }
+    // Copy payload from userspace into the shared hugepages (§4.5).
+    co_await core->Work(
+        static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * chunk));
+    g = FindByHandle(handle);
+    if (g == nullptr) {
+      pool_->Free(off);
+      co_return tcp::kConnReset;
+    }
+    std::memcpy(pool_->Data(off), data + sent, chunk);
+    g->send_usage += chunk;
+    EnqueueSend(*g, MakeNqe(NqeOp::kSend, vm_id_, 0, handle, 0, off, chunk));
+    sent += chunk;
+  }
+  co_return static_cast<int64_t>(sent);
+}
+
+sim::Task<int64_t> GuestLib::Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) {
+  co_await core->Work(config_.syscall);
+  uint32_t handle;
+  {
+    GSock* g = FindByFd(fd);
+    if (g == nullptr) co_return tcp::kNotConnected;
+    handle = g->handle;
+  }
+  for (;;) {
+    GSock* g = FindByHandle(handle);
+    if (g == nullptr) co_return 0;
+    if (g->rx_bytes > 0) {
+      RxChunk& c = g->rx.front();
+      uint32_t avail = c.size - c.consumed;
+      uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(avail, max));
+      // Copy from hugepages to the application buffer (§4.5).
+      co_await core->Work(static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * n));
+      g = FindByHandle(handle);
+      if (g == nullptr || g->rx.empty()) co_return 0;
+      RxChunk& c2 = g->rx.front();
+      std::memcpy(out, pool_->Data(c2.ptr + c2.consumed), n);
+      c2.consumed += n;
+      g->rx_bytes -= n;
+      if (c2.consumed == c2.size) {
+        pool_->Free(c2.ptr);
+        uint32_t sz = c2.size;
+        g->rx.pop_front();
+        // Return receive credit through shared memory (the NSM observes the
+        // freed chunk and resumes shipping).
+        if (recv_credit_cb_) recv_credit_cb_(handle, sz);
+      }
+      co_return static_cast<int64_t>(n);
+    }
+    if (g->fin) co_return 0;
+    if (g->error) co_return g->err;
+    co_await g->ev->Wait();
+  }
+}
+
+sim::Task<int> GuestLib::Close(sim::CpuCore* core, int fd) {
+  co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
+  GSock* g = FindByFd(fd);
+  if (g == nullptr) co_return tcp::kNotConnected;
+  // Pipelined close (§4.6): fire the NQE and return without waiting.
+  EnqueueJob(*g, MakeNqe(NqeOp::kClose, vm_id_, 0, g->handle));
+  for (RxChunk& c : g->rx) pool_->Free(c.ptr);
+  g->rx.clear();
+  epolls_.RemoveFd(fd);
+  fd_to_handle_.erase(fd);
+  socks_.erase(g->handle);
+  co_return 0;
+}
+
+sim::Task<std::vector<EpollEvent>> GuestLib::EpollWait(sim::CpuCore* core, int epfd,
+                                                       size_t max_events, SimTime timeout) {
+  co_await core->Work(config_.syscall);
+  std::vector<EpollEvent> evs = co_await epolls_.Wait(epfd, max_events, timeout);
+  co_await core->Work(config_.epoll_wakeup + config_.epoll_fetch * evs.size());
+  co_return evs;
+}
+
+// ---------------------------------------------------------------------------
+// Inbound NQE processing (completion + receive queues)
+// ---------------------------------------------------------------------------
+
+void GuestLib::OnDeviceWake() {
+  for (int qs = 0; qs < dev_->num_queue_sets(); ++qs) {
+    shm::QueueSet& q = dev_->queue_set(qs);
+    if (!q.completion.Empty() || !q.receive.Empty()) ProcessInbound(qs);
+  }
+}
+
+void GuestLib::ProcessInbound(int qs) {
+  if (drain_scheduled_[qs]) return;
+  drain_scheduled_[qs] = true;
+
+  shm::QueueSet& q = dev_->queue_set(qs);
+  Nqe buf[128];
+  size_t n = q.completion.DequeueBatch(buf, 64);
+  n += q.receive.DequeueBatch(buf + n, 64);
+  if (n == 0) {
+    drain_scheduled_[qs] = false;
+    return;
+  }
+  nqes_received_ += n;
+
+  // Interrupt-driven polling (§4.6): within the polling window the NQEs are
+  // picked up by the poll loop; outside it CoreEngine's wakeup interrupt
+  // costs device_wakeup cycles.
+  const SimTime now = loop_->Now();
+  Cycles cost = config_.nqe_parse * static_cast<Cycles>(n);
+  if (now >= poll_until_[qs]) cost += config_.costs.device_wakeup;
+
+  std::vector<Nqe> nqes(buf, buf + n);
+  vcpus_[qs]->Charge(cost, [this, qs, nqes = std::move(nqes)] {
+    poll_until_[qs] = loop_->Now() + config_.costs.guest_poll_period;
+    for (const Nqe& nqe : nqes) ApplyInbound(nqe);
+    drain_scheduled_[qs] = false;
+    shm::QueueSet& q2 = dev_->queue_set(qs);
+    if (!q2.completion.Empty() || !q2.receive.Empty()) ProcessInbound(qs);
+  });
+}
+
+void GuestLib::ApplyInbound(const Nqe& nqe) {
+  GSock* g = FindByHandle(nqe.vm_sock);
+  if (g == nullptr) {
+    // Socket already closed; free any referenced hugepage chunk.
+    if (nqe.Op() == NqeOp::kRecvData && nqe.size > 0) pool_->Free(nqe.data_ptr);
+    return;
+  }
+  switch (nqe.Op()) {
+    case NqeOp::kOpResult:
+      g->op_done = true;
+      g->op_result = static_cast<int32_t>(nqe.size);
+      break;
+    case NqeOp::kConnectResult:
+      g->connect_done = true;
+      g->connect_result = static_cast<int32_t>(nqe.size);
+      if (g->connect_result == 0) g->connected = true;
+      break;
+    case NqeOp::kAcceptedConn:
+      g->pending_conns.push_back(nqe.op_data);
+      break;
+    case NqeOp::kSendResult: {
+      uint64_t bytes = nqe.op_data;
+      g->send_usage = g->send_usage > bytes ? g->send_usage - bytes : 0;
+      break;
+    }
+    case NqeOp::kRecvData:
+      g->rx.push_back(RxChunk{nqe.data_ptr, nqe.size, 0});
+      g->rx_bytes += nqe.size;
+      break;
+    case NqeOp::kFinReceived:
+      g->fin = true;
+      if (nqe.size != 0) {
+        g->error = true;
+        g->err = static_cast<int32_t>(nqe.size);
+      }
+      break;
+    default:
+      break;
+  }
+  g->ev->NotifyAll();
+  epolls_.NotifyFd(g->fd);
+}
+
+}  // namespace netkernel::core

@@ -1,0 +1,164 @@
+// Copyright (c) NetKernel reproduction authors.
+// GuestLib: NetKernel's in-guest socket redirection (paper §4.1-§4.2).
+//
+// In the real system GuestLib is a guest-kernel module that registers the
+// SOCK_NETKERNEL socket type and a full BSD socket implementation whose
+// entry points (nk_sendmsg, nk_recvmsg, nk_poll, ...) translate socket calls
+// into NQEs. Here it implements the same SocketApi as the Baseline, so
+// unmodified applications run on either architecture.
+//
+// Datapath reproduced from the paper:
+//   * control ops -> job queue; results <- completion queue;
+//   * send() copies payload into the shared hugepage region and enqueues a
+//     kSend NQE carrying the data pointer (send queue), returning once the
+//     bytes are buffered (pipelining, §4.6) subject to send-buffer credits;
+//   * received data arrives as kRecvData NQEs (receive queue) pointing at
+//     hugepage chunks; recv() copies out and frees the chunk;
+//   * epoll is served from GuestLib state exactly like nk_poll: readiness is
+//     "are there receive-queue chunks (or a FIN) for this socket";
+//   * interrupt-driven polling (§4.6): the NK device polls for
+//     guest_poll_period after activity, then sleeps until CoreEngine wakes it.
+
+#ifndef SRC_CORE_GUESTLIB_H_
+#define SRC_CORE_GUESTLIB_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/coreengine.h"
+#include "src/core/epoll.h"
+#include "src/core/socket_api.h"
+#include "src/shm/hugepage_pool.h"
+#include "src/shm/nk_device.h"
+#include "src/tcpstack/cost_model.h"
+#include "src/tcpstack/tcp_types.h"
+
+namespace netkernel::core {
+
+class GuestLib : public SocketApi {
+ public:
+  struct Config {
+    tcp::NetkernelCosts costs;
+    // Guest syscall/copy costs (the guest still runs a kernel).
+    Cycles syscall = 450;
+    Cycles nqe_parse = 60;   // per inbound NQE
+    Cycles epoll_wakeup = 1500;  // guest-kernel epoll wake (same as Baseline)
+    Cycles epoll_fetch = 250;    // per returned event
+    uint64_t sndbuf_bytes = 4 * kMiB;  // per-socket send-credit limit
+  };
+
+  // `vcpus[i]` owns queue set i of `dev`. The hugepage pool is the region
+  // shared with this VM's NSM.
+  GuestLib(sim::EventLoop* loop, uint8_t vm_id, CoreEngine* ce, shm::NkDevice* dev,
+           shm::HugepagePool* pool, std::vector<sim::CpuCore*> vcpus, Config config);
+  GuestLib(sim::EventLoop* loop, uint8_t vm_id, CoreEngine* ce, shm::NkDevice* dev,
+           shm::HugepagePool* pool, std::vector<sim::CpuCore*> vcpus);
+
+  // Shared-memory receive-credit channel: ServiceLib observes freed chunks.
+  void SetRecvCreditCallback(std::function<void(uint32_t vm_sock, uint32_t bytes)> cb) {
+    recv_credit_cb_ = std::move(cb);
+  }
+
+  sim::EventLoop* loop() override { return loop_; }
+  uint8_t vm_id() const { return vm_id_; }
+
+  sim::Task<int> Socket(sim::CpuCore* core) override;
+  sim::Task<int> Bind(sim::CpuCore* core, int fd, netsim::IpAddr ip, uint16_t port) override;
+  sim::Task<int> Listen(sim::CpuCore* core, int fd, int backlog, bool reuseport) override;
+  sim::Task<int> Connect(sim::CpuCore* core, int fd, netsim::IpAddr ip, uint16_t port) override;
+  sim::Task<int> Accept(sim::CpuCore* core, int fd) override;
+  sim::Task<int64_t> Send(sim::CpuCore* core, int fd, const uint8_t* data, uint64_t len) override;
+  sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) override;
+  sim::Task<int> Close(sim::CpuCore* core, int fd) override;
+
+  int EpollCreate() override { return epolls_.Create(); }
+  int EpollCtl(int epfd, int fd, uint32_t mask) override { return epolls_.Ctl(epfd, fd, mask); }
+  sim::Task<std::vector<EpollEvent>> EpollWait(sim::CpuCore* core, int epfd, size_t max_events,
+                                               SimTime timeout) override;
+
+  // Stats.
+  uint64_t nqes_sent() const { return nqes_sent_; }
+  uint64_t nqes_received() const { return nqes_received_; }
+
+ private:
+  struct RxChunk {
+    uint64_t ptr = 0;
+    uint32_t size = 0;
+    uint32_t consumed = 0;
+  };
+  struct GSock {
+    uint32_t handle = 0;
+    int fd = -1;
+    int qset = 0;
+    std::unique_ptr<sim::SimEvent> ev;
+    // Control-op completion.
+    bool op_done = false;
+    int op_result = 0;
+    bool connect_done = false;
+    int connect_result = 0;
+    bool connected = false;
+    bool error = false;
+    int err = 0;
+    // Receive.
+    std::deque<RxChunk> rx;
+    uint64_t rx_bytes = 0;
+    bool fin = false;
+    // Send credits.
+    uint64_t send_usage = 0;
+    uint64_t send_limit = 0;
+    // Listener.
+    bool listening = false;
+    std::deque<uint64_t> pending_conns;  // NSM socket ids awaiting accept()
+  };
+
+  GSock* FindByFd(int fd);
+  GSock* FindByHandle(uint32_t handle);
+  int QueueSetOf(sim::CpuCore* core) const;
+  GSock& NewSock(sim::CpuCore* core);
+  uint32_t Readiness(int fd);
+
+  void EnqueueJob(GSock& g, shm::Nqe nqe);
+  void EnqueueSend(GSock& g, shm::Nqe nqe);
+  void EnqueueRing(bool send_ring, int qset, shm::Nqe nqe);
+  void FlushOverflow(int qset);
+  // Issues a control op and waits for its completion NQE.
+  sim::Task<int> DoControlOp(sim::CpuCore* core, GSock& g, shm::Nqe nqe);
+
+  // Inbound NQE processing (interrupt-driven polling model).
+  void OnDeviceWake();
+  void ProcessInbound(int qs);
+  void ApplyInbound(const shm::Nqe& nqe);
+
+  sim::EventLoop* loop_;
+  uint8_t vm_id_;
+  CoreEngine* ce_;
+  shm::NkDevice* dev_;
+  shm::HugepagePool* pool_;
+  std::vector<sim::CpuCore*> vcpus_;
+  Config config_;
+  std::function<void(uint32_t, uint32_t)> recv_credit_cb_;
+
+  std::unordered_map<int, uint32_t> fd_to_handle_;
+  std::unordered_map<uint32_t, std::unique_ptr<GSock>> socks_;
+  uint32_t next_handle_ = 1;
+  int next_fd_ = 3;
+  EpollRegistry epolls_;
+
+  std::vector<bool> drain_scheduled_;
+  std::vector<SimTime> poll_until_;  // per queue set: device polls until here
+  // Ring-full backpressure: NQEs wait here (FIFO per queue set) until the
+  // ring drains — e.g. when CoreEngine rate-limits this VM (§7.6).
+  struct Overflow {
+    std::deque<std::pair<bool, shm::Nqe>> nqes;  // (send_ring, nqe)
+    bool flush_scheduled = false;
+  };
+  std::vector<Overflow> overflow_;
+  uint64_t nqes_sent_ = 0;
+  uint64_t nqes_received_ = 0;
+};
+
+}  // namespace netkernel::core
+
+#endif  // SRC_CORE_GUESTLIB_H_

@@ -1,0 +1,179 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/core/host.h"
+
+#include "src/common/check.h"
+
+namespace netkernel::core {
+
+uint32_t Host::next_ip_suffix_ = 1;
+
+Host::Host(sim::EventLoop* loop, netsim::Fabric* fabric, std::string name, Options options)
+    : loop_(loop), fabric_(fabric), name_(std::move(name)), options_(options) {
+  ce_core_ = std::make_unique<sim::CpuCore>(loop_, name_ + ".ce");
+  ce_ = std::make_unique<CoreEngine>(loop_, ce_core_.get(), options_.ce);
+}
+
+netsim::IpAddr Host::AllocIp() {
+  uint32_t s = next_ip_suffix_++;
+  return netsim::MakeIp(10, static_cast<uint8_t>(s >> 16), static_cast<uint8_t>(s >> 8),
+                        static_cast<uint8_t>(s));
+}
+
+Nsm* Host::CreateNsm(const std::string& name, int vcpus, NsmKind kind,
+                     tcp::TcpStackConfig stack_config) {
+  NK_CHECK(vcpus >= 1);
+  auto nsm = std::make_unique<Nsm>();
+  nsm->name_ = name;
+  nsm->id_ = next_nsm_id_++;
+  nsm->kind_ = kind;
+  for (int i = 0; i < vcpus; ++i) {
+    nsm->cores_.push_back(
+        std::make_unique<sim::CpuCore>(loop_, name + ".vcpu" + std::to_string(i)));
+  }
+  nsm->dev_ = std::make_unique<shm::NkDevice>(name + ".nkdev", vcpus);
+  ce_->RegisterNsmDevice(nsm->id_, nsm->dev_.get());
+
+  std::vector<sim::CpuCore*> core_ptrs;
+  for (auto& c : nsm->cores_) core_ptrs.push_back(c.get());
+
+  if (kind == NsmKind::kShm) {
+    // No network stack at all: pure hugepage-to-hugepage copying.
+    nsm->shm_slib_ = std::make_unique<ShmServiceLib>(loop_, nsm->id_, ce_.get(),
+                                                     nsm->dev_.get(), core_ptrs);
+    nsms_.push_back(std::move(nsm));
+    return nsms_.back().get();
+  }
+
+  stack_config.name = name + ".stack";
+  if (kind == NsmKind::kFairShare) {
+    stack_config.ecn = true;  // VM-level window uses DCTCP-style marking
+  }
+  if (kind == NsmKind::kMtcp) {
+    stack_config.profile = tcp::MtcpProfile();
+    stack_config.per_core_tables = true;
+  } else if (stack_config.profile.syscall == 0) {
+    stack_config.profile = tcp::KernelProfile();
+  }
+  netsim::IpAddr nsm_ip = AllocIp();
+  netsim::HostPort port = fabric_->AddHost(name + ".vnic", nsm_ip, options_.port);
+  nsm->vnic_ = port.nic;
+  nsm->down_link_ = port.down;
+  if (kind == NsmKind::kFairShare) {
+    // The NSM schedules its VMs' aggregates onto the vNIC with per-VM DRR
+    // (it owns the last hop, so VM-level fairness is directly enforceable).
+    port.nic->EnableFairEgress(loop_, options_.port.bandwidth);
+  }
+  nsm->stack_ =
+      std::make_unique<tcp::TcpStack>(loop_, port.nic, core_ptrs, std::move(stack_config));
+  nsm->slib_ = std::make_unique<ServiceLib>(loop_, nsm->id_, ce_.get(), nsm->dev_.get(),
+                                            nsm->stack_.get(), options_.servicelib);
+  nsms_.push_back(std::move(nsm));
+  return nsms_.back().get();
+}
+
+Vm* Host::CreateNetkernelVm(const std::string& name, int vcpus, Nsm* nsm,
+                            uint64_t hugepage_bytes) {
+  NK_CHECK(vcpus >= 1 && nsm != nullptr);
+  auto vm = std::make_unique<Vm>();
+  vm->name_ = name;
+  vm->id_ = next_vm_id_++;
+  vm->ip_ = AllocIp();
+  vm->nsm_ = nsm;
+  for (int i = 0; i < vcpus; ++i) {
+    vm->cores_.push_back(
+        std::make_unique<sim::CpuCore>(loop_, name + ".vcpu" + std::to_string(i)));
+  }
+  vm->dev_ = std::make_unique<shm::NkDevice>(name + ".nkdev", vcpus);
+  vm->pool_ = std::make_unique<shm::HugepagePool>(hugepage_bytes);
+  ce_->RegisterVmDevice(vm->id_, vm->dev_.get());
+  ce_->AssignVmToNsm(vm->id_, nsm->id_);
+
+  std::vector<sim::CpuCore*> core_ptrs;
+  for (auto& c : vm->cores_) core_ptrs.push_back(c.get());
+  vm->guestlib_ = std::make_unique<GuestLib>(loop_, vm->id_, ce_.get(), vm->dev_.get(),
+                                             vm->pool_.get(), core_ptrs, options_.guestlib);
+
+  uint8_t vm_id = vm->id_;
+  vm->attached_nsms_.push_back(nsm);
+  vm->ip_per_nsm_[nsm] = vm->ip_;
+  if (nsm->kind_ == NsmKind::kShm) {
+    nsm->shm_servicelib()->AttachVm(vm_id, vm->pool_.get(), vm->ip_);
+  } else {
+    nsm->servicelib()->AttachVm(vm_id, vm->pool_.get(), vm->ip_);
+    // Packets for this VM's address terminate at the NSM's vNIC.
+    fabric_->AddRoute(vm->ip_, nsm->down_link_);
+    if (nsm->kind_ == NsmKind::kFairShare) {
+      auto group = std::make_shared<tcp::SharedWindowGroup>();
+      nsm->groups_[vm_id] = group;
+      nsm->servicelib()->SetVmCcFactory(
+          vm_id, [group] { return std::make_unique<tcp::SharedWindowCc>(group); });
+    }
+  }
+  // Receive credits fan out to every NSM this VM has attached to (a credit
+  // for an unknown connection is a no-op), so switching NSMs mid-flight
+  // cannot strand in-flight receive windows.
+  Vm* vm_ptr = vm.get();
+  vm->guestlib_->SetRecvCreditCallback([vm_ptr, vm_id](uint32_t sock, uint32_t bytes) {
+    for (Nsm* n : vm_ptr->attached_nsms_) {
+      if (n->kind() == NsmKind::kShm) {
+        n->shm_servicelib()->OnRecvCredit(vm_id, sock, bytes);
+      } else {
+        n->servicelib()->OnRecvCredit(vm_id, sock, bytes);
+      }
+    }
+  });
+
+  vms_.push_back(std::move(vm));
+  return vms_.back().get();
+}
+
+Vm* Host::CreateBaselineVm(const std::string& name, int vcpus,
+                           tcp::TcpStackConfig stack_config) {
+  NK_CHECK(vcpus >= 1);
+  auto vm = std::make_unique<Vm>();
+  vm->name_ = name;
+  vm->id_ = next_vm_id_++;
+  vm->ip_ = AllocIp();
+  for (int i = 0; i < vcpus; ++i) {
+    vm->cores_.push_back(
+        std::make_unique<sim::CpuCore>(loop_, name + ".vcpu" + std::to_string(i)));
+  }
+  netsim::HostPort port = fabric_->AddHost(name + ".vnic", vm->ip_, options_.port);
+  vm->vnic_ = port.nic;
+  std::vector<sim::CpuCore*> core_ptrs;
+  for (auto& c : vm->cores_) core_ptrs.push_back(c.get());
+  stack_config.name = name + ".stack";
+  if (stack_config.profile.syscall == 0) stack_config.profile = tcp::KernelProfile();
+  vm->stack_ =
+      std::make_unique<tcp::TcpStack>(loop_, port.nic, core_ptrs, std::move(stack_config));
+  vm->baseline_ = std::make_unique<BaselineSocketApi>(loop_, vm->stack_.get());
+  vms_.push_back(std::move(vm));
+  return vms_.back().get();
+}
+
+void Host::SwitchNsm(Vm* vm, Nsm* nsm) {
+  NK_CHECK(vm->netkernel_mode());
+  ce_->AssignVmToNsm(vm->id(), nsm->id());
+  uint8_t vm_id = vm->id();
+  auto known = vm->ip_per_nsm_.find(nsm);
+  if (known != vm->ip_per_nsm_.end()) {
+    return void(vm->nsm_ = nsm);  // already attached; just re-map new sockets
+  }
+  if (nsm->kind() == NsmKind::kShm) {
+    nsm->shm_servicelib()->AttachVm(vm_id, vm->pool_.get(), vm->ip());
+    vm->ip_per_nsm_[nsm] = vm->ip_;
+  } else {
+    // An alias address per NSM keeps return traffic routable: connections
+    // created while assigned to this NSM bind the alias, and the fabric
+    // steers the alias to this NSM's vNIC.
+    netsim::IpAddr alias = AllocIp();
+    nsm->servicelib()->AttachVm(vm_id, vm->pool_.get(), alias);
+    fabric_->AddRoute(alias, nsm->down_link());
+    vm->ip_per_nsm_[nsm] = alias;
+  }
+  vm->attached_nsms_.push_back(nsm);
+  vm->nsm_ = nsm;
+}
+
+}  // namespace netkernel::core

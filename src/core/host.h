@@ -1,0 +1,190 @@
+// Copyright (c) NetKernel reproduction authors.
+// Assembly of the paper's deployment unit: a physical host running
+// CoreEngine on a dedicated core, Network Stack Modules, and guest VMs in
+// either NetKernel or Baseline (stack-in-guest) mode. Benchmarks build their
+// topologies from these pieces.
+
+#ifndef SRC_CORE_HOST_H_
+#define SRC_CORE_HOST_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/baseline_api.h"
+#include "src/core/coreengine.h"
+#include "src/core/guestlib.h"
+#include "src/core/servicelib.h"
+#include "src/core/shm_nsm.h"
+#include "src/netsim/fabric.h"
+#include "src/tcpstack/stack.h"
+
+namespace netkernel::core {
+
+enum class NsmKind {
+  kKernel,     // Linux-kernel-profile TCP stack NSM
+  kMtcp,       // mTCP userspace-profile NSM
+  kShm,        // shared-memory NSM (colocated VM traffic, §6.4)
+  kFairShare,  // kernel stack + per-VM shared congestion window (§6.2)
+};
+
+class Host;
+
+// A Network Stack Module: a VM run by the operator holding a network stack.
+class Nsm {
+ public:
+  const std::string& name() const { return name_; }
+  uint8_t id() const { return id_; }
+  NsmKind kind() const { return kind_; }
+  tcp::TcpStack* stack() { return stack_.get(); }
+  ServiceLib* servicelib() { return slib_.get(); }
+  ShmServiceLib* shm_servicelib() { return shm_slib_.get(); }
+  sim::CpuCore* vcpu(int i) { return cores_[i].get(); }
+  int num_vcpus() const { return static_cast<int>(cores_.size()); }
+  netsim::Link* down_link() { return down_link_; }
+
+  Cycles TotalBusyCycles() const {
+    Cycles total = 0;
+    for (const auto& c : cores_) total += c->busy_cycles();
+    return total;
+  }
+  void ResetCycleAccounting() {
+    for (const auto& c : cores_) c->ResetAccounting();
+  }
+
+  // FairShare NSM: the VM-level shared window group (null otherwise).
+  std::shared_ptr<tcp::SharedWindowGroup> shared_window_group(uint8_t vm_id) {
+    auto it = groups_.find(vm_id);
+    return it == groups_.end() ? nullptr : it->second;
+  }
+
+ private:
+  friend class Host;
+  std::string name_;
+  uint8_t id_ = 0;
+  NsmKind kind_ = NsmKind::kKernel;
+  std::vector<std::unique_ptr<sim::CpuCore>> cores_;
+  std::unique_ptr<shm::NkDevice> dev_;
+  std::unique_ptr<tcp::TcpStack> stack_;
+  std::unique_ptr<ServiceLib> slib_;
+  std::unique_ptr<ShmServiceLib> shm_slib_;
+  netsim::Nic* vnic_ = nullptr;
+  netsim::Link* down_link_ = nullptr;
+  // FairShare NSM: one shared window group per VM.
+  std::unordered_map<uint8_t, std::shared_ptr<tcp::SharedWindowGroup>> groups_;
+};
+
+// A guest VM, in NetKernel mode (GuestLib + NSM) or Baseline mode (own stack).
+class Vm {
+ public:
+  const std::string& name() const { return name_; }
+  uint8_t id() const { return id_; }
+  netsim::IpAddr ip() const { return ip_; }
+  bool netkernel_mode() const { return guestlib_ != nullptr; }
+
+  // The BSD-socket boundary: identical for both modes, so applications are
+  // oblivious to where their network stack runs.
+  SocketApi& api() { return guestlib_ ? static_cast<SocketApi&>(*guestlib_) : *baseline_; }
+  GuestLib* guestlib() { return guestlib_.get(); }
+  BaselineSocketApi* baseline() { return baseline_.get(); }
+  tcp::TcpStack* guest_stack() { return stack_.get(); }
+  Nsm* nsm() { return nsm_; }
+  shm::HugepagePool* pool() { return pool_.get(); }
+
+  // The address this VM's connections use on a given NSM. Multi-NSM setups
+  // (Table 4) give the VM one alias address per NSM so the fabric can route
+  // each connection's return traffic to the right NSM vNIC.
+  netsim::IpAddr IpOn(const Nsm* nsm) const {
+    auto it = ip_per_nsm_.find(nsm);
+    return it == ip_per_nsm_.end() ? ip_ : it->second;
+  }
+
+  sim::CpuCore* vcpu(int i) { return cores_[i].get(); }
+  int num_vcpus() const { return static_cast<int>(cores_.size()); }
+
+  Cycles TotalBusyCycles() const {
+    Cycles total = 0;
+    for (const auto& c : cores_) total += c->busy_cycles();
+    return total;
+  }
+  void ResetCycleAccounting() {
+    for (const auto& c : cores_) c->ResetAccounting();
+  }
+
+ private:
+  friend class Host;
+  std::string name_;
+  uint8_t id_ = 0;
+  netsim::IpAddr ip_ = 0;
+  std::vector<std::unique_ptr<sim::CpuCore>> cores_;
+  // NetKernel mode.
+  std::unique_ptr<shm::NkDevice> dev_;
+  std::unique_ptr<shm::HugepagePool> pool_;
+  std::unique_ptr<GuestLib> guestlib_;
+  Nsm* nsm_ = nullptr;
+  std::vector<Nsm*> attached_nsms_;  // every NSM this VM ever attached to
+  std::unordered_map<const Nsm*, netsim::IpAddr> ip_per_nsm_;
+  // Baseline mode.
+  std::unique_ptr<tcp::TcpStack> stack_;
+  std::unique_ptr<BaselineSocketApi> baseline_;
+  netsim::Nic* vnic_ = nullptr;
+};
+
+class Host {
+ public:
+  struct Options {
+    netsim::Link::Config port;  // per-vNIC/pNIC link parameters
+    CoreEngineConfig ce;
+    // NetKernel-plumbing cost overrides (ablation knobs): applied to every
+    // GuestLib / ServiceLib this host creates.
+    GuestLib::Config guestlib;
+    ServiceLib::Config servicelib;
+  };
+
+  Host(sim::EventLoop* loop, netsim::Fabric* fabric, std::string name, Options options = {});
+
+  CoreEngine& ce() { return *ce_; }
+  sim::CpuCore* ce_core() { return ce_core_.get(); }
+  sim::EventLoop* loop() { return loop_; }
+  netsim::Fabric* fabric() { return fabric_; }
+
+  // Creates an NSM with `vcpus` cores. `stack_config` tunes the NSM's stack
+  // (profile/cc are overridden to match `kind` unless pre-set).
+  Nsm* CreateNsm(const std::string& name, int vcpus, NsmKind kind,
+                 tcp::TcpStackConfig stack_config = {});
+
+  // Creates a VM served by `nsm` through NetKernel.
+  Vm* CreateNetkernelVm(const std::string& name, int vcpus, Nsm* nsm,
+                        uint64_t hugepage_bytes = shm::HugepagePool::kDefaultRegionBytes);
+
+  // Creates a Baseline VM with the TCP stack in the guest.
+  Vm* CreateBaselineVm(const std::string& name, int vcpus,
+                       tcp::TcpStackConfig stack_config = {});
+
+  // Moves a VM to a different NSM on the fly (new sockets go to `nsm`).
+  void SwitchNsm(Vm* vm, Nsm* nsm);
+
+  netsim::IpAddr AllocIp();
+
+  // Resets the process-wide IP allocator. Tests that compare two runs for
+  // bit-identical determinism need both runs to see identical addresses.
+  static void ResetIpAllocator() { next_ip_suffix_ = 1; }
+
+ private:
+  sim::EventLoop* loop_;
+  netsim::Fabric* fabric_;
+  std::string name_;
+  Options options_;
+  std::unique_ptr<sim::CpuCore> ce_core_;
+  std::unique_ptr<CoreEngine> ce_;
+  std::vector<std::unique_ptr<Nsm>> nsms_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  uint8_t next_vm_id_ = 1;
+  uint8_t next_nsm_id_ = 1;
+  static uint32_t next_ip_suffix_;
+};
+
+}  // namespace netkernel::core
+
+#endif  // SRC_CORE_HOST_H_

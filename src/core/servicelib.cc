@@ -1,0 +1,443 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/core/servicelib.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace netkernel::core {
+
+using shm::MakeNqe;
+using shm::Nqe;
+using shm::NqeOp;
+
+ServiceLib::ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
+                       tcp::TcpStack* stack, Config config)
+    : loop_(loop),
+      nsm_id_(nsm_id),
+      ce_(ce),
+      dev_(dev),
+      stack_(stack),
+      config_(config),
+      drain_scheduled_(static_cast<size_t>(dev->num_queue_sets()), false) {
+  dev_->SetWakeCallback([this] { OnDeviceWake(); });
+}
+
+ServiceLib::ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
+                       tcp::TcpStack* stack)
+    : ServiceLib(loop, nsm_id, ce, dev, stack, Config()) {}
+
+void ServiceLib::AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr vm_ip) {
+  VmInfo info;
+  info.pool = pool;
+  info.ip = vm_ip;
+  vms_[vm_id] = std::move(info);
+}
+
+void ServiceLib::DetachVm(uint8_t vm_id) { vms_.erase(vm_id); }
+
+void ServiceLib::SetVmCcFactory(uint8_t vm_id, tcp::CcFactory factory) {
+  auto it = vms_.find(vm_id);
+  NK_CHECK(it != vms_.end());
+  it->second.cc_factory = std::move(factory);
+}
+
+ServiceLib::Conn* ServiceLib::FindByVm(uint8_t vm_id, uint32_t vm_sock) {
+  auto it = by_vm_.find(VmKey(vm_id, vm_sock));
+  return it == by_vm_.end() ? nullptr : it->second;
+}
+
+ServiceLib::Conn* ServiceLib::FindBySid(tcp::SocketId sid) {
+  auto it = by_sid_.find(sid);
+  return it == by_sid_.end() ? nullptr : it->second.get();
+}
+
+ServiceLib::Conn& ServiceLib::NewConn(uint8_t vm_id, uint8_t vm_qset, uint32_t vm_sock) {
+  auto c = std::make_unique<Conn>();
+  c->vm_id = vm_id;
+  c->vm_qset = vm_qset;
+  c->vm_sock = vm_sock;
+  Conn& ref = *c;
+  // Ownership keyed by stack socket id; caller fills sid before indexing.
+  pending_owner_ = std::move(c);
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// NSM -> VM NQE emission
+// ---------------------------------------------------------------------------
+
+void ServiceLib::EnqueueToVm(const Conn& c, Nqe nqe, bool receive_ring) {
+  nqe.vm_id = c.vm_id;
+  nqe.queue_set = c.vm_qset;
+  nqe.vm_sock = c.vm_sock;
+  int qs = c.nsm_qset < dev_->num_queue_sets() ? c.nsm_qset : 0;
+  shm::QueueSet& q = dev_->queue_set(qs);
+  bool ok = (receive_ring ? q.receive : q.completion).TryEnqueue(nqe);
+  if (!ok) return;  // severe overload; NQE dropped (4K-deep rings)
+  ce_->NotifyNsmOutbound(nsm_id_);
+}
+
+void ServiceLib::Respond(const Conn& c, NqeOp op, NqeOp orig, int32_t result, uint64_t op_data) {
+  Nqe nqe = MakeNqe(op, c.vm_id, c.vm_qset, c.vm_sock, op_data, 0,
+                    static_cast<uint32_t>(result));
+  nqe.reserved[0] = static_cast<uint8_t>(orig);
+  EnqueueToVm(c, nqe, false);
+}
+
+// ---------------------------------------------------------------------------
+// Inbound dispatch
+// ---------------------------------------------------------------------------
+
+void ServiceLib::OnDeviceWake() {
+  for (int qs = 0; qs < dev_->num_queue_sets(); ++qs) {
+    shm::QueueSet& q = dev_->queue_set(qs);
+    if (!q.job.Empty() || !q.send.Empty()) ProcessQueueSet(qs);
+  }
+}
+
+void ServiceLib::ProcessQueueSet(int qs) {
+  if (drain_scheduled_[qs]) return;
+  drain_scheduled_[qs] = true;
+
+  shm::QueueSet& q = dev_->queue_set(qs);
+  // The send ring drains before the job ring so a close() issued right after
+  // a send() cannot overtake the data (the guest wrote them in that order).
+  Nqe buf[128];
+  size_t n = q.send.DequeueBatch(buf, 64);
+  n += q.job.DequeueBatch(buf + n, 64);
+  if (n == 0) {
+    drain_scheduled_[qs] = false;
+    return;
+  }
+  nqes_processed_ += n;
+
+  std::vector<Nqe> nqes(buf, buf + n);
+  int core_idx = qs % stack_->num_cores();
+  Cycles cost = config_.costs.servicelib_translate * static_cast<Cycles>(n);
+  stack_->core(core_idx)->Charge(cost, [this, qs, nqes = std::move(nqes)]() mutable {
+    for (Nqe& nqe : nqes) {
+      nqe.reserved[2] = static_cast<uint8_t>(qs);  // processing queue set
+      Dispatch(nqe);
+    }
+    drain_scheduled_[qs] = false;
+    shm::QueueSet& q2 = dev_->queue_set(qs);
+    if (!q2.job.Empty() || !q2.send.Empty()) ProcessQueueSet(qs);
+  });
+}
+
+void ServiceLib::Dispatch(const Nqe& nqe) {
+  switch (nqe.Op()) {
+    case NqeOp::kSocket:
+      DoSocket(nqe);
+      return;
+    case NqeOp::kAccept:
+      DoAcceptLink(nqe);
+      return;
+    default:
+      break;
+  }
+  Conn* c = FindByVm(nqe.vm_id, nqe.vm_sock);
+  if (c == nullptr) {
+    // A send can overtake its socket's accept-link NQE (they travel on
+    // different rings); park it until the link arrives.
+    if (nqe.Op() == NqeOp::kSend) {
+      orphan_sends_[VmKey(nqe.vm_id, nqe.vm_sock)].push_back(nqe);
+    }
+    return;
+  }
+  switch (nqe.Op()) {
+    case NqeOp::kBind:
+      DoBind(nqe, *c);
+      break;
+    case NqeOp::kListen:
+      DoListen(nqe, *c);
+      break;
+    case NqeOp::kConnect:
+      DoConnect(nqe, *c);
+      break;
+    case NqeOp::kSend:
+      DoSend(nqe, *c);
+      break;
+    case NqeOp::kClose:
+      DoClose(*c);
+      break;
+    case NqeOp::kSetsockopt:
+    case NqeOp::kGetsockopt:
+    case NqeOp::kIoctl:
+    case NqeOp::kShutdown:
+      Respond(*c, NqeOp::kOpResult, nqe.Op(), 0);
+      break;
+    default:
+      break;
+  }
+}
+
+void ServiceLib::DoSocket(const Nqe& nqe) {
+  auto vit = vms_.find(nqe.vm_id);
+  if (vit == vms_.end()) return;
+  tcp::SocketId sid = stack_->CreateSocket();
+  if (vit->second.cc_factory) {
+    stack_->SetCongestionControl(sid, vit->second.cc_factory());
+  }
+  // Connections of this VM use the VM's address (the NSM's vNIC answers for
+  // every address of the VMs it serves).
+  stack_->Bind(sid, vit->second.ip, 0);
+
+  Conn& c = NewConn(nqe.vm_id, nqe.queue_set, nqe.vm_sock);
+  c.sid = sid;
+  c.linked = true;
+  c.nsm_qset = nqe.reserved[2];
+  by_sid_[sid] = std::move(pending_owner_);
+  by_vm_[VmKey(c.vm_id, c.vm_sock)] = by_sid_[sid].get();
+  Respond(c, NqeOp::kOpResult, NqeOp::kSocket, 0, sid);
+}
+
+void ServiceLib::DoBind(const Nqe& nqe, Conn& c) {
+  auto vit = vms_.find(c.vm_id);
+  if (vit == vms_.end()) return;
+  int r = stack_->Bind(c.sid, vit->second.ip, shm::AddrPort(nqe.op_data));
+  Respond(c, NqeOp::kOpResult, NqeOp::kBind, r);
+}
+
+void ServiceLib::DoListen(const Nqe& nqe, Conn& c) {
+  int backlog = static_cast<int>(nqe.op_data);
+  bool reuseport = nqe.reserved[1] != 0;
+  int r = stack_->Listen(c.sid, backlog, reuseport);
+  if (r == 0) {
+    c.listener = true;
+    tcp::SocketId lsid = c.sid;
+    tcp::SocketCallbacks cbs;
+    cbs.on_acceptable = [this, lsid] { AutoAccept(lsid); };
+    stack_->SetCallbacks(lsid, std::move(cbs));
+  }
+  Respond(c, NqeOp::kOpResult, NqeOp::kListen, r);
+}
+
+void ServiceLib::DoConnect(const Nqe& nqe, Conn& c) {
+  tcp::SocketId sid = c.sid;
+  tcp::SocketCallbacks cbs;
+  cbs.on_connect = [this, sid](int err) {
+    Conn* c2 = FindBySid(sid);
+    if (c2 == nullptr) return;
+    Respond(*c2, NqeOp::kConnectResult, NqeOp::kConnect, err);
+    if (err == 0) InstallDataCallbacks(*c2);
+  };
+  cbs.on_error = [this, sid](int err) {
+    Conn* c2 = FindBySid(sid);
+    if (c2 == nullptr || c2->fin_sent_to_vm) return;
+    c2->fin_sent_to_vm = true;
+    Nqe fin = MakeNqe(NqeOp::kFinReceived, 0, 0, 0, 0, 0, static_cast<uint32_t>(err));
+    EnqueueToVm(*c2, fin, true);
+  };
+  stack_->SetCallbacks(sid, std::move(cbs));
+  stack_->Connect(sid, shm::AddrIp(nqe.op_data), shm::AddrPort(nqe.op_data));
+}
+
+void ServiceLib::AutoAccept(tcp::SocketId listener_sid) {
+  Conn* l = FindBySid(listener_sid);
+  if (l == nullptr) return;
+  for (;;) {
+    tcp::SocketId cid = stack_->Accept(listener_sid);
+    if (cid == tcp::kInvalidSocket) break;
+    Conn& c = NewConn(l->vm_id, l->vm_qset, 0);
+    c.sid = cid;
+    c.nsm_qset = l->nsm_qset;
+    by_sid_[cid] = std::move(pending_owner_);
+    auto vit = vms_.find(l->vm_id);
+    if (vit != vms_.end() && vit->second.cc_factory) {
+      stack_->SetCongestionControl(cid, vit->second.cc_factory());
+    }
+    // Tell GuestLib about the new connection; the NSM socket id rides in
+    // op_data and the guest answers with a kAccept link NQE (Fig 6).
+    Nqe nqe = MakeNqe(NqeOp::kAcceptedConn, l->vm_id, l->vm_qset, l->vm_sock, cid);
+    EnqueueToVm(*l, nqe, false);
+  }
+}
+
+void ServiceLib::DoAcceptLink(const Nqe& nqe) {
+  tcp::SocketId sid = static_cast<tcp::SocketId>(nqe.op_data);
+  Conn* c = FindBySid(sid);
+  if (c == nullptr || !stack_->Exists(sid)) {
+    // Connection reset before the guest accepted it: signal EOF.
+    Conn tmp;
+    tmp.vm_id = nqe.vm_id;
+    tmp.vm_qset = nqe.queue_set;
+    tmp.vm_sock = nqe.vm_sock;
+    tmp.nsm_qset = nqe.reserved[2];
+    Nqe fin = MakeNqe(NqeOp::kFinReceived, 0, 0, 0, 0, 0,
+                      static_cast<uint32_t>(tcp::kConnReset));
+    EnqueueToVm(tmp, fin, true);
+    return;
+  }
+  c->vm_id = nqe.vm_id;
+  c->vm_qset = nqe.queue_set;
+  c->vm_sock = nqe.vm_sock;
+  c->linked = true;
+  by_vm_[VmKey(c->vm_id, c->vm_sock)] = c;
+  InstallDataCallbacks(*c);
+  // Replay any sends that overtook this link NQE.
+  auto oit = orphan_sends_.find(VmKey(c->vm_id, c->vm_sock));
+  if (oit != orphan_sends_.end()) {
+    std::vector<Nqe> orphans = std::move(oit->second);
+    orphan_sends_.erase(oit);
+    for (const Nqe& send_nqe : orphans) DoSend(send_nqe, *c);
+  }
+  ShipRecv(sid);  // data may have arrived before the link
+}
+
+void ServiceLib::InstallDataCallbacks(Conn& c) {
+  tcp::SocketId sid = c.sid;
+  tcp::SocketCallbacks cbs;
+  cbs.on_readable = [this, sid] { ShipRecv(sid); };
+  cbs.on_writable = [this, sid] {
+    Conn* c2 = FindBySid(sid);
+    if (c2 != nullptr) DrainPendingTx(*c2);
+  };
+  cbs.on_error = [this, sid](int err) {
+    Conn* c2 = FindBySid(sid);
+    if (c2 == nullptr || c2->fin_sent_to_vm) return;
+    c2->fin_sent_to_vm = true;
+    Nqe fin = MakeNqe(NqeOp::kFinReceived, 0, 0, 0, 0, 0, static_cast<uint32_t>(err));
+    EnqueueToVm(*c2, fin, true);
+  };
+  stack_->SetCallbacks(sid, std::move(cbs));
+}
+
+// ---------------------------------------------------------------------------
+// Send path: hugepages -> stack
+// ---------------------------------------------------------------------------
+
+void ServiceLib::DoSend(const Nqe& nqe, Conn& c) {
+  auto vit = vms_.find(c.vm_id);
+  if (vit == vms_.end()) return;
+  shm::HugepagePool* pool = vit->second.pool;
+  tcp::SocketId sid = c.sid;
+  uint64_t ptr = nqe.data_ptr;
+  uint32_t size = nqe.size;
+
+  // The copy from hugepages into the stack's socket buffer happens on the
+  // connection's stack core (this is the overhead Table 6 quantifies; the
+  // paper's planned zerocopy would remove it).
+  Cycles copy = static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * size);
+  ++c.sends_in_flight;
+  stack_->ChargeOnSocketCore(sid, copy, [this, sid, ptr, size, pool] {
+    Conn* c2 = FindBySid(sid);
+    if (c2 == nullptr) {
+      pool->Free(ptr);
+      return;
+    }
+    --c2->sends_in_flight;
+    if (!stack_->Exists(sid)) {
+      pool->Free(ptr);
+      MaybeFinishClose(sid);
+      return;
+    }
+    c2->pending_tx.push_back(PendingTx{ptr, size, 0});
+    DrainPendingTx(*c2);
+  });
+}
+
+void ServiceLib::DrainPendingTx(Conn& c) {
+  auto vit = vms_.find(c.vm_id);
+  if (vit == vms_.end()) return;
+  shm::HugepagePool* pool = vit->second.pool;
+  while (!c.pending_tx.empty()) {
+    PendingTx& tx = c.pending_tx.front();
+    if (!stack_->Exists(c.sid)) {
+      pool->Free(tx.ptr);
+      c.pending_tx.pop_front();
+      continue;
+    }
+    uint64_t q = stack_->Send(c.sid, pool->Data(tx.ptr + tx.consumed), tx.size - tx.consumed);
+    tx.consumed += static_cast<uint32_t>(q);
+    if (tx.consumed < tx.size) break;  // stack sndbuf full; resume on writable
+    // Fully handed to the stack: free the chunk and return the send credit
+    // so GuestLib can decrease the socket's send-buffer usage (§4.5).
+    pool->Free(tx.ptr);
+    Respond(c, NqeOp::kSendResult, NqeOp::kSend, 0, tx.size);
+    c.pending_tx.pop_front();
+  }
+  MaybeFinishClose(c.sid);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path: stack -> hugepages -> kRecvData
+// ---------------------------------------------------------------------------
+
+void ServiceLib::ShipRecv(tcp::SocketId sid) {
+  Conn* c = FindBySid(sid);
+  if (c == nullptr || !c->linked || c->ship_pending) return;
+  auto vit = vms_.find(c->vm_id);
+  if (vit == vms_.end()) return;
+  shm::HugepagePool* pool = vit->second.pool;
+
+  uint64_t avail = stack_->RecvAvailable(sid);
+  if (avail > 0 && c->rx_outstanding < config_.rx_outstanding_cap) {
+    uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
+        {shm::HugepagePool::kMaxChunk, avail, config_.rx_outstanding_cap - c->rx_outstanding}));
+    uint64_t off = pool->Alloc(chunk);
+    if (off == shm::HugepagePool::kInvalidOffset) return;  // resumes on credit
+    c->ship_pending = true;
+    Cycles copy = static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * chunk);
+    stack_->ChargeOnSocketCore(sid, copy, [this, sid, off, chunk, pool] {
+      Conn* c2 = FindBySid(sid);
+      if (c2 == nullptr) {
+        pool->Free(off);
+        return;
+      }
+      c2->ship_pending = false;
+      uint64_t n = stack_->Recv(sid, pool->Data(off), chunk);
+      if (n == 0) {
+        pool->Free(off);
+      } else {
+        Nqe nqe = MakeNqe(NqeOp::kRecvData, c2->vm_id, c2->vm_qset, c2->vm_sock, 0, off,
+                          static_cast<uint32_t>(n));
+        EnqueueToVm(*c2, nqe, true);
+        c2->rx_outstanding += n;
+      }
+      ShipRecv(sid);
+    });
+    return;
+  }
+
+  // All buffered data shipped: propagate EOF once.
+  if (stack_->FinReceived(sid) && !c->fin_sent_to_vm) {
+    c->fin_sent_to_vm = true;
+    Nqe fin = MakeNqe(NqeOp::kFinReceived, c->vm_id, c->vm_qset, c->vm_sock, 0, 0, 0);
+    EnqueueToVm(*c, fin, true);
+  }
+}
+
+void ServiceLib::OnRecvCredit(uint8_t vm_id, uint32_t vm_sock, uint32_t bytes) {
+  Conn* c = FindByVm(vm_id, vm_sock);
+  if (c == nullptr) return;
+  c->rx_outstanding = c->rx_outstanding > bytes ? c->rx_outstanding - bytes : 0;
+  ShipRecv(c->sid);
+}
+
+// ---------------------------------------------------------------------------
+// Close
+// ---------------------------------------------------------------------------
+
+// close() must flush: queued kSend payloads (and in-flight hugepage copies)
+// are handed to the stack before the FIN, exactly like a kernel close() after
+// buffered writes.
+void ServiceLib::DoClose(Conn& c) {
+  c.close_pending = true;
+  MaybeFinishClose(c.sid);
+}
+
+void ServiceLib::MaybeFinishClose(tcp::SocketId sid) {
+  Conn* c = FindBySid(sid);
+  if (c == nullptr || !c->close_pending) return;
+  if (c->sends_in_flight > 0 || !c->pending_tx.empty()) return;
+  by_vm_.erase(VmKey(c->vm_id, c->vm_sock));
+  stack_->SetCallbacks(sid, {});
+  stack_->Close(sid);
+  by_sid_.erase(sid);
+}
+
+}  // namespace netkernel::core

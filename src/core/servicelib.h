@@ -1,0 +1,137 @@
+// Copyright (c) NetKernel reproduction authors.
+// ServiceLib: the NSM-side half of the socket semantics channel (paper §4.5).
+//
+// Consumes job/send NQEs from the NK device, invokes the NSM's network stack
+// (kernel-profile or mTCP-profile TcpStack) and streams results/data back as
+// completion/receive NQEs. Runs in the same space as the stack (kernel-space
+// ServiceLib for the kernel NSM; the per-core mTCP application thread for the
+// mTCP NSM), so stack calls are direct function calls.
+//
+// One ServiceLib serves many VMs (multiplexing, §6.1): each VM attaches with
+// its own hugepage pool and IP address, and the FairShare NSM (§6.2) installs
+// a per-VM shared congestion window through SetVmCcFactory.
+
+#ifndef SRC_CORE_SERVICELIB_H_
+#define SRC_CORE_SERVICELIB_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/coreengine.h"
+#include "src/shm/hugepage_pool.h"
+#include "src/shm/nk_device.h"
+#include "src/tcpstack/stack.h"
+
+namespace netkernel::core {
+
+class ServiceLib {
+ public:
+  struct Config {
+    tcp::NetkernelCosts costs;
+    // Per-connection cap on bytes shipped to the VM but not yet consumed.
+    uint64_t rx_outstanding_cap = 1 * kMiB;
+  };
+
+  ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
+             tcp::TcpStack* stack, Config config);
+  ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
+             tcp::TcpStack* stack);
+
+  // Registers a VM served by this NSM. `pool` is the hugepage region shared
+  // with that VM; `vm_ip` is the address its connections use.
+  void AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr vm_ip);
+  void DetachVm(uint8_t vm_id);
+
+  // Shared-memory receive credit: GuestLib freed `bytes` of a chunk.
+  void OnRecvCredit(uint8_t vm_id, uint32_t vm_sock, uint32_t bytes);
+
+  // Overrides congestion control for all (future) connections of a VM —
+  // the hook the FairShare NSM uses (§6.2).
+  void SetVmCcFactory(uint8_t vm_id, tcp::CcFactory factory);
+
+  tcp::TcpStack* stack() { return stack_; }
+  uint8_t nsm_id() const { return nsm_id_; }
+  uint64_t nqes_processed() const { return nqes_processed_; }
+
+ private:
+  struct VmInfo {
+    shm::HugepagePool* pool = nullptr;
+    netsim::IpAddr ip = 0;
+    tcp::CcFactory cc_factory;  // optional override
+  };
+  struct PendingTx {
+    uint64_t ptr = 0;
+    uint32_t size = 0;
+    uint32_t consumed = 0;
+  };
+  struct Conn {
+    tcp::SocketId sid = tcp::kInvalidSocket;
+    uint8_t vm_id = 0;
+    uint8_t vm_qset = 0;
+    uint32_t vm_sock = 0;
+    uint8_t nsm_qset = 0;  // NSM device queue set serving this connection
+    bool linked = false;    // guest handle known (post-accept link)
+    bool listener = false;
+    bool fin_sent_to_vm = false;
+    bool ship_pending = false;
+    bool close_pending = false;
+    int sends_in_flight = 0;  // kSend copies charged but not yet queued
+    uint64_t rx_outstanding = 0;
+    std::deque<PendingTx> pending_tx;
+    bool tx_drain_pending = false;
+  };
+
+  static uint64_t VmKey(uint8_t vm_id, uint32_t vm_sock) {
+    return (static_cast<uint64_t>(vm_id) << 32) | vm_sock;
+  }
+
+  Conn* FindByVm(uint8_t vm_id, uint32_t vm_sock);
+  Conn* FindBySid(tcp::SocketId sid);
+  Conn& NewConn(uint8_t vm_id, uint8_t vm_qset, uint32_t vm_sock);
+  void InstallDataCallbacks(Conn& c);
+
+  // NQE dispatch.
+  void OnDeviceWake();
+  void ProcessQueueSet(int qs);
+  void Dispatch(const shm::Nqe& nqe);
+  void DoSocket(const shm::Nqe& nqe);
+  void DoBind(const shm::Nqe& nqe, Conn& c);
+  void DoListen(const shm::Nqe& nqe, Conn& c);
+  void DoConnect(const shm::Nqe& nqe, Conn& c);
+  void DoAcceptLink(const shm::Nqe& nqe);
+  void DoSend(const shm::Nqe& nqe, Conn& c);
+  void DoClose(Conn& c);
+  void MaybeFinishClose(tcp::SocketId sid);
+  void DrainPendingTx(Conn& c);
+
+  // NSM -> VM NQEs.
+  void Respond(const Conn& c, shm::NqeOp op, shm::NqeOp orig, int32_t result,
+               uint64_t op_data = 0);
+  void EnqueueToVm(const Conn& c, shm::Nqe nqe, bool receive_ring);
+
+  // Receive shipping (stack -> hugepages -> kRecvData NQEs).
+  void ShipRecv(tcp::SocketId sid);
+  void AutoAccept(tcp::SocketId listener_sid);
+
+  sim::EventLoop* loop_;
+  uint8_t nsm_id_;
+  CoreEngine* ce_;
+  shm::NkDevice* dev_;
+  tcp::TcpStack* stack_;
+  Config config_;
+
+  std::unordered_map<uint8_t, VmInfo> vms_;
+  std::unordered_map<tcp::SocketId, std::unique_ptr<Conn>> by_sid_;  // owner
+  std::unordered_map<uint64_t, Conn*> by_vm_;
+  std::unique_ptr<Conn> pending_owner_;  // freshly built Conn awaiting indexing
+  // kSend NQEs that arrived before their connection's accept-link NQE.
+  std::unordered_map<uint64_t, std::vector<shm::Nqe>> orphan_sends_;
+  std::vector<bool> drain_scheduled_;
+  uint64_t nqes_processed_ = 0;
+};
+
+}  // namespace netkernel::core
+
+#endif  // SRC_CORE_SERVICELIB_H_

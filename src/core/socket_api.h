@@ -1,0 +1,70 @@
+// Copyright (c) NetKernel reproduction authors.
+// The BSD-socket-shaped API guest applications program against.
+//
+// This is the abstraction boundary the paper keeps intact (§1, Figure 1): an
+// application written against SocketApi runs unmodified on either
+//   * BaselineSocketApi — the existing architecture, where the TCP stack runs
+//     inside the guest (src/core/baseline_api.h), or
+//   * GuestLib — NetKernel's transparent redirection, where socket semantics
+//     travel as NQEs to a Network Stack Module (src/core/guestlib.h).
+//
+// Calls are coroutines; each takes the vCPU the calling guest thread is
+// pinned to so syscall/copy cycles land on the right simulated core.
+
+#ifndef SRC_CORE_SOCKET_API_H_
+#define SRC_CORE_SOCKET_API_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/netsim/packet.h"
+#include "src/sim/cpu.h"
+#include "src/sim/task.h"
+
+namespace netkernel::core {
+
+constexpr uint32_t kEpollIn = 1u << 0;
+constexpr uint32_t kEpollOut = 1u << 1;
+constexpr uint32_t kEpollErr = 1u << 2;
+constexpr uint32_t kEpollHup = 1u << 3;
+
+struct EpollEvent {
+  int fd = -1;
+  uint32_t events = 0;
+};
+
+class SocketApi {
+ public:
+  virtual ~SocketApi() = default;
+
+  virtual sim::EventLoop* loop() = 0;
+
+  // Creates a stream socket; returns fd >= 0 (negative TcpError on failure).
+  virtual sim::Task<int> Socket(sim::CpuCore* core) = 0;
+  virtual sim::Task<int> Bind(sim::CpuCore* core, int fd, netsim::IpAddr ip, uint16_t port) = 0;
+  virtual sim::Task<int> Listen(sim::CpuCore* core, int fd, int backlog, bool reuseport) = 0;
+  // Blocks until established; returns 0 or negative TcpError.
+  virtual sim::Task<int> Connect(sim::CpuCore* core, int fd, netsim::IpAddr ip,
+                                 uint16_t port) = 0;
+  // Blocks until a connection is ready; returns its fd.
+  virtual sim::Task<int> Accept(sim::CpuCore* core, int fd) = 0;
+  // Blocks until all `len` bytes are queued; returns len or negative error.
+  virtual sim::Task<int64_t> Send(sim::CpuCore* core, int fd, const uint8_t* data,
+                                  uint64_t len) = 0;
+  // Blocks until >= 1 byte is available; returns bytes read, 0 on EOF,
+  // negative TcpError on error.
+  virtual sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) = 0;
+  virtual sim::Task<int> Close(sim::CpuCore* core, int fd) = 0;
+
+  // I/O event notification (epoll-style, level-triggered).
+  virtual int EpollCreate() = 0;
+  // mask == 0 removes fd from the interest set.
+  virtual int EpollCtl(int epfd, int fd, uint32_t mask) = 0;
+  virtual sim::Task<std::vector<EpollEvent>> EpollWait(sim::CpuCore* core, int epfd,
+                                                       size_t max_events, SimTime timeout) = 0;
+};
+
+}  // namespace netkernel::core
+
+#endif  // SRC_CORE_SOCKET_API_H_

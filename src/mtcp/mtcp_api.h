@@ -1,0 +1,112 @@
+// Copyright (c) NetKernel reproduction authors.
+// mTCP-flavoured API veneer (paper §6.3).
+//
+// mTCP exposes its own socket API (mtcp_socket, mtcp_epoll_wait, ...) with
+// semantics that differ from BSD sockets, which is exactly why unported
+// applications cannot use it — the problem NetKernel solves by hiding the
+// stack behind the NSM boundary. This header reproduces that API surface
+// over our userspace-profile TcpStack:
+//   * examples/tests can program against the mTCP API directly (the painful
+//     "port your application" path), and
+//   * the mTCP NSM's ServiceLib plays the role of the ported application,
+//     letting unmodified SocketApi programs use mTCP (the NetKernel path).
+//
+// mTCP's two-thread-per-core model (application thread + mTCP thread) is
+// represented by the per-core engines of the underlying stack
+// (per_core_tables = true) plus the batched event fetch of
+// mtcp_epoll_wait's timeout parameter.
+
+#ifndef SRC_MTCP_MTCP_API_H_
+#define SRC_MTCP_MTCP_API_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/tcpstack/stack.h"
+
+namespace netkernel::mtcp {
+
+using McTx = tcp::TcpStack;  // the per-core mTCP context owner
+
+struct MtcpEvent {
+  int sockid = -1;
+  uint32_t events = 0;  // MTCP_EPOLLIN / MTCP_EPOLLOUT / MTCP_EPOLLERR
+};
+
+constexpr uint32_t MTCP_EPOLLIN = 1u << 0;
+constexpr uint32_t MTCP_EPOLLOUT = 1u << 1;
+constexpr uint32_t MTCP_EPOLLERR = 1u << 2;
+
+// One mctx per core, as in mTCP's mtcp_create_context().
+class MtcpContext {
+ public:
+  // `stack` must be configured with MtcpProfile() and per_core_tables=true
+  // (use tcp::TcpStackConfig as in src/core/host.cc's kMtcp branch).
+  explicit MtcpContext(tcp::TcpStack* stack) : stack_(stack) {}
+
+  tcp::TcpStack* stack() { return stack_; }
+
+  int mtcp_socket() { return static_cast<int>(stack_->CreateSocket()); }
+  int mtcp_bind(int sockid, netsim::IpAddr ip, uint16_t port) {
+    return stack_->Bind(static_cast<tcp::SocketId>(sockid), ip, port);
+  }
+  int mtcp_listen(int sockid, int backlog) {
+    return stack_->Listen(static_cast<tcp::SocketId>(sockid), backlog, true);
+  }
+  int mtcp_connect(int sockid, netsim::IpAddr ip, uint16_t port) {
+    return stack_->Connect(static_cast<tcp::SocketId>(sockid), ip, port);
+  }
+  int mtcp_accept(int sockid) {
+    tcp::SocketId c = stack_->Accept(static_cast<tcp::SocketId>(sockid));
+    return c == tcp::kInvalidSocket ? -1 : static_cast<int>(c);
+  }
+  // Non-blocking, like mTCP's (it has no blocking mode).
+  int64_t mtcp_write(int sockid, const uint8_t* buf, uint64_t len) {
+    uint64_t n = stack_->Send(static_cast<tcp::SocketId>(sockid), buf, len);
+    return n == 0 ? tcp::kWouldBlock : static_cast<int64_t>(n);
+  }
+  int64_t mtcp_read(int sockid, uint8_t* buf, uint64_t len) {
+    uint64_t n = stack_->Recv(static_cast<tcp::SocketId>(sockid), buf, len);
+    if (n > 0) return static_cast<int64_t>(n);
+    return stack_->FinReceived(static_cast<tcp::SocketId>(sockid)) ? 0 : tcp::kWouldBlock;
+  }
+  void mtcp_close(int sockid) { stack_->Close(static_cast<tcp::SocketId>(sockid)); }
+
+  // Registers interest; events are collected by mtcp_epoll_wait.
+  int mtcp_epoll_ctl(int sockid, uint32_t events) {
+    interest_[sockid] = events;
+    return 0;
+  }
+
+  // Collects ready events (level-triggered snapshot). mTCP applications call
+  // this in their per-core event loop with a timeout (§5 uses 1 ms).
+  int mtcp_epoll_wait(std::vector<MtcpEvent>* out, size_t max_events) {
+    out->clear();
+    for (const auto& [sockid, mask] : interest_) {
+      auto sid = static_cast<tcp::SocketId>(sockid);
+      uint32_t ready = 0;
+      if (stack_->HasPendingAccept(sid) || stack_->RecvAvailable(sid) > 0 ||
+          stack_->FinReceived(sid)) {
+        ready |= MTCP_EPOLLIN;
+      }
+      if (stack_->State(sid) == tcp::TcpState::kEstablished && stack_->SendBufSpace(sid) > 0) {
+        ready |= MTCP_EPOLLOUT;
+      }
+      if (!stack_->Exists(sid)) ready |= MTCP_EPOLLERR;
+      ready &= (mask | MTCP_EPOLLERR);
+      if (ready != 0) {
+        out->push_back(MtcpEvent{sockid, ready});
+        if (out->size() >= max_events) break;
+      }
+    }
+    return static_cast<int>(out->size());
+  }
+
+ private:
+  tcp::TcpStack* stack_;
+  std::unordered_map<int, uint32_t> interest_;
+};
+
+}  // namespace netkernel::mtcp
+
+#endif  // SRC_MTCP_MTCP_API_H_

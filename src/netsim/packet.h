@@ -1,0 +1,45 @@
+// Copyright (c) NetKernel reproduction authors.
+// Packets carried by the simulated fabric. The fabric is payload-agnostic:
+// protocol modules (tcpstack) attach their segment as a shared, immutable
+// payload object.
+
+#ifndef SRC_NETSIM_PACKET_H_
+#define SRC_NETSIM_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace netkernel::netsim {
+
+using IpAddr = uint32_t;
+
+inline std::string IpToString(IpAddr ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+// Builds 10.x.y.z style addresses for tests and examples.
+constexpr IpAddr MakeIp(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return (static_cast<IpAddr>(a) << 24) | (static_cast<IpAddr>(b) << 16) |
+         (static_cast<IpAddr>(c) << 8) | d;
+}
+
+enum class Protocol : uint8_t { kRaw = 0, kTcp = 6 };
+
+struct Packet {
+  IpAddr src = 0;
+  IpAddr dst = 0;
+  uint32_t wire_bytes = 0;  // total on-the-wire size incl. headers
+  Protocol protocol = Protocol::kRaw;
+  bool ecn_capable = false;
+  bool ce_marked = false;          // set by a congested queue (DCTCP)
+  uint64_t flow_hash = 0;          // used for multi-queue spreading
+  std::shared_ptr<const void> payload;  // protocol-defined (e.g. tcp::Segment)
+};
+
+}  // namespace netkernel::netsim
+
+#endif  // SRC_NETSIM_PACKET_H_

@@ -1,0 +1,53 @@
+// Copyright (c) NetKernel reproduction authors.
+// Output-queued switch: forwards packets to the egress link registered for
+// the destination address. Used both as the datacenter fabric switch between
+// hosts and as the per-host virtual switch between vNICs and the pNIC.
+
+#ifndef SRC_NETSIM_SWITCH_H_
+#define SRC_NETSIM_SWITCH_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/netsim/link.h"
+#include "src/netsim/packet.h"
+
+namespace netkernel::netsim {
+
+class Switch {
+ public:
+  explicit Switch(std::string name) : name_(std::move(name)) {}
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Routes packets destined to `ip` out of `link`. Multiple addresses may map
+  // to the same link (e.g. all remote hosts behind the uplink).
+  void AddRoute(IpAddr ip, Link* link) { routes_[ip] = link; }
+
+  // Default route for addresses with no specific entry (the "uplink").
+  void SetDefaultRoute(Link* link) { default_route_ = link; }
+
+  void Forward(Packet pkt) {
+    auto it = routes_.find(pkt.dst);
+    Link* out = it != routes_.end() ? it->second : default_route_;
+    if (out == nullptr) {
+      ++no_route_drops_;
+      return;
+    }
+    out->Enqueue(std::move(pkt));
+  }
+
+  uint64_t no_route_drops() const { return no_route_drops_; }
+
+ private:
+  std::string name_;
+  std::unordered_map<IpAddr, Link*> routes_;
+  Link* default_route_ = nullptr;
+  uint64_t no_route_drops_ = 0;
+};
+
+}  // namespace netkernel::netsim
+
+#endif  // SRC_NETSIM_SWITCH_H_

@@ -1,0 +1,84 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/shm/hugepage_pool.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace netkernel::shm {
+
+namespace {
+constexpr int kNumClasses = 11;  // 64 .. 64K in powers of two
+}
+
+HugepagePool::HugepagePool(uint64_t region_bytes)
+    : region_(region_bytes), free_lists_(kNumClasses) {
+  NK_CHECK(region_bytes >= kMaxChunk + kHeader);
+}
+
+uint32_t HugepagePool::ClassSize(uint32_t size) {
+  uint32_t c = kMinChunk;
+  while (c < size) c <<= 1;
+  return c;
+}
+
+int HugepagePool::ClassIndex(uint32_t size) const {
+  NK_CHECK(size <= kMaxChunk);
+  int idx = 0;
+  uint32_t c = kMinChunk;
+  while (c < size) {
+    c <<= 1;
+    ++idx;
+  }
+  NK_CHECK(idx < kNumClasses);
+  return idx;
+}
+
+uint64_t HugepagePool::Alloc(uint32_t size) {
+  if (size == 0) size = 1;
+  if (size > kMaxChunk) {
+    ++alloc_failures_;
+    return kInvalidOffset;
+  }
+  int idx = ClassIndex(size);
+  uint32_t chunk = kMinChunk << idx;
+  uint64_t offset;
+  if (!free_lists_[idx].empty()) {
+    offset = free_lists_[idx].back();
+    free_lists_[idx].pop_back();
+  } else {
+    if (bump_ + kHeader + chunk > region_.size()) {
+      ++alloc_failures_;
+      return kInvalidOffset;
+    }
+    uint64_t header_at = bump_;
+    bump_ += kHeader + chunk;
+    offset = header_at + kHeader;
+    std::memcpy(&region_[header_at], &idx, sizeof(int));
+  }
+  bytes_in_use_ += chunk;
+  ++allocs_;
+  return offset;
+}
+
+void HugepagePool::Free(uint64_t offset) {
+  NK_CHECK(offset != kInvalidOffset && offset >= kHeader && offset < region_.size());
+  int idx;
+  std::memcpy(&idx, &region_[offset - kHeader], sizeof(int));
+  NK_CHECK(idx >= 0 && idx < kNumClasses);
+  free_lists_[idx].push_back(offset);
+  bytes_in_use_ -= kMinChunk << idx;
+}
+
+uint8_t* HugepagePool::Data(uint64_t offset) {
+  NK_CHECK(offset != kInvalidOffset && offset < region_.size());
+  return &region_[offset];
+}
+
+const uint8_t* HugepagePool::Data(uint64_t offset) const {
+  NK_CHECK(offset != kInvalidOffset && offset < region_.size());
+  return &region_[offset];
+}
+
+}  // namespace netkernel::shm

@@ -1,0 +1,62 @@
+// Copyright (c) NetKernel reproduction authors.
+// Shared hugepage region for application payloads (paper §4.5).
+//
+// One pool is shared per <VM, NSM> tuple: GuestLib copies send() payloads in,
+// ServiceLib copies received payloads in, and NQEs reference chunks by offset
+// (the NQE's 8-byte "data pointer"). The pool is a size-class slab allocator
+// over one contiguous region (the paper uses 128 x 2 MB hugepages; the region
+// size is configurable here). Exhaustion is reported to the caller, which
+// models the finite socket-buffer backpressure of the real system.
+
+#ifndef SRC_SHM_HUGEPAGE_POOL_H_
+#define SRC_SHM_HUGEPAGE_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace netkernel::shm {
+
+class HugepagePool {
+ public:
+  static constexpr uint64_t kInvalidOffset = ~0ULL;
+  static constexpr uint64_t kDefaultRegionBytes = 64 * kMiB;
+  // Largest allocatable chunk (one TSO-sized unit).
+  static constexpr uint32_t kMaxChunk = 64 * 1024;
+
+  explicit HugepagePool(uint64_t region_bytes = kDefaultRegionBytes);
+
+  // Allocates a chunk of at least `size` bytes (size <= kMaxChunk).
+  // Returns the data offset, or kInvalidOffset when the region is exhausted.
+  uint64_t Alloc(uint32_t size);
+  void Free(uint64_t offset);
+
+  uint8_t* Data(uint64_t offset);
+  const uint8_t* Data(uint64_t offset) const;
+
+  uint64_t region_bytes() const { return region_.size(); }
+  uint64_t bytes_in_use() const { return bytes_in_use_; }
+  uint64_t allocs() const { return allocs_; }
+  uint64_t alloc_failures() const { return alloc_failures_; }
+
+  // Size class for a request (rounded up to the next power of two >= 64).
+  static uint32_t ClassSize(uint32_t size);
+
+ private:
+  static constexpr uint32_t kMinChunk = 64;
+  static constexpr uint64_t kHeader = 8;  // stores the size class index
+
+  int ClassIndex(uint32_t size) const;
+
+  std::vector<uint8_t> region_;
+  uint64_t bump_ = 0;  // carve point for fresh blocks
+  std::vector<std::vector<uint64_t>> free_lists_;
+  uint64_t bytes_in_use_ = 0;
+  uint64_t allocs_ = 0;
+  uint64_t alloc_failures_ = 0;
+};
+
+}  // namespace netkernel::shm
+
+#endif  // SRC_SHM_HUGEPAGE_POOL_H_

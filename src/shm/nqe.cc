@@ -1,0 +1,33 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/shm/nqe.h"
+
+namespace netkernel::shm {
+
+std::string NqeOpName(NqeOp op) {
+  switch (op) {
+    case NqeOp::kInvalid: return "invalid";
+    case NqeOp::kSocket: return "socket";
+    case NqeOp::kBind: return "bind";
+    case NqeOp::kListen: return "listen";
+    case NqeOp::kConnect: return "connect";
+    case NqeOp::kAccept: return "accept";
+    case NqeOp::kSetsockopt: return "setsockopt";
+    case NqeOp::kGetsockopt: return "getsockopt";
+    case NqeOp::kIoctl: return "ioctl";
+    case NqeOp::kShutdown: return "shutdown";
+    case NqeOp::kClose: return "close";
+    case NqeOp::kSend: return "send";
+    case NqeOp::kOpResult: return "op_result";
+    case NqeOp::kConnectResult: return "connect_result";
+    case NqeOp::kAcceptedConn: return "accepted_conn";
+    case NqeOp::kSendResult: return "send_result";
+    case NqeOp::kRecvData: return "recv_data";
+    case NqeOp::kFinReceived: return "fin_received";
+    case NqeOp::kRegisterDevice: return "register_device";
+    case NqeOp::kDeregisterDevice: return "deregister_device";
+  }
+  return "unknown";
+}
+
+}  // namespace netkernel::shm

@@ -1,0 +1,94 @@
+// Copyright (c) NetKernel reproduction authors.
+// NetKernel Queue Element (NQE): the fixed 32-byte intermediate representation
+// of socket semantics exchanged between GuestLib and ServiceLib (paper §4.2,
+// Figure 3).
+//
+// Layout (32 bytes total):
+//   1 B op type | 1 B VM ID | 1 B queue set ID | 4 B VM socket ID |
+//   8 B op_data | 8 B data pointer | 4 B size | 5 B reserved
+//
+// `vm_sock` is the handle of the sock structure in the user VM (the paper
+// stores a pointer; we store a 32-bit handle). `op_data` carries per-op
+// payload such as the ip:port for bind/connect, result codes, or the NSM-side
+// connection ID. `data_ptr` is an offset into the shared hugepage region and
+// `size` the length of the data it points at.
+
+#ifndef SRC_SHM_NQE_H_
+#define SRC_SHM_NQE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace netkernel::shm {
+
+enum class NqeOp : uint8_t {
+  kInvalid = 0,
+  // VM -> NSM socket operations (job queue unless noted).
+  kSocket = 1,
+  kBind = 2,
+  kListen = 3,
+  kConnect = 4,
+  kAccept = 5,  // pipelined: NSM replies as connections arrive
+  kSetsockopt = 6,
+  kGetsockopt = 7,
+  kIoctl = 8,
+  kShutdown = 9,
+  kClose = 10,
+  kSend = 11,  // send queue: data_ptr/size reference hugepage payload
+  // NSM -> VM results and events.
+  kOpResult = 32,       // completion queue: result of a control op
+  kConnectResult = 33,  // completion queue
+  kAcceptedConn = 34,   // completion queue: new connection, op_data = NSM conn id
+  kSendResult = 35,     // completion queue: buffer usage can be decreased
+  kRecvData = 36,       // receive queue: data_ptr/size reference received payload
+  kFinReceived = 37,    // receive queue: peer closed
+  // Control plane (CoreEngine registration channel, §5).
+  kRegisterDevice = 64,
+  kDeregisterDevice = 65,
+};
+
+// op_data packing helpers for address-carrying ops (ip in high 32 bits,
+// port in low 16).
+constexpr uint64_t PackAddr(uint32_t ip, uint16_t port) {
+  return (static_cast<uint64_t>(ip) << 32) | port;
+}
+constexpr uint32_t AddrIp(uint64_t op_data) { return static_cast<uint32_t>(op_data >> 32); }
+constexpr uint16_t AddrPort(uint64_t op_data) { return static_cast<uint16_t>(op_data & 0xffff); }
+
+#pragma pack(push, 1)
+struct Nqe {
+  uint8_t op = 0;         // NqeOp
+  uint8_t vm_id = 0;      // originating VM (or NSM for responses)
+  uint8_t queue_set = 0;  // queue set the NQE was enqueued on
+  uint32_t vm_sock = 0;   // socket handle in the user VM
+  uint64_t op_data = 0;   // operation payload / result
+  uint64_t data_ptr = 0;  // offset into the shared hugepage region
+  uint32_t size = 0;      // size of the data pointed at
+  uint8_t reserved[5] = {0, 0, 0, 0, 0};
+
+  NqeOp Op() const { return static_cast<NqeOp>(op); }
+  void SetOp(NqeOp o) { op = static_cast<uint8_t>(o); }
+};
+#pragma pack(pop)
+
+static_assert(sizeof(Nqe) == 32, "NQE must be exactly 32 bytes (paper Figure 3)");
+
+inline Nqe MakeNqe(NqeOp op, uint8_t vm_id, uint8_t queue_set, uint32_t vm_sock,
+                   uint64_t op_data = 0, uint64_t data_ptr = 0, uint32_t size = 0) {
+  Nqe n;
+  n.SetOp(op);
+  n.vm_id = vm_id;
+  n.queue_set = queue_set;
+  n.vm_sock = vm_sock;
+  n.op_data = op_data;
+  n.data_ptr = data_ptr;
+  n.size = size;
+  return n;
+}
+
+std::string NqeOpName(NqeOp op);
+
+}  // namespace netkernel::shm
+
+#endif  // SRC_SHM_NQE_H_

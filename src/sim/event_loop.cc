@@ -1,0 +1,54 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/sim/event_loop.h"
+
+#include "src/common/check.h"
+
+namespace netkernel::sim {
+
+EventHandle EventLoop::Schedule(SimTime at, std::function<void()> fn) {
+  NK_CHECK(at >= now_);
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{std::weak_ptr<bool>(alive)};
+  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(alive)});
+  return handle;
+}
+
+uint64_t EventLoop::Run(SimTime until) {
+  stopped_ = false;
+  uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.at > until) break;
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    NK_CHECK(ev.at >= now_);
+    if (*ev.alive) {
+      now_ = ev.at;  // cancelled events must not advance the clock
+      *ev.alive = false;
+      ev.fn();
+      ++executed;
+      ++events_executed_;
+    }
+  }
+  if (queue_.empty() || stopped_) {
+    // Clock rests where the last event left it.
+  } else if (until != kSimTimeNever) {
+    now_ = until;
+  }
+  return executed;
+}
+
+void EventLoop::RunUntilIdleAtNow() {
+  while (!queue_.empty() && queue_.top().at <= now_) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.alive) {
+      *ev.alive = false;
+      ev.fn();
+      ++events_executed_;
+    }
+  }
+}
+
+}  // namespace netkernel::sim

@@ -1,0 +1,93 @@
+// Copyright (c) NetKernel reproduction authors.
+// Discrete-event simulation core: a virtual clock and an ordered event queue.
+//
+// The entire macro-level evaluation (hosts, vCPUs, NICs, TCP stacks, NetKernel
+// datapath) runs single-threaded on one EventLoop, which makes every bench
+// deterministic. Events scheduled for the same instant fire in FIFO order.
+
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace netkernel::sim {
+
+class EventLoop;
+
+// Cancellation handle for a scheduled event. Default-constructed handles are
+// inert. Cancelling an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void Cancel() {
+    if (auto p = alive_.lock()) *p = false;
+  }
+  bool Pending() const {
+    auto p = alive_.lock();
+    return p && *p;
+  }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `at` (>= Now()).
+  EventHandle Schedule(SimTime at, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` nanoseconds of virtual time.
+  EventHandle ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Runs until the queue empties or the clock would pass `until`.
+  // Returns the number of events executed.
+  uint64_t Run(SimTime until = kSimTimeNever);
+
+  // Runs every event scheduled for the current instant, without advancing time.
+  void RunUntilIdleAtNow();
+
+  // Stops Run() after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  bool Empty() const { return queue_.empty(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace netkernel::sim
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

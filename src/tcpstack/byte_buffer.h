@@ -1,0 +1,92 @@
+// Copyright (c) NetKernel reproduction authors.
+// Chunked byte FIFO used for socket send/receive buffers. Supports random
+// access reads relative to the front (needed for TCP retransmission) and
+// amortized O(1) append/drop.
+
+#ifndef SRC_TCPSTACK_BYTE_BUFFER_H_
+#define SRC_TCPSTACK_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace netkernel::tcp {
+
+class ByteBuffer {
+ public:
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Append(const uint8_t* data, uint64_t n) {
+    if (n == 0) return;
+    chunks_.emplace_back(data, data + n);
+    size_ += n;
+  }
+
+  void Append(std::vector<uint8_t> chunk) {
+    if (chunk.empty()) return;
+    size_ += chunk.size();
+    chunks_.push_back(std::move(chunk));
+  }
+
+  // Copies `n` bytes starting `offset` bytes from the front into `out`.
+  // Requires offset + n <= size().
+  void CopyOut(uint64_t offset, uint64_t n, uint8_t* out) const {
+    NK_CHECK(offset + n <= size_);
+    uint64_t skip = head_offset_ + offset;
+    size_t ci = 0;
+    while (skip >= chunks_[ci].size()) {
+      skip -= chunks_[ci].size();
+      ++ci;
+    }
+    uint64_t copied = 0;
+    while (copied < n) {
+      const auto& c = chunks_[ci];
+      uint64_t avail = c.size() - skip;
+      uint64_t take = n - copied < avail ? n - copied : avail;
+      std::memcpy(out + copied, c.data() + skip, take);
+      copied += take;
+      skip = 0;
+      ++ci;
+    }
+  }
+
+  // Removes `n` bytes from the front.
+  void Drop(uint64_t n) {
+    NK_CHECK(n <= size_);
+    size_ -= n;
+    head_offset_ += n;
+    while (!chunks_.empty() && head_offset_ >= chunks_.front().size()) {
+      head_offset_ -= chunks_.front().size();
+      chunks_.pop_front();
+    }
+  }
+
+  // Reads (copies + removes) up to `max` bytes from the front. Returns count.
+  uint64_t ReadInto(uint8_t* out, uint64_t max) {
+    uint64_t n = max < size_ ? max : size_;
+    if (n > 0) {
+      CopyOut(0, n, out);
+      Drop(n);
+    }
+    return n;
+  }
+
+  void Clear() {
+    chunks_.clear();
+    size_ = 0;
+    head_offset_ = 0;
+  }
+
+ private:
+  std::deque<std::vector<uint8_t>> chunks_;
+  uint64_t size_ = 0;
+  uint64_t head_offset_ = 0;  // bytes of chunks_.front() already consumed
+};
+
+}  // namespace netkernel::tcp
+
+#endif  // SRC_TCPSTACK_BYTE_BUFFER_H_

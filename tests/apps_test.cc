@@ -1,0 +1,222 @@
+// Copyright (c) NetKernel reproduction authors.
+// Tests for the application layer: epoll server + load generator, stream
+// apps, and the AG trace generator.
+
+#include <gtest/gtest.h>
+
+#include "src/core/netkernel.h"
+
+namespace netkernel::apps {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest() : fabric_(&loop_), host_a_(&loop_, &fabric_, "A"), host_b_(&loop_, &fabric_, "B") {}
+
+  core::Vm* Server(bool netkernel, int cores = 1) {
+    if (netkernel) {
+      nsm_ = host_a_.CreateNsm("nsm", cores, core::NsmKind::kKernel);
+      return host_a_.CreateNetkernelVm("srv", cores, nsm_);
+    }
+    return host_a_.CreateBaselineVm("srv", cores);
+  }
+  core::Vm* Client(int cores = 8) {
+    tcp::TcpStackConfig cfg;
+    cfg.profile = tcp::SinkProfile();
+    return host_b_.CreateBaselineVm("cli", cores, cfg);
+  }
+
+  sim::EventLoop loop_;
+  netsim::Fabric fabric_;
+  core::Host host_a_, host_b_;
+  core::Nsm* nsm_ = nullptr;
+};
+
+TEST_F(AppsTest, ClosedLoopLoadGenCompletesAllRequests) {
+  core::Vm* srv = Server(false);
+  core::Vm* cli = Client();
+  ServerStats sstat;
+  EpollServerConfig scfg;
+  StartEpollServer(srv, scfg, &sstat);
+  LoadGenStats lstat;
+  LoadGenConfig lcfg;
+  lcfg.server_ip = srv->ip();
+  lcfg.concurrency = 50;
+  lcfg.total_requests = 3000;
+  StartLoadGen(cli, lcfg, &lstat);
+  loop_.Run(20 * kSecond);
+  EXPECT_TRUE(lstat.done);
+  EXPECT_EQ(lstat.completed, 3000u);
+  EXPECT_EQ(lstat.errors, 0u);
+  EXPECT_EQ(sstat.requests, 3000u);
+  EXPECT_GT(lstat.latency_us.Count(), 0u);
+  EXPECT_GT(lstat.RequestsPerSec(), 1000.0);
+}
+
+TEST_F(AppsTest, LoadGenWorksAgainstNetkernelServer) {
+  core::Vm* srv = Server(true, 2);
+  core::Vm* cli = Client();
+  ServerStats sstat;
+  EpollServerConfig scfg;
+  StartEpollServer(srv, scfg, &sstat);
+  LoadGenStats lstat;
+  LoadGenConfig lcfg;
+  lcfg.server_ip = srv->ip();
+  lcfg.concurrency = 100;
+  lcfg.total_requests = 3000;
+  StartLoadGen(cli, lcfg, &lstat);
+  loop_.Run(20 * kSecond);
+  EXPECT_EQ(lstat.completed, 3000u);
+  EXPECT_EQ(lstat.errors, 0u);
+}
+
+TEST_F(AppsTest, OpenLoopRespectsTargetRate) {
+  core::Vm* srv = Server(false, 2);
+  core::Vm* cli = Client();
+  ServerStats sstat;
+  EpollServerConfig scfg;
+  StartEpollServer(srv, scfg, &sstat);
+  LoadGenStats lstat;
+  LoadGenConfig lcfg;
+  lcfg.server_ip = srv->ip();
+  lcfg.open_loop_rps = 20000;
+  lcfg.total_requests = 10000;
+  StartLoadGen(cli, lcfg, &lstat);
+  loop_.Run(10 * kSecond);
+  EXPECT_EQ(lstat.completed, 10000u);
+  // Issue rate ~ 20 Krps => ~0.5 s of virtual time.
+  double span = ToSeconds(lstat.last_complete - lstat.first_issue);
+  EXPECT_NEAR(span, 0.5, 0.1);
+}
+
+TEST_F(AppsTest, KeepaliveServerReusesConnections) {
+  core::Vm* srv = Server(false);
+  core::Vm* cli = Client();
+  ServerStats sstat;
+  EpollServerConfig scfg;
+  scfg.keepalive = true;
+  StartEpollServer(srv, scfg, &sstat);
+  // A single long-lived client issuing sequential requests by hand.
+  bool done = false;
+  auto client_task = [&]() -> sim::Task<void> {
+    core::SocketApi& api = cli->api();
+    sim::CpuCore* cpu = cli->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    co_await api.Connect(cpu, fd, srv->ip(), 8080);
+    std::vector<uint8_t> req(64, 1), resp(64);
+    for (int i = 0; i < 50; ++i) {
+      co_await api.Send(cpu, fd, req.data(), req.size());
+      uint64_t got = 0;
+      while (got < 64) {
+        int64_t n = co_await api.Recv(cpu, fd, resp.data() + got, 64 - got);
+        if (n <= 0) co_return;
+        got += static_cast<uint64_t>(n);
+      }
+    }
+    co_await api.Close(cpu, fd);
+    done = true;
+  };
+  sim::Spawn(client_task());
+  loop_.Run(10 * kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sstat.requests, 50u);
+  EXPECT_EQ(sstat.accepted, 1u);  // one connection for all 50 requests
+}
+
+TEST_F(AppsTest, StreamSinkCountsPerConnection) {
+  core::Vm* srv = Server(false, 2);
+  core::Vm* cli = Client();
+  StreamStats rx, tx;
+  StartStreamSink(srv, 9000, &rx);
+  StreamConfig cfg;
+  cfg.dst_ip = srv->ip();
+  cfg.port = 9000;
+  cfg.connections = 4;
+  cfg.message_size = 8192;
+  cfg.bytes_limit = 4 * kMiB;
+  StartStreamSenders(cli, cfg, &tx);
+  loop_.Run(10 * kSecond);
+  EXPECT_GE(tx.bytes_sent, cfg.bytes_limit);
+  EXPECT_EQ(rx.per_conn_bytes.size(), 4u);
+  uint64_t sum = 0;
+  for (uint64_t b : rx.per_conn_bytes) {
+    EXPECT_GT(b, 0u);
+    sum += b;
+  }
+  EXPECT_EQ(sum, rx.bytes_received);
+}
+
+TEST_F(AppsTest, PacedSenderHitsTargetRate) {
+  core::Vm* srv = Server(false, 4);
+  core::Vm* cli = Client();
+  StreamStats rx, tx;
+  StartStreamSink(srv, 9000, &rx);
+  StreamConfig cfg;
+  cfg.dst_ip = srv->ip();
+  cfg.port = 9000;
+  cfg.connections = 4;
+  cfg.message_size = 16384;
+  cfg.paced_gbps = 10.0;
+  StartStreamSenders(cli, cfg, &tx);
+  loop_.Run(200 * kMillisecond);
+  uint64_t b0 = rx.bytes_received;
+  loop_.Run(loop_.Now() + 300 * kMillisecond);
+  double gbps = RateOf(rx.bytes_received - b0, 300 * kMillisecond) / kGbps;
+  EXPECT_NEAR(gbps, 10.0, 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Trace generator
+// ---------------------------------------------------------------------------
+
+TEST(AgTrace, DeterministicForSeed) {
+  AgTrace a = AgTrace::Generate(5), b = AgTrace::Generate(5);
+  EXPECT_EQ(a.rps(), b.rps());
+  AgTrace c = AgTrace::Generate(6);
+  EXPECT_NE(a.rps(), c.rps());
+}
+
+TEST(AgTrace, RespectsLengthAndCap) {
+  AgTraceParams p;
+  p.minutes = 120;
+  AgTrace t = AgTrace::Generate(1, p);
+  EXPECT_EQ(t.rps().size(), 120u);
+  for (double v : t.rps()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, p.cap);
+  }
+}
+
+TEST(AgTrace, IsBursty) {
+  // The §6.1 property: low average utilization, pronounced peaks.
+  auto fleet = GenerateAgFleet(200, 99);
+  int bursty = 0;
+  for (const auto& t : fleet) {
+    if (t.Peak() / (t.Mean() + 1e-9) >= 2.5) ++bursty;
+  }
+  EXPECT_GE(bursty, 150);  // at least 75% of AGs have peak >= 2.5x mean
+}
+
+TEST(AgTrace, FractionBelowIsMonotone) {
+  AgTrace t = AgTrace::Generate(42);
+  EXPECT_LE(t.FractionBelow(0.2), t.FractionBelow(0.5));
+  EXPECT_LE(t.FractionBelow(0.5), t.FractionBelow(1.0));
+  EXPECT_DOUBLE_EQ(t.FractionBelow(1.0), 1.0);
+}
+
+class AgFleetSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AgFleetSizeTest, FleetStatisticsStable) {
+  auto fleet = GenerateAgFleet(GetParam(), 7);
+  ASSERT_EQ(fleet.size(), static_cast<size_t>(GetParam()));
+  Summary means;
+  for (const auto& t : fleet) means.Add(t.Mean());
+  // Lognormal-ish population: positive means, reasonable spread.
+  EXPECT_GT(means.Mean(), 1.0);
+  EXPECT_LT(means.Mean(), 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AgFleetSizeTest, ::testing::Values(1, 16, 128));
+
+}  // namespace
+}  // namespace netkernel::apps

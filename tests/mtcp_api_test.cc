@@ -1,0 +1,112 @@
+// Copyright (c) NetKernel reproduction authors.
+// Tests for the mTCP-flavoured API veneer (§6.3): the "ported application"
+// path that NetKernel makes unnecessary. Exercises the mtcp_* calls against
+// a userspace-profile stack over the simulated fabric.
+
+#include <gtest/gtest.h>
+
+#include "src/mtcp/mtcp_api.h"
+#include "src/netsim/fabric.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_loop.h"
+
+namespace netkernel::mtcp {
+namespace {
+
+using netsim::MakeIp;
+
+class MtcpApiTest : public ::testing::Test {
+ protected:
+  MtcpApiTest() : fabric_(&loop_) {
+    auto pa = fabric_.AddHost("a", MakeIp(10, 0, 0, 1), {});
+    auto pb = fabric_.AddHost("b", MakeIp(10, 0, 0, 2), {});
+    core_a_ = std::make_unique<sim::CpuCore>(&loop_, "a0");
+    core_b_ = std::make_unique<sim::CpuCore>(&loop_, "b0");
+    tcp::TcpStackConfig cfg;
+    cfg.profile = tcp::MtcpProfile();
+    cfg.per_core_tables = true;
+    stack_a_ = std::make_unique<tcp::TcpStack>(&loop_, pa.nic,
+                                               std::vector<sim::CpuCore*>{core_a_.get()}, cfg);
+    stack_b_ = std::make_unique<tcp::TcpStack>(&loop_, pb.nic,
+                                               std::vector<sim::CpuCore*>{core_b_.get()}, cfg);
+    mctx_a_ = std::make_unique<MtcpContext>(stack_a_.get());
+    mctx_b_ = std::make_unique<MtcpContext>(stack_b_.get());
+  }
+
+  void Run(SimTime d = 200 * kMillisecond) { loop_.Run(loop_.Now() + d); }
+
+  sim::EventLoop loop_;
+  netsim::Fabric fabric_;
+  std::unique_ptr<sim::CpuCore> core_a_, core_b_;
+  std::unique_ptr<tcp::TcpStack> stack_a_, stack_b_;
+  std::unique_ptr<MtcpContext> mctx_a_, mctx_b_;
+};
+
+TEST_F(MtcpApiTest, NonBlockingEventLoopEcho) {
+  // mTCP-style server: non-blocking accept/read/write driven by
+  // mtcp_epoll_wait — the API applications must be ported to (§6.3).
+  int lfd = mctx_b_->mtcp_socket();
+  ASSERT_EQ(mctx_b_->mtcp_bind(lfd, 0, 9000), 0);
+  ASSERT_EQ(mctx_b_->mtcp_listen(lfd, 16), 0);
+  mctx_b_->mtcp_epoll_ctl(lfd, MTCP_EPOLLIN);
+
+  int cfd = mctx_a_->mtcp_socket();
+  ASSERT_EQ(mctx_a_->mtcp_connect(cfd, MakeIp(10, 0, 0, 2), 9000), 0);
+  Run();
+
+  // Server event loop: accept, then echo.
+  std::vector<MtcpEvent> evs;
+  ASSERT_GT(mctx_b_->mtcp_epoll_wait(&evs, 16), 0);
+  ASSERT_EQ(evs[0].sockid, lfd);
+  int srv = mctx_b_->mtcp_accept(lfd);
+  ASSERT_GT(srv, 0);
+  mctx_b_->mtcp_epoll_ctl(srv, MTCP_EPOLLIN);
+
+  const uint8_t msg[] = "ported to mtcp";
+  ASSERT_EQ(mctx_a_->mtcp_write(cfd, msg, sizeof(msg)), static_cast<int64_t>(sizeof(msg)));
+  Run();
+
+  ASSERT_GT(mctx_b_->mtcp_epoll_wait(&evs, 16), 0);
+  uint8_t buf[64];
+  int64_t n = mctx_b_->mtcp_read(srv, buf, sizeof(buf));
+  ASSERT_EQ(n, static_cast<int64_t>(sizeof(msg)));
+  EXPECT_EQ(0, std::memcmp(buf, msg, sizeof(msg)));
+  ASSERT_EQ(mctx_b_->mtcp_write(srv, buf, static_cast<uint64_t>(n)), n);
+  Run();
+
+  int64_t back = mctx_a_->mtcp_read(cfd, buf, sizeof(buf));
+  EXPECT_EQ(back, static_cast<int64_t>(sizeof(msg)));
+  mctx_a_->mtcp_close(cfd);
+  mctx_b_->mtcp_close(srv);
+  Run();
+}
+
+TEST_F(MtcpApiTest, ReadOnEmptySocketWouldBlock) {
+  int fd = mctx_a_->mtcp_socket();
+  ASSERT_EQ(mctx_a_->mtcp_connect(fd, MakeIp(10, 0, 0, 2), 9000), 0);
+  uint8_t buf[16];
+  EXPECT_EQ(mctx_a_->mtcp_read(fd, buf, sizeof(buf)), tcp::kWouldBlock);
+}
+
+TEST_F(MtcpApiTest, AcceptOnEmptyQueueReturnsMinusOne) {
+  int lfd = mctx_b_->mtcp_socket();
+  mctx_b_->mtcp_bind(lfd, 0, 9000);
+  mctx_b_->mtcp_listen(lfd, 4);
+  EXPECT_EQ(mctx_b_->mtcp_accept(lfd), -1);
+}
+
+TEST_F(MtcpApiTest, EpollWaitReportsWritable) {
+  int lfd = mctx_b_->mtcp_socket();
+  mctx_b_->mtcp_bind(lfd, 0, 9000);
+  mctx_b_->mtcp_listen(lfd, 4);
+  int cfd = mctx_a_->mtcp_socket();
+  mctx_a_->mtcp_connect(cfd, MakeIp(10, 0, 0, 2), 9000);
+  Run();
+  mctx_a_->mtcp_epoll_ctl(cfd, MTCP_EPOLLOUT);
+  std::vector<MtcpEvent> evs;
+  ASSERT_GT(mctx_a_->mtcp_epoll_wait(&evs, 8), 0);
+  EXPECT_TRUE(evs[0].events & MTCP_EPOLLOUT);
+}
+
+}  // namespace
+}  // namespace netkernel::mtcp

@@ -1,0 +1,291 @@
+// Copyright (c) NetKernel reproduction authors.
+// Unit tests for the simulation kernel: event loop, coroutines, CPU cores.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+
+namespace netkernel::sim {
+namespace {
+
+TEST(EventLoop, ExecutesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30, [&] { order.push_back(3); });
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(20, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 30);
+}
+
+TEST(EventLoop, FifoAtSameInstant) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, RunUntilStopsAtHorizon) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(10, [&] { ++fired; });
+  loop.Schedule(100, [&] { ++fired; });
+  loop.Run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.Now(), 50);
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, CancelledEventDoesNotFireNorAdvanceClock) {
+  EventLoop loop;
+  bool fired = false;
+  EventHandle h = loop.Schedule(1000, [&] { fired = true; });
+  loop.Schedule(10, [&] {});
+  EXPECT_TRUE(h.Pending());
+  h.Cancel();
+  EXPECT_FALSE(h.Pending());
+  loop.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.Now(), 10);  // the cancelled event at t=1000 left no trace
+}
+
+TEST(EventLoop, ScheduleFromWithinEvent) {
+  EventLoop loop;
+  int count = 0;
+  loop.Schedule(1, [&] {
+    ++count;
+    loop.ScheduleAfter(5, [&] { ++count; });
+  });
+  loop.Run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.Now(), 6);
+}
+
+TEST(EventLoop, StopHaltsProcessing) {
+  EventLoop loop;
+  int count = 0;
+  loop.Schedule(1, [&] {
+    ++count;
+    loop.Stop();
+  });
+  loop.Schedule(2, [&] { ++count; });
+  loop.Run();
+  EXPECT_EQ(count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Coroutines
+// ---------------------------------------------------------------------------
+
+Task<int> ReturnForty() { co_return 40; }
+
+Task<int> AddTwo() {
+  int x = co_await ReturnForty();
+  co_return x + 2;
+}
+
+TEST(Task, NestedAwaitReturnsValue) {
+  EventLoop loop;
+  int result = 0;
+  auto run = [&]() -> Task<void> {
+    result = co_await AddTwo();
+  };
+  Spawn(run());
+  loop.Run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Task, DelayAdvancesVirtualTime) {
+  EventLoop loop;
+  SimTime when = -1;
+  auto run = [&]() -> Task<void> {
+    co_await Delay(&loop, 7 * kMicrosecond);
+    when = loop.Now();
+  };
+  Spawn(run());
+  loop.Run();
+  EXPECT_EQ(when, 7 * kMicrosecond);
+}
+
+TEST(Task, ZeroDelayIsImmediate) {
+  EventLoop loop;
+  bool ran = false;
+  auto run = [&]() -> Task<void> {
+    co_await Delay(&loop, 0);
+    ran = true;
+  };
+  Spawn(run());
+  // Zero delay does not even need the loop.
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEvent, NotifyAllWakesEveryWaiter) {
+  EventLoop loop;
+  SimEvent ev(&loop);
+  int woke = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.Wait();
+    ++woke;
+  };
+  for (int i = 0; i < 5; ++i) Spawn(waiter());
+  loop.Run();
+  EXPECT_EQ(woke, 0);
+  ev.NotifyAll();
+  loop.Run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(SimEvent, NotifyOneWakesOne) {
+  EventLoop loop;
+  SimEvent ev(&loop);
+  int woke = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.Wait();
+    ++woke;
+  };
+  Spawn(waiter());
+  Spawn(waiter());
+  ev.NotifyOne();
+  loop.Run();
+  EXPECT_EQ(woke, 1);
+  ev.NotifyOne();
+  loop.Run();
+  EXPECT_EQ(woke, 2);
+}
+
+TEST(SimEvent, SequentialWaitNotifyCycles) {
+  EventLoop loop;
+  SimEvent ev(&loop);
+  int rounds = 0;
+  auto waiter = [&]() -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await ev.Wait();
+      ++rounds;
+    }
+  };
+  Spawn(waiter());
+  for (int i = 0; i < 3; ++i) {
+    ev.NotifyAll();
+    loop.Run();
+  }
+  EXPECT_EQ(rounds, 3);
+}
+
+// ---------------------------------------------------------------------------
+// CPU cores
+// ---------------------------------------------------------------------------
+
+TEST(CpuCore, WorkTakesCycleTime) {
+  EventLoop loop;
+  CpuCore core(&loop, "c0", 1e9);  // 1 GHz: 1 cycle = 1 ns
+  SimTime done = -1;
+  auto run = [&]() -> Task<void> {
+    co_await core.Work(1000);
+    done = loop.Now();
+  };
+  Spawn(run());
+  loop.Run();
+  EXPECT_EQ(done, 1000);
+  EXPECT_EQ(core.busy_cycles(), 1000u);
+}
+
+TEST(CpuCore, SerializesFifo) {
+  EventLoop loop;
+  CpuCore core(&loop, "c0", 1e9);
+  std::vector<std::pair<int, SimTime>> done;
+  core.Charge(100, [&] { done.push_back({1, loop.Now()}); });
+  core.Charge(50, [&] { done.push_back({2, loop.Now()}); });
+  loop.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, 1);
+  EXPECT_EQ(done[0].second, 100);
+  EXPECT_EQ(done[1].first, 2);
+  EXPECT_EQ(done[1].second, 150);  // queued behind the first
+}
+
+TEST(CpuCore, IdleGapsDoNotAccumulate) {
+  EventLoop loop;
+  CpuCore core(&loop, "c0", 1e9);
+  SimTime end = -1;
+  loop.Schedule(1000, [&] { core.Charge(10, [&] { end = loop.Now(); }); });
+  loop.Run();
+  EXPECT_EQ(end, 1010);
+  EXPECT_EQ(core.busy_cycles(), 10u);
+}
+
+TEST(CpuCore, UtilizationAccounting) {
+  EventLoop loop;
+  CpuCore core(&loop, "c0", 1e9);
+  core.Charge(500, [] {});
+  loop.Run();
+  EXPECT_NEAR(core.Utilization(1000), 0.5, 1e-9);
+  core.ResetAccounting();
+  EXPECT_EQ(core.busy_cycles(), 0u);
+}
+
+TEST(CpuCore, ZeroCostChargeRunsAtIdlePoint) {
+  EventLoop loop;
+  CpuCore core(&loop, "c0", 1e9);
+  SimTime when = -1;
+  core.Charge(100, [] {});
+  core.Charge(0, [&] { when = loop.Now(); });
+  loop.Run();
+  EXPECT_EQ(when, 100);
+}
+
+TEST(SimMutex, SerializesAcrossCores) {
+  EventLoop loop;
+  CpuCore a(&loop, "a", 1e9), b(&loop, "b", 1e9);
+  SimMutex mu(&loop, 1e9);
+  // Both cores grab the lock at t=0, each holding 100 cycles.
+  SimTime ra = mu.Acquire(&a, 100);
+  SimTime rb = mu.Acquire(&b, 100);
+  EXPECT_EQ(ra, 100);
+  EXPECT_EQ(rb, 200);  // waited for a
+  // Core b burned its spin time.
+  EXPECT_EQ(b.busy_cycles(), 200u);
+}
+
+TEST(SimMutex, UncontendedIsCheap) {
+  EventLoop loop;
+  CpuCore a(&loop, "a", 1e9);
+  SimMutex mu(&loop, 1e9);
+  SimTime r1 = mu.Acquire(&a, 50);
+  EXPECT_EQ(r1, 50);
+  loop.Schedule(1000, [] {});
+  loop.Run();
+  SimTime r2 = mu.Acquire(&a, 50);
+  EXPECT_EQ(r2, 1050);
+  EXPECT_EQ(a.busy_cycles(), 100u);
+}
+
+// Property: N cores hammering a mutex see Universal-Scalability-style
+// serialization: total completion time >= N * hold.
+class SimMutexScalingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimMutexScalingTest, TotalHoldTimeSerializes) {
+  int n = GetParam();
+  EventLoop loop;
+  std::vector<std::unique_ptr<CpuCore>> cores;
+  for (int i = 0; i < n; ++i) {
+    cores.push_back(std::make_unique<CpuCore>(&loop, "c", 1e9));
+  }
+  SimMutex mu(&loop, 1e9);
+  SimTime last = 0;
+  for (int i = 0; i < n; ++i) last = mu.Acquire(cores[i].get(), 100);
+  EXPECT_EQ(last, static_cast<SimTime>(100) * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, SimMutexScalingTest, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace netkernel::sim

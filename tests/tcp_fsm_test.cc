@@ -1,0 +1,229 @@
+// Copyright (c) NetKernel reproduction authors.
+// TCP state-machine edge cases: half-close, FIN/data interleavings, RST in
+// every phase, TIME_WAIT behaviour, listener teardown races.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/netsim/fabric.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_loop.h"
+#include "src/tcpstack/stack.h"
+
+namespace netkernel::tcp {
+namespace {
+
+using netsim::MakeIp;
+
+class TcpFsmTest : public ::testing::Test {
+ protected:
+  TcpFsmTest() { Build(TcpStackConfig{}); }
+
+  void Build(TcpStackConfig cfg) {
+    stack_a_.reset();
+    stack_b_.reset();
+    fabric_.reset();
+    loop_ = std::make_unique<sim::EventLoop>();
+    fabric_ = std::make_unique<netsim::Fabric>(loop_.get());
+    auto pa = fabric_->AddHost("a", MakeIp(10, 0, 0, 1), {});
+    auto pb = fabric_->AddHost("b", MakeIp(10, 0, 0, 2), {});
+    core_a_ = std::make_unique<sim::CpuCore>(loop_.get(), "a0");
+    core_b_ = std::make_unique<sim::CpuCore>(loop_.get(), "b0");
+    TcpStackConfig b_cfg = cfg;
+    stack_a_ = std::make_unique<TcpStack>(loop_.get(), pa.nic,
+                                          std::vector<sim::CpuCore*>{core_a_.get()}, cfg);
+    stack_b_ = std::make_unique<TcpStack>(loop_.get(), pb.nic,
+                                          std::vector<sim::CpuCore*>{core_b_.get()}, b_cfg);
+  }
+
+  std::pair<SocketId, SocketId> Connect(uint16_t port = 9000) {
+    SocketId lst = stack_b_->CreateSocket();
+    stack_b_->Bind(lst, 0, port);
+    stack_b_->Listen(lst, 16);
+    SocketId cli = stack_a_->CreateSocket();
+    stack_a_->Connect(cli, MakeIp(10, 0, 0, 2), port);
+    Run();
+    SocketId srv = stack_b_->Accept(lst);
+    EXPECT_NE(srv, kInvalidSocket);
+    return {cli, srv};
+  }
+
+  void Run(SimTime d = 100 * kMillisecond) { loop_->Run(loop_->Now() + d); }
+
+  std::unique_ptr<sim::EventLoop> loop_;
+  std::unique_ptr<netsim::Fabric> fabric_;
+  std::unique_ptr<sim::CpuCore> core_a_, core_b_;
+  std::unique_ptr<TcpStack> stack_a_, stack_b_;
+};
+
+TEST_F(TcpFsmTest, HalfCloseAllowsPeerToKeepSending) {
+  auto [cli, srv] = Connect();
+  // A closes its sending direction; B may still stream data to A.
+  stack_a_->Close(cli);
+  Run();
+  ASSERT_TRUE(stack_b_->FinReceived(srv));
+  EXPECT_EQ(stack_b_->State(srv), TcpState::kCloseWait);
+  std::vector<uint8_t> data(200000, 0x61);
+  stack_b_->Send(srv, data.data(), data.size());
+  Run(500 * kMillisecond);
+  // A's socket is in FIN_WAIT_2 but keeps receiving.
+  EXPECT_EQ(stack_a_->State(cli), TcpState::kFinWait2);
+  std::vector<uint8_t> buf(data.size());
+  EXPECT_EQ(stack_a_->Recv(cli, buf.data(), buf.size()), data.size());
+  stack_b_->Close(srv);
+  Run(200 * kMillisecond);
+  EXPECT_FALSE(stack_a_->Exists(cli));
+  EXPECT_FALSE(stack_b_->Exists(srv));
+}
+
+TEST_F(TcpFsmTest, FinWithDataDeliversBoth) {
+  auto [cli, srv] = Connect();
+  std::vector<uint8_t> data(1000, 0x44);
+  stack_a_->Send(cli, data.data(), data.size());
+  stack_a_->Close(cli);  // FIN rides right behind the data
+  Run();
+  uint8_t buf[2000];
+  EXPECT_EQ(stack_b_->Recv(srv, buf, sizeof(buf)), 1000u);
+  EXPECT_TRUE(stack_b_->FinReceived(srv));
+}
+
+TEST_F(TcpFsmTest, TimeWaitHoldsTupleWhenConfigured) {
+  TcpStackConfig cfg;
+  cfg.time_wait = 50 * kMillisecond;
+  Build(cfg);
+  auto [cli, srv] = Connect();
+  stack_a_->Close(cli);
+  Run(20 * kMillisecond);
+  stack_b_->Close(srv);
+  Run(10 * kMillisecond);
+  // A initiated the close: it lingers in TIME_WAIT for 2MSL.
+  EXPECT_EQ(stack_a_->State(cli), TcpState::kTimeWait);
+  EXPECT_TRUE(stack_a_->Exists(cli));
+  Run(100 * kMillisecond);
+  EXPECT_FALSE(stack_a_->Exists(cli));
+}
+
+TEST_F(TcpFsmTest, RstDuringEstablishedSignalsError) {
+  auto [cli, srv] = Connect();
+  int err = 0;
+  SocketCallbacks cbs;
+  cbs.on_error = [&](int e) { err = e; };
+  stack_a_->SetCallbacks(cli, std::move(cbs));
+  stack_b_->Abort(srv);
+  Run();
+  EXPECT_EQ(err, kConnReset);
+  EXPECT_FALSE(stack_a_->Exists(cli));
+}
+
+TEST_F(TcpFsmTest, DataToClosedSocketDrawsRst) {
+  auto [cli, srv] = Connect();
+  // B's socket evaporates without the courtesy of a FIN exchange (e.g. the
+  // stack lost its state); A's next transmission must be RST'd.
+  stack_b_->Abort(srv);
+  // Swallow the first RST so A still thinks it is connected.
+  int err = 0;
+  SocketCallbacks cbs;
+  cbs.on_error = [&](int e) { err = e; };
+  stack_a_->SetCallbacks(cli, std::move(cbs));
+  Run();
+  EXPECT_EQ(err, kConnReset);
+}
+
+TEST_F(TcpFsmTest, CloseListenerAbortsPendingChildren) {
+  SocketId lst = stack_b_->CreateSocket();
+  stack_b_->Bind(lst, 0, 9000);
+  stack_b_->Listen(lst, 8);
+  std::vector<SocketId> clis;
+  for (int i = 0; i < 4; ++i) {
+    SocketId c = stack_a_->CreateSocket();
+    stack_a_->Connect(c, MakeIp(10, 0, 0, 2), 9000);
+    clis.push_back(c);
+  }
+  Run();
+  for (SocketId c : clis) ASSERT_EQ(stack_a_->State(c), TcpState::kEstablished);
+  // Nobody ever accepts; the listener closes -> children are reset.
+  stack_b_->Close(lst);
+  Run();
+  for (SocketId c : clis) EXPECT_FALSE(stack_a_->Exists(c));
+}
+
+TEST_F(TcpFsmTest, ReconnectReusesFreedTuple) {
+  // Connect, close cleanly, reconnect to the same destination: the demux
+  // table must have released the old tuple.
+  for (int round = 0; round < 3; ++round) {
+    auto [cli, srv] = Connect(static_cast<uint16_t>(9100 + round));
+    std::vector<uint8_t> d(100, static_cast<uint8_t>(round));
+    stack_a_->Send(cli, d.data(), d.size());
+    Run();
+    uint8_t buf[200];
+    ASSERT_EQ(stack_b_->Recv(srv, buf, sizeof(buf)), 100u);
+    ASSERT_EQ(buf[0], static_cast<uint8_t>(round));
+    stack_a_->Close(cli);
+    stack_b_->Close(srv);
+    Run();
+    ASSERT_FALSE(stack_a_->Exists(cli));
+  }
+  EXPECT_EQ(stack_a_->stats().conns_established, 3u);
+  EXPECT_EQ(stack_a_->stats().conns_closed, 3u);
+}
+
+TEST_F(TcpFsmTest, SendAfterCloseIsRejected) {
+  auto [cli, srv] = Connect();
+  stack_a_->Close(cli);
+  Run();
+  uint8_t d[10] = {0};
+  EXPECT_EQ(stack_a_->Send(cli, d, sizeof(d)), 0u);
+}
+
+TEST_F(TcpFsmTest, RecvDrainsBufferAfterPeerClosed) {
+  auto [cli, srv] = Connect();
+  std::vector<uint8_t> data(5000, 0x11);
+  stack_a_->Send(cli, data.data(), data.size());
+  stack_a_->Close(cli);
+  Run();
+  // FinReceived must stay false until the buffered data is consumed.
+  EXPECT_FALSE(stack_b_->FinReceived(srv));
+  uint8_t buf[5000];
+  EXPECT_EQ(stack_b_->Recv(srv, buf, sizeof(buf)), 5000u);
+  EXPECT_TRUE(stack_b_->FinReceived(srv));
+}
+
+TEST_F(TcpFsmTest, OutOfOrderSegmentsReassemble) {
+  // Drop exactly one data packet to force reassembly through the OOO map.
+  int dropped = 0;
+  fabric_->up_link(0)->SetDropFn([&](const netsim::Packet& p) {
+    if (p.wire_bytes > 5000 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  auto [cli, srv] = Connect();
+  std::vector<uint8_t> data(400000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i * 13);
+  uint64_t sent = 0;
+  SocketCallbacks cbs;
+  cbs.on_writable = [&] {
+    if (sent < data.size()) sent += stack_a_->Send(cli, data.data() + sent, data.size() - sent);
+  };
+  stack_a_->SetCallbacks(cli, std::move(cbs));
+  sent += stack_a_->Send(cli, data.data(), data.size());
+  Run(2 * kSecond);
+  std::vector<uint8_t> got(data.size());
+  uint64_t n = 0;
+  while (n < data.size()) {
+    uint64_t r = stack_b_->Recv(srv, got.data() + n, got.size() - n);
+    if (r == 0) break;
+    n += r;
+    Run(50 * kMillisecond);
+  }
+  ASSERT_EQ(n, data.size());
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(dropped, 1);
+  EXPECT_GE(stack_a_->stats().retransmits, 1u);
+}
+
+}  // namespace
+}  // namespace netkernel::tcp
