@@ -3,6 +3,7 @@
 #include "src/apps/workloads.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 
 #include "src/common/check.h"
@@ -243,6 +244,161 @@ sim::Task<void> StreamSenderConn(core::Vm* vm, sim::CpuCore* core, StreamConfig 
   co_await api.Close(core, fd);
 }
 
+// ---------------------------------------------------------------------------
+// Memcached-style UDP key-value workload
+// ---------------------------------------------------------------------------
+
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+sim::Task<void> UdpKvServerThread(core::Vm* vm, int thread_idx, uint16_t port,
+                                  UdpKvServerConfig cfg, UdpKvStats* stats) {
+  SocketApi& api = vm->api();
+  sim::CpuCore* core = vm->vcpu(thread_idx % vm->num_vcpus());
+  sim::EventLoop* loop = api.loop();
+
+  int fd = co_await api.SocketDgram(core);
+  NK_CHECK(fd >= 0);
+  int r = co_await api.Bind(core, fd, 0, port);
+  NK_CHECK(r == 0);
+
+  // Per-thread shard, as each memcached UDP worker owns its own port.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> store;
+  std::vector<uint8_t> req(64 * 1024);
+  std::vector<uint8_t> resp(64 * 1024);
+
+  for (;;) {
+    netsim::IpAddr src_ip = 0;
+    uint16_t src_port = 0;
+    int64_t n = co_await api.RecvFrom(core, fd, req.data(), req.size(), &src_ip, &src_port);
+    if (n < static_cast<int64_t>(kUdpKvHeader)) continue;  // malformed
+    stats->bytes_in += static_cast<uint64_t>(n);
+    uint8_t op = req[0];
+    uint64_t req_id = GetU64(req.data() + 1);
+    uint64_t key = GetU64(req.data() + 9);
+
+    if (cfg.app_cycles_per_request > 0) {
+      co_await core->Work(cfg.app_cycles_per_request);
+    }
+
+    uint64_t resp_len = 9;
+    if (op == 1) {  // SET
+      store[key].assign(req.begin() + kUdpKvHeader, req.begin() + n);
+      resp[0] = 0;
+      ++stats->sets;
+    } else {  // GET
+      auto it = store.find(key);
+      if (it == store.end()) {
+        resp[0] = 1;
+        ++stats->misses;
+      } else {
+        resp[0] = 0;
+        std::copy(it->second.begin(), it->second.end(), resp.begin() + 9);
+        resp_len += it->second.size();
+        ++stats->hits;
+      }
+      ++stats->gets;
+    }
+    PutU64(resp.data() + 1, req_id);
+    int64_t sent = co_await api.SendTo(core, fd, src_ip, src_port, resp.data(), resp_len);
+    if (sent > 0) stats->bytes_out += static_cast<uint64_t>(sent);
+    ++stats->requests;
+    if (stats->rps_series != nullptr) stats->rps_series->Add(loop->Now(), 1.0);
+  }
+}
+
+struct UdpLoadGenShared {
+  UdpLoadGenConfig cfg;
+  UdpLoadGenStats* stats;
+  uint64_t next_req_id = 1;
+  int senders_done = 0;
+  int threads = 0;
+};
+
+struct OutstandingReq {
+  SimTime issued_at = 0;
+  bool is_set = false;
+};
+
+// Receives responses on this thread's socket and matches them to issue times.
+sim::Task<void> UdpLoadGenReceiver(
+    core::Vm* vm, sim::CpuCore* core, int fd, std::shared_ptr<UdpLoadGenShared> sh,
+    std::shared_ptr<std::unordered_map<uint64_t, OutstandingReq>> out) {
+  SocketApi& api = vm->api();
+  sim::EventLoop* loop = api.loop();
+  std::vector<uint8_t> buf(64 * 1024);
+  for (;;) {
+    int64_t n = co_await api.RecvFrom(core, fd, buf.data(), buf.size(), nullptr, nullptr);
+    if (n < 9) continue;
+    uint64_t req_id = GetU64(buf.data() + 1);
+    auto it = out->find(req_id);
+    if (it == out->end()) continue;  // duplicate or late beyond accounting
+    UdpLoadGenStats* stats = sh->stats;
+    ++stats->completed;
+    // Hit/miss is a GET-only notion; a SET ack's status 0 means "stored".
+    if (!it->second.is_set) {
+      if (buf[0] == 0) {
+        ++stats->hits;
+      } else {
+        ++stats->misses;
+      }
+    }
+    stats->last_complete = loop->Now();
+    if (it->second.issued_at >= sh->cfg.measure_from) {
+      stats->latency_us.Add(static_cast<double>(loop->Now() - it->second.issued_at) /
+                            kMicrosecond);
+    }
+    out->erase(it);
+  }
+}
+
+sim::Task<void> UdpLoadGenSender(core::Vm* vm, sim::CpuCore* core, int thread_idx,
+                                 std::shared_ptr<UdpLoadGenShared> sh) {
+  SocketApi& api = vm->api();
+  sim::EventLoop* loop = api.loop();
+  const UdpLoadGenConfig& cfg = sh->cfg;
+  UdpLoadGenStats* stats = sh->stats;
+  Rng rng(cfg.seed + static_cast<uint64_t>(thread_idx) * 7919);
+
+  int fd = co_await api.SocketDgram(core);
+  NK_CHECK(fd >= 0);
+  auto outstanding = std::make_shared<std::unordered_map<uint64_t, OutstandingReq>>();
+  sim::Spawn(UdpLoadGenReceiver(vm, core, fd, sh, outstanding));
+
+  std::vector<uint8_t> req(kUdpKvHeader + cfg.value_size, 0x6b);
+  const double per_thread_rps = cfg.rps / sh->threads;
+  for (;;) {
+    if (cfg.total_requests > 0 && stats->issued >= cfg.total_requests) break;
+    double gap_s = rng.NextExponential(1.0 / per_thread_rps);
+    co_await sim::Delay(loop, FromSeconds(gap_s));
+    if (cfg.total_requests > 0 && stats->issued >= cfg.total_requests) break;
+
+    bool is_set = rng.NextBool(cfg.set_fraction);
+    uint64_t key = rng.NextBounded(cfg.key_space);
+    uint64_t req_id = sh->next_req_id++;
+    req[0] = is_set ? 1 : 0;
+    PutU64(req.data() + 1, req_id);
+    PutU64(req.data() + 9, key);
+    uint64_t len = is_set ? kUdpKvHeader + cfg.value_size : kUdpKvHeader;
+    uint16_t port = static_cast<uint16_t>(
+        cfg.port + (cfg.ports > 1 ? key % static_cast<uint64_t>(cfg.ports) : 0));
+
+    ++stats->issued;
+    if (stats->first_issue < 0) stats->first_issue = loop->Now();
+    (*outstanding)[req_id] = OutstandingReq{loop->Now(), is_set};
+    int64_t sent = co_await api.SendTo(core, fd, cfg.server_ip, port, req.data(), len);
+    if (sent < 0) {
+      ++stats->errors;
+      outstanding->erase(req_id);
+    }
+  }
+  if (++sh->senders_done == sh->threads) stats->done = true;
+}
+
 }  // namespace
 
 void StartEpollServer(core::Vm* vm, EpollServerConfig config, ServerStats* stats) {
@@ -290,6 +446,25 @@ void StartStreamSenders(core::Vm* vm, StreamConfig config, StreamStats* stats) {
   for (int c = 0; c < config.connections; ++c) {
     sim::CpuCore* core = vm->vcpu((c % threads) % vm->num_vcpus());
     sim::Spawn(StreamSenderConn(vm, core, config, stats));
+  }
+}
+
+void StartUdpKvServer(core::Vm* vm, UdpKvServerConfig config, UdpKvStats* stats) {
+  int threads = ResolveThreads(vm, config.threads);
+  for (int t = 0; t < threads; ++t) {
+    uint16_t port = static_cast<uint16_t>(config.port + t);
+    sim::Spawn(UdpKvServerThread(vm, config.first_thread + t, port, config, stats));
+  }
+}
+
+void StartUdpLoadGen(core::Vm* vm, UdpLoadGenConfig config, UdpLoadGenStats* stats) {
+  auto sh = std::make_shared<UdpLoadGenShared>();
+  sh->cfg = config;
+  sh->stats = stats;
+  sh->threads = ResolveThreads(vm, config.threads);
+  for (int t = 0; t < sh->threads; ++t) {
+    sim::CpuCore* core = vm->vcpu(t % vm->num_vcpus());
+    sim::Spawn(UdpLoadGenSender(vm, core, t, sh));
   }
 }
 

@@ -8,6 +8,10 @@
 //                    total request count, and latency percentiles (§7.7), or
 //                    open-loop Poisson arrivals at a target rate.
 //   * StreamSender/StreamSink — iperf-style bulk TCP streams (§7.3-§7.5).
+//   * UdpKvServer/UdpLoadGen  — memcached-style UDP key-value request/response
+//                    workload over the SOCK_DGRAM surface: the same app binary
+//                    logic runs on a Baseline VM and a NetKernel VM, which is
+//                    the datagram leg of the API-transparency story.
 
 #ifndef SRC_APPS_WORKLOADS_H_
 #define SRC_APPS_WORKLOADS_H_
@@ -122,6 +126,81 @@ void StartStreamSink(core::Vm* vm, uint16_t port, StreamStats* stats, int thread
 
 // Senders: open `connections` streams to the sink and send continuously.
 void StartStreamSenders(core::Vm* vm, StreamConfig config, StreamStats* stats);
+
+// ---------------------------------------------------------------------------
+// Memcached-style UDP key-value workload
+// ---------------------------------------------------------------------------
+//
+// Wire protocol (one request or response per datagram):
+//   request:  1 B op (0 = GET, 1 = SET) | 8 B request id | 8 B key | value...
+//   response: 1 B status (0 = hit/stored, 1 = miss) | 8 B request id | value...
+// The request id lets an open-loop client match out-of-order responses; the
+// per-thread server port mirrors memcached's UDP worker model.
+
+constexpr uint32_t kUdpKvHeader = 17;
+
+struct UdpKvServerConfig {
+  uint16_t port = 11211;
+  // Worker threads; thread t serves its own socket on `port + t` (memcached's
+  // per-worker UDP port scheme). 0 = one per vCPU.
+  int threads = 1;
+  int first_thread = 0;  // vCPU index of the first server thread
+  Cycles app_cycles_per_request = 0;  // hash-table/app logic per request
+};
+
+struct UdpKvStats {
+  uint64_t requests = 0;
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  TimeSeries* rps_series = nullptr;
+};
+
+// Spawns the server threads (they run for the remainder of the simulation).
+void StartUdpKvServer(core::Vm* vm, UdpKvServerConfig config, UdpKvStats* stats);
+
+struct UdpLoadGenConfig {
+  netsim::IpAddr server_ip = 0;
+  uint16_t port = 11211;
+  int ports = 1;             // server worker ports: [port, port + ports)
+  double rps = 10000;        // open-loop Poisson arrival rate (aggregate)
+  uint64_t total_requests = 0;  // 0 = unbounded (run for sim horizon)
+  uint32_t value_size = 100;
+  double set_fraction = 0.1;  // SETs vs GETs
+  uint64_t key_space = 10000;
+  int threads = 0;  // client threads, each with its own socket; 0 = one/vCPU
+  uint64_t seed = 42;
+  // Latency percentiles only sample requests issued at or after this instant,
+  // so a warmup phase does not skew the steady-state distribution.
+  SimTime measure_from = 0;
+};
+
+struct UdpLoadGenStats {
+  Summary latency_us;  // request-response latency in microseconds
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t errors = 0;
+  SimTime first_issue = -1;
+  SimTime last_complete = 0;
+  bool done = false;  // all requests issued (responses may still be in flight)
+
+  // Requests with no response yet: with UDP these are the losses.
+  uint64_t Lost() const { return issued - completed - errors; }
+  double LossRate() const {
+    return issued > 0 ? static_cast<double>(Lost()) / static_cast<double>(issued) : 0.0;
+  }
+  double RequestsPerSec() const {
+    SimTime span = last_complete - first_issue;
+    return span > 0 ? static_cast<double>(completed) / ToSeconds(span) : 0.0;
+  }
+};
+
+void StartUdpLoadGen(core::Vm* vm, UdpLoadGenConfig config, UdpLoadGenStats* stats);
 
 }  // namespace netkernel::apps
 

@@ -6,8 +6,12 @@
 
 namespace netkernel::core {
 
-BaselineSocketApi::BaselineSocketApi(sim::EventLoop* loop, tcp::TcpStack* stack)
-    : loop_(loop), stack_(stack), epolls_(loop, [this](int fd) { return Readiness(fd); }) {}
+BaselineSocketApi::BaselineSocketApi(sim::EventLoop* loop, tcp::TcpStack* stack,
+                                     udp::UdpStack* udp_stack)
+    : loop_(loop),
+      stack_(stack),
+      udp_stack_(udp_stack),
+      epolls_(loop, [this](int fd) { return Readiness(fd); }) {}
 
 BaselineSocketApi::Fd* BaselineSocketApi::FindFd(int fd) {
   auto it = fds_.find(fd);
@@ -55,9 +59,33 @@ void BaselineSocketApi::InstallCallbacks(int fd) {
   stack_->SetCallbacks(f->sid, std::move(cbs));
 }
 
+int BaselineSocketApi::WrapDgramSocket(udp::SocketId usid) {
+  int fd = next_fd_++;
+  Fd f;
+  f.dgram = true;
+  f.usid = usid;
+  f.ev = std::make_unique<sim::SimEvent>(loop_);
+  fds_.emplace(fd, std::move(f));
+  udp::UdpSocketCallbacks cbs;
+  cbs.on_readable = [this, fd] {
+    Fd* f2 = FindFd(fd);
+    if (f2 == nullptr) return;
+    f2->ev->NotifyAll();
+    epolls_.NotifyFd(fd);
+  };
+  udp_stack_->SetCallbacks(usid, std::move(cbs));
+  return fd;
+}
+
 uint32_t BaselineSocketApi::Readiness(int fd) {
   Fd* f = FindFd(fd);
   if (f == nullptr) return kEpollErr | kEpollHup;
+  if (f->dgram) {
+    uint32_t r = kEpollOut;  // UDP sends never block on peer state
+    if (udp_stack_->RxQueuedDatagrams(f->usid) > 0) r |= kEpollIn;
+    if (!udp_stack_->Exists(f->usid)) r |= kEpollHup;
+    return r;
+  }
   uint32_t r = 0;
   if (f->error) r |= kEpollErr;
   if (stack_->HasPendingAccept(f->sid)) r |= kEpollIn;
@@ -81,6 +109,7 @@ sim::Task<int> BaselineSocketApi::Bind(sim::CpuCore* core, int fd, netsim::IpAdd
   co_await core->Work(stack_->config().profile.syscall);
   Fd* f = FindFd(fd);
   if (f == nullptr) co_return tcp::kNotConnected;
+  if (f->dgram) co_return udp_stack_->Bind(f->usid, ip, port);
   co_return stack_->Bind(f->sid, ip, port);
 }
 
@@ -168,10 +197,52 @@ sim::Task<int> BaselineSocketApi::Close(sim::CpuCore* core, int fd) {
   co_await core->Work(stack_->config().profile.syscall);
   Fd* f = FindFd(fd);
   if (f == nullptr) co_return tcp::kNotConnected;
-  stack_->Close(f->sid);
+  if (f->dgram) {
+    udp_stack_->Close(f->usid);
+  } else {
+    stack_->Close(f->sid);
+  }
   epolls_.RemoveFd(fd);
   fds_.erase(fd);
   co_return tcp::kOk;
+}
+
+sim::Task<int> BaselineSocketApi::SocketDgram(sim::CpuCore* core) {
+  co_await core->Work(stack_->config().profile.syscall);
+  if (udp_stack_ == nullptr) co_return udp::kBadSocket;
+  co_return WrapDgramSocket(udp_stack_->CreateSocket());
+}
+
+sim::Task<int64_t> BaselineSocketApi::SendTo(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip,
+                                             uint16_t dst_port, const uint8_t* data,
+                                             uint64_t len) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  Fd* f = FindFd(fd);
+  if (f == nullptr || !f->dgram) co_return udp::kBadSocket;
+  if (len > udp::kMaxDatagram) co_return udp::kMsgSize;
+  // Copy from userspace into the kernel skb.
+  co_await core->Work(static_cast<Cycles>(p.copy_per_byte * len));
+  f = FindFd(fd);
+  if (f == nullptr) co_return udp::kBadSocket;
+  co_return udp_stack_->SendTo(f->usid, dst_ip, dst_port, data, static_cast<uint32_t>(len));
+}
+
+sim::Task<int64_t> BaselineSocketApi::RecvFrom(sim::CpuCore* core, int fd, uint8_t* out,
+                                               uint64_t max, netsim::IpAddr* src_ip,
+                                               uint16_t* src_port) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  for (;;) {
+    Fd* f = FindFd(fd);
+    if (f == nullptr || !f->dgram) co_return udp::kBadSocket;
+    int64_t n = udp_stack_->RecvFrom(f->usid, out, max, src_ip, src_port);
+    if (n >= 0) {
+      co_await core->Work(static_cast<Cycles>(p.copy_per_byte * n));
+      co_return n;
+    }
+    co_await f->ev->Wait();
+  }
 }
 
 sim::Task<std::vector<EpollEvent>> BaselineSocketApi::EpollWait(sim::CpuCore* core, int epfd,

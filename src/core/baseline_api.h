@@ -16,13 +16,16 @@
 #include "src/core/epoll.h"
 #include "src/core/socket_api.h"
 #include "src/tcpstack/stack.h"
+#include "src/udpstack/stack.h"
 
 namespace netkernel::core {
 
 class BaselineSocketApi : public SocketApi {
  public:
   // `stack` must outlive the API; its cores are the guest's vCPUs.
-  BaselineSocketApi(sim::EventLoop* loop, tcp::TcpStack* stack);
+  // `udp_stack` may be null (SOCK_DGRAM calls then fail).
+  BaselineSocketApi(sim::EventLoop* loop, tcp::TcpStack* stack,
+                    udp::UdpStack* udp_stack = nullptr);
 
   sim::EventLoop* loop() override { return loop_; }
 
@@ -35,16 +38,25 @@ class BaselineSocketApi : public SocketApi {
   sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) override;
   sim::Task<int> Close(sim::CpuCore* core, int fd) override;
 
+  sim::Task<int> SocketDgram(sim::CpuCore* core) override;
+  sim::Task<int64_t> SendTo(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip, uint16_t dst_port,
+                            const uint8_t* data, uint64_t len) override;
+  sim::Task<int64_t> RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max,
+                              netsim::IpAddr* src_ip, uint16_t* src_port) override;
+
   int EpollCreate() override { return epolls_.Create(); }
   int EpollCtl(int epfd, int fd, uint32_t mask) override { return epolls_.Ctl(epfd, fd, mask); }
   sim::Task<std::vector<EpollEvent>> EpollWait(sim::CpuCore* core, int epfd, size_t max_events,
                                                SimTime timeout) override;
 
   tcp::TcpStack* stack() { return stack_; }
+  udp::UdpStack* udp_stack() { return udp_stack_; }
 
  private:
   struct Fd {
     tcp::SocketId sid = tcp::kInvalidSocket;
+    bool dgram = false;
+    udp::SocketId usid = udp::kInvalidSocket;
     std::unique_ptr<sim::SimEvent> ev;
     bool connect_done = false;
     int connect_result = 0;
@@ -53,12 +65,14 @@ class BaselineSocketApi : public SocketApi {
   };
 
   int WrapSocket(tcp::SocketId sid);
+  int WrapDgramSocket(udp::SocketId usid);
   void InstallCallbacks(int fd);
   uint32_t Readiness(int fd);
   Fd* FindFd(int fd);
 
   sim::EventLoop* loop_;
   tcp::TcpStack* stack_;
+  udp::UdpStack* udp_stack_;
   std::unordered_map<int, Fd> fds_;
   int next_fd_ = 3;
   EpollRegistry epolls_;

@@ -66,6 +66,13 @@ void CoreEngine::DeregisterVmDevice(uint8_t vm_id) {
       ++it;
     }
   }
+  for (auto it = dgram_table_.begin(); it != dgram_table_.end();) {
+    if ((it->first >> 32) == vm_id) {
+      it = dgram_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void CoreEngine::DeregisterNsmDevice(uint8_t nsm_id) {
@@ -126,6 +133,8 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
     return false;
   }
 
+  if (RouteDgramNqe(nqe, from_send_ring, vm, plan, cost)) return true;
+
   uint64_t key = ConnKey(nqe.vm_id, nqe.vm_sock);
   auto op = nqe.Op();
   ConnEntry* entry = nullptr;
@@ -135,12 +144,11 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
   if (entry == nullptr) {
     // New connection: map to the VM's current NSM (Fig 6 step 1-2).
     if (!vm.has_nsm) return true;  // drop: no NSM assigned
-    shm::NkDevice* ndev = nsms_.count(vm.nsm_id) ? nsms_[vm.nsm_id] : nullptr;
+    shm::NkDevice* ndev = FindNsm(vm.nsm_id);
     if (ndev == nullptr) return true;
     ConnEntry e;
     e.nsm_id = vm.nsm_id;
-    e.nsm_qset = static_cast<uint8_t>((key * 0x9e3779b97f4a7c15ULL >> 32) %
-                                      static_cast<uint64_t>(ndev->num_queue_sets()));
+    e.nsm_qset = HashQset(key, ndev);
     e.vm_qset = nqe.queue_set;
     if (op == NqeOp::kAccept) {
       // GuestLib announced the guest handle of an accepted connection; the
@@ -155,7 +163,7 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
     cost += config_.costs.ce_table_lookup;
   }
 
-  shm::NkDevice* ndev = nsms_.count(entry->nsm_id) ? nsms_[entry->nsm_id] : nullptr;
+  shm::NkDevice* ndev = FindNsm(entry->nsm_id);
   if (ndev == nullptr) return true;  // NSM gone; drop
 
   Delivery d;
@@ -166,6 +174,68 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
   plan.push_back(d);
   if (from_send_ring) stats_.send_bytes_switched += nqe.size;
   if (op == NqeOp::kClose) conn_table_.erase(key);
+  return true;
+}
+
+bool CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
+                               std::vector<Delivery>& plan, Cycles& cost) {
+  const NqeOp op = nqe.Op();
+  const uint64_t key = ConnKey(nqe.vm_id, nqe.vm_sock);
+  DgramEntry* entry = nullptr;
+  auto it = dgram_table_.find(key);
+  if (it != dgram_table_.end()) entry = &it->second;
+
+  if (op == NqeOp::kSocketUdp) {
+    // New datagram socket: map it to the VM's current NSM. The entry is
+    // complete immediately — connectionless sockets are keyed by the guest
+    // handle alone, with no NSM socket id to learn (contrast Fig 6 step 4).
+    if (!vm.has_nsm) return true;  // drop: no NSM assigned
+    shm::NkDevice* ndev = FindNsm(vm.nsm_id);
+    if (ndev == nullptr) return true;
+    DgramEntry e;
+    e.nsm_id = vm.nsm_id;
+    e.nsm_qset = HashQset(key, ndev);
+    entry = &dgram_table_.emplace(key, e).first->second;
+    cost += config_.costs.ce_table_insert;
+    ++stats_.table_inserts;
+  } else if (entry != nullptr) {
+    cost += config_.costs.ce_table_lookup;
+  } else if (op == NqeOp::kBindUdp || op == NqeOp::kSendTo || op == NqeOp::kRecvFrom) {
+    // Socket not (or no longer) in the table — e.g. a kClose through the job
+    // ring overtook kSendTo NQEs still queued on the send ring. Forward
+    // statelessly to the VM's current NSM: the NSM side owns the hugepage
+    // accounting and must see the NQE to release its payload chunk.
+    if (!vm.has_nsm) return true;
+    shm::NkDevice* fdev = FindNsm(vm.nsm_id);
+    if (fdev == nullptr) return true;
+    Delivery d;
+    d.dst = fdev;
+    d.qset = HashQset(key, fdev);
+    d.to_send_ring = from_send_ring;
+    d.nqe = nqe;
+    plan.push_back(d);
+    ++stats_.dgram_nqes_switched;
+    cost += config_.costs.ce_table_lookup;
+    return true;
+  } else {
+    return false;  // not a datagram socket; fall through to connection routing
+  }
+
+  shm::NkDevice* ndev = FindNsm(entry->nsm_id);
+  if (ndev == nullptr) {
+    if (op == NqeOp::kClose) dgram_table_.erase(key);
+    return true;  // NSM gone; drop
+  }
+
+  Delivery d;
+  d.dst = ndev;
+  d.qset = entry->nsm_qset;
+  d.to_send_ring = from_send_ring;
+  d.nqe = nqe;
+  plan.push_back(d);
+  ++stats_.dgram_nqes_switched;
+  if (from_send_ring) stats_.send_bytes_switched += nqe.size;
+  if (op == NqeOp::kClose) dgram_table_.erase(key);
   return true;
 }
 
@@ -191,7 +261,8 @@ void CoreEngine::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Deliver
   d.dst = vit->second.dev;
   d.qset = nqe.queue_set;
   if (d.qset >= vit->second.dev->num_queue_sets()) d.qset = 0;
-  d.to_receive_ring = op == NqeOp::kRecvData || op == NqeOp::kFinReceived;
+  d.to_receive_ring =
+      op == NqeOp::kRecvData || op == NqeOp::kFinReceived || op == NqeOp::kDgramRecv;
   d.nqe = nqe;
   plan.push_back(d);
 }
@@ -276,7 +347,8 @@ void CoreEngine::ProcessRound() {
       } else if (d.to_send_ring) {
         ring = &q.send;
       } else if (d.nqe.Op() == NqeOp::kOpResult || d.nqe.Op() == NqeOp::kConnectResult ||
-                 d.nqe.Op() == NqeOp::kAcceptedConn || d.nqe.Op() == NqeOp::kSendResult) {
+                 d.nqe.Op() == NqeOp::kAcceptedConn || d.nqe.Op() == NqeOp::kSendResult ||
+                 d.nqe.Op() == NqeOp::kSendToResult) {
         ring = &q.completion;
       } else {
         ring = &q.job;

@@ -63,6 +63,7 @@ struct CoreEngineStats {
   uint64_t table_inserts = 0;
   uint64_t throttled_nqes = 0;  // deferred by a token bucket
   uint64_t send_bytes_switched = 0;
+  uint64_t dgram_nqes_switched = 0;  // connectionless (UDP) NQEs
 };
 
 class CoreEngine {
@@ -100,6 +101,12 @@ class CoreEngine {
     uint8_t vm_qset = 0;
     bool complete = false;
   };
+  // Connectionless sockets route by socket key alone: no NSM-socket-id
+  // completion handshake, so the entry is final at kSocketUdp time.
+  struct DgramEntry {
+    uint8_t nsm_id = 0;
+    uint8_t nsm_qset = 0;
+  };
   struct VmState {
     shm::NkDevice* dev = nullptr;
     uint8_t nsm_id = 0;
@@ -118,12 +125,25 @@ class CoreEngine {
   static uint64_t ConnKey(uint8_t vm_id, uint32_t vm_sock) {
     return (static_cast<uint64_t>(vm_id) << 32) | vm_sock;
   }
+  // Golden-ratio spread of a socket key over an NSM's queue sets.
+  static uint8_t HashQset(uint64_t key, const shm::NkDevice* ndev) {
+    return static_cast<uint8_t>((key * 0x9e3779b97f4a7c15ULL >> 32) %
+                                static_cast<uint64_t>(ndev->num_queue_sets()));
+  }
+  shm::NkDevice* FindNsm(uint8_t nsm_id) {
+    auto it = nsms_.find(nsm_id);
+    return it == nsms_.end() ? nullptr : it->second;
+  }
 
   void ScheduleRound();
   void ProcessRound();
   // Routes one VM->NSM NQE; returns false if it must stay queued (throttled).
   bool RouteVmNqe(const shm::Nqe& nqe, bool from_send_ring, VmState& vm,
                   std::vector<Delivery>& plan, Cycles& cost, SimTime* retry_at);
+  // Connectionless-NQE routing via the datagram socket table. Returns true if
+  // the NQE was claimed (routed or dropped) as a datagram op.
+  bool RouteDgramNqe(const shm::Nqe& nqe, bool from_send_ring, VmState& vm,
+                     std::vector<Delivery>& plan, Cycles& cost);
   void RouteNsmNqe(const shm::Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
                    Cycles& cost);
 
@@ -133,6 +153,7 @@ class CoreEngine {
   std::unordered_map<uint8_t, VmState> vms_;
   std::unordered_map<uint8_t, shm::NkDevice*> nsms_;
   std::unordered_map<uint64_t, ConnEntry> conn_table_;
+  std::unordered_map<uint64_t, DgramEntry> dgram_table_;
   std::vector<uint8_t> vm_rr_order_;   // round-robin polling order
   std::vector<uint8_t> nsm_rr_order_;
   size_t rr_cursor_ = 0;

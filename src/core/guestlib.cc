@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/udpstack/udp_types.h"
 
 namespace netkernel::core {
 
@@ -70,6 +71,11 @@ uint32_t GuestLib::Readiness(int fd) {
   if (g == nullptr) return kEpollErr | kEpollHup;
   uint32_t r = 0;
   if (g->error) r |= kEpollErr;
+  if (g->dgram) {
+    if (!g->drx.empty()) r |= kEpollIn;
+    if (g->send_usage < g->send_limit) r |= kEpollOut;
+    return r;
+  }
   if (!g->pending_conns.empty()) r |= kEpollIn;
   if (g->rx_bytes > 0 || g->fin) r |= kEpollIn;
   if (g->connected && g->send_usage < g->send_limit) r |= kEpollOut;
@@ -156,8 +162,9 @@ sim::Task<int> GuestLib::Socket(sim::CpuCore* core) {
 sim::Task<int> GuestLib::Bind(sim::CpuCore* core, int fd, netsim::IpAddr ip, uint16_t port) {
   GSock* g = FindByFd(fd);
   if (g == nullptr) co_return tcp::kNotConnected;
-  co_return co_await DoControlOp(
-      core, *g, MakeNqe(NqeOp::kBind, vm_id_, 0, g->handle, shm::PackAddr(ip, port)));
+  NqeOp op = g->dgram ? NqeOp::kBindUdp : NqeOp::kBind;
+  co_return co_await DoControlOp(core, *g,
+                                 MakeNqe(op, vm_id_, 0, g->handle, shm::PackAddr(ip, port)));
 }
 
 sim::Task<int> GuestLib::Listen(sim::CpuCore* core, int fd, int backlog, bool reuseport) {
@@ -255,6 +262,108 @@ sim::Task<int64_t> GuestLib::Send(sim::CpuCore* core, int fd, const uint8_t* dat
   co_return static_cast<int64_t>(sent);
 }
 
+sim::Task<int> GuestLib::SocketDgram(sim::CpuCore* core) {
+  // SOCK_DGRAM is rewritten to SOCK_NETKERNEL just like SOCK_STREAM (§5);
+  // only the NQE verb differs, so the NSM knows to create a UDP socket.
+  GSock& g = NewSock(core);
+  g.dgram = true;
+  int fd = g.fd;
+  uint32_t handle = g.handle;
+  int r = co_await DoControlOp(core, g, MakeNqe(NqeOp::kSocketUdp, vm_id_, 0, handle));
+  if (r != 0) {
+    // The NSM rejected the socket (e.g. a shared-memory NSM has no datagram
+    // transport); the app never sees the fd, so reclaim it here.
+    if (FindByHandle(handle) != nullptr) {
+      fd_to_handle_.erase(fd);
+      socks_.erase(handle);
+    }
+    co_return r;
+  }
+  co_return fd;
+}
+
+sim::Task<int64_t> GuestLib::SendTo(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip,
+                                    uint16_t dst_port, const uint8_t* data, uint64_t len) {
+  co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
+  uint32_t handle;
+  {
+    GSock* g = FindByFd(fd);
+    if (g == nullptr || !g->dgram) co_return udp::kBadSocket;
+    handle = g->handle;
+  }
+  if (len > udp::kMaxDatagram || len > shm::HugepagePool::kMaxChunk) {
+    co_return udp::kMsgSize;
+  }
+  const uint32_t size = static_cast<uint32_t>(len);
+  for (;;) {
+    GSock* g = FindByHandle(handle);
+    if (g == nullptr) co_return udp::kBadSocket;
+    if (g->error) co_return g->err;
+    // A datagram is sent whole or not at all; wait for send credit for all
+    // of it (kSendToResult returns credits as the NSM transmits).
+    if (g->send_usage + size > g->send_limit) {
+      co_await g->ev->Wait();
+      continue;
+    }
+    uint64_t off = pool_->Alloc(size > 0 ? size : 1);
+    if (off == shm::HugepagePool::kInvalidOffset) {
+      if (g->send_usage > 0) {
+        co_await g->ev->Wait();
+      } else {
+        co_await sim::Delay(loop_, 50 * kMicrosecond);
+      }
+      continue;
+    }
+    // Copy payload from userspace into the shared hugepages (§4.5).
+    co_await core->Work(static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * size));
+    g = FindByHandle(handle);
+    if (g == nullptr) {
+      pool_->Free(off);
+      co_return udp::kBadSocket;
+    }
+    if (size > 0) std::memcpy(pool_->Data(off), data, size);
+    g->send_usage += size;
+    EnqueueSend(*g, MakeNqe(NqeOp::kSendTo, vm_id_, 0, handle,
+                            shm::PackAddr(dst_ip, dst_port), off, size));
+    co_return static_cast<int64_t>(size);
+  }
+}
+
+sim::Task<int64_t> GuestLib::RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max,
+                                      netsim::IpAddr* src_ip, uint16_t* src_port) {
+  co_await core->Work(config_.syscall);
+  uint32_t handle;
+  {
+    GSock* g = FindByFd(fd);
+    if (g == nullptr || !g->dgram) co_return udp::kBadSocket;
+    handle = g->handle;
+  }
+  for (;;) {
+    GSock* g = FindByHandle(handle);
+    if (g == nullptr) co_return udp::kBadSocket;
+    if (!g->drx.empty()) {
+      DgramChunk c = g->drx.front();
+      g->drx.pop_front();
+      g->drx_bytes -= c.size;
+      uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(c.size, max));
+      co_await core->Work(static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * n));
+      if (n > 0 && out != nullptr) std::memcpy(out, pool_->Data(c.ptr), n);
+      pool_->Free(c.ptr);
+      if (src_ip != nullptr) *src_ip = shm::AddrIp(c.src);
+      if (src_port != nullptr) *src_port = shm::AddrPort(c.src);
+      // Return the datagram receive credit through the NQE channel so the
+      // NSM resumes shipping (the kRecvFrom verb).
+      GSock* g2 = FindByHandle(handle);
+      if (g2 != nullptr) {
+        EnqueueJob(*g2, MakeNqe(NqeOp::kRecvFrom, vm_id_, 0, handle, c.size));
+      }
+      co_return static_cast<int64_t>(n);
+    }
+    if (g->error) co_return g->err;
+    co_await g->ev->Wait();
+  }
+}
+
 sim::Task<int64_t> GuestLib::Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) {
   co_await core->Work(config_.syscall);
   uint32_t handle;
@@ -302,6 +411,8 @@ sim::Task<int> GuestLib::Close(sim::CpuCore* core, int fd) {
   EnqueueJob(*g, MakeNqe(NqeOp::kClose, vm_id_, 0, g->handle));
   for (RxChunk& c : g->rx) pool_->Free(c.ptr);
   g->rx.clear();
+  for (DgramChunk& c : g->drx) pool_->Free(c.ptr);
+  g->drx.clear();
   epolls_.RemoveFd(fd);
   fd_to_handle_.erase(fd);
   socks_.erase(g->handle);
@@ -361,8 +472,13 @@ void GuestLib::ProcessInbound(int qs) {
 void GuestLib::ApplyInbound(const Nqe& nqe) {
   GSock* g = FindByHandle(nqe.vm_sock);
   if (g == nullptr) {
-    // Socket already closed; free any referenced hugepage chunk.
-    if (nqe.Op() == NqeOp::kRecvData && nqe.size > 0) pool_->Free(nqe.data_ptr);
+    // Socket already closed; free any referenced hugepage chunk. A datagram
+    // NQE always references a chunk — even a zero-length datagram rides in a
+    // minimal allocation.
+    if (nqe.Op() == NqeOp::kDgramRecv ||
+        (nqe.Op() == NqeOp::kRecvData && nqe.size > 0)) {
+      pool_->Free(nqe.data_ptr);
+    }
     return;
   }
   switch (nqe.Op()) {
@@ -378,11 +494,16 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
     case NqeOp::kAcceptedConn:
       g->pending_conns.push_back(nqe.op_data);
       break;
-    case NqeOp::kSendResult: {
+    case NqeOp::kSendResult:
+    case NqeOp::kSendToResult: {
       uint64_t bytes = nqe.op_data;
       g->send_usage = g->send_usage > bytes ? g->send_usage - bytes : 0;
       break;
     }
+    case NqeOp::kDgramRecv:
+      g->drx.push_back(DgramChunk{nqe.data_ptr, nqe.size, nqe.op_data});
+      g->drx_bytes += nqe.size;
+      break;
     case NqeOp::kRecvData:
       g->rx.push_back(RxChunk{nqe.data_ptr, nqe.size, 0});
       g->rx_bytes += nqe.size;

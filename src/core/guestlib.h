@@ -73,6 +73,15 @@ class GuestLib : public SocketApi {
   sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) override;
   sim::Task<int> Close(sim::CpuCore* core, int fd) override;
 
+  // SOCK_DGRAM redirection: the same NQE channel carries datagram verbs
+  // (kSocketUdp/kBindUdp/kSendTo/kRecvFrom) — the NQE protocol is transport
+  // agnostic, which is the point of adding UDP without touching apps.
+  sim::Task<int> SocketDgram(sim::CpuCore* core) override;
+  sim::Task<int64_t> SendTo(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip, uint16_t dst_port,
+                            const uint8_t* data, uint64_t len) override;
+  sim::Task<int64_t> RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max,
+                              netsim::IpAddr* src_ip, uint16_t* src_port) override;
+
   int EpollCreate() override { return epolls_.Create(); }
   int EpollCtl(int epfd, int fd, uint32_t mask) override { return epolls_.Ctl(epfd, fd, mask); }
   sim::Task<std::vector<EpollEvent>> EpollWait(sim::CpuCore* core, int epfd, size_t max_events,
@@ -88,10 +97,17 @@ class GuestLib : public SocketApi {
     uint32_t size = 0;
     uint32_t consumed = 0;
   };
+  // One received datagram: a hugepage chunk plus the packed source address.
+  struct DgramChunk {
+    uint64_t ptr = 0;
+    uint32_t size = 0;
+    uint64_t src = 0;  // PackAddr(src_ip, src_port)
+  };
   struct GSock {
     uint32_t handle = 0;
     int fd = -1;
     int qset = 0;
+    bool dgram = false;
     std::unique_ptr<sim::SimEvent> ev;
     // Control-op completion.
     bool op_done = false;
@@ -105,6 +121,9 @@ class GuestLib : public SocketApi {
     std::deque<RxChunk> rx;
     uint64_t rx_bytes = 0;
     bool fin = false;
+    // Datagram receive (whole datagrams, never partially consumed).
+    std::deque<DgramChunk> drx;
+    uint64_t drx_bytes = 0;
     // Send credits.
     uint64_t send_usage = 0;
     uint64_t send_limit = 0;

@@ -64,10 +64,20 @@ Nsm* Host::CreateNsm(const std::string& name, int vcpus, NsmKind kind,
     // (it owns the last hop, so VM-level fairness is directly enforceable).
     port.nic->EnableFairEgress(loop_, options_.port.bandwidth);
   }
+  udp::UdpStackConfig udp_config;
+  udp_config.name = name + ".udp";
+  udp_config.profile = stack_config.profile;
   nsm->stack_ =
       std::make_unique<tcp::TcpStack>(loop_, port.nic, core_ptrs, std::move(stack_config));
+  nsm->udp_stack_ =
+      std::make_unique<udp::UdpStack>(loop_, port.nic, core_ptrs, std::move(udp_config));
+  // The TCP stack owns the vNIC softirq; it demuxes UDP packets over.
+  udp::UdpStack* udp_raw = nsm->udp_stack_.get();
+  nsm->stack_->SetRawPacketHandler(
+      [udp_raw](netsim::Packet pkt) { udp_raw->OnPacket(std::move(pkt)); });
   nsm->slib_ = std::make_unique<ServiceLib>(loop_, nsm->id_, ce_.get(), nsm->dev_.get(),
-                                            nsm->stack_.get(), options_.servicelib);
+                                            nsm->stack_.get(), nsm->udp_stack_.get(),
+                                            options_.servicelib);
   nsms_.push_back(std::move(nsm));
   return nsms_.back().get();
 }
@@ -145,9 +155,18 @@ Vm* Host::CreateBaselineVm(const std::string& name, int vcpus,
   for (auto& c : vm->cores_) core_ptrs.push_back(c.get());
   stack_config.name = name + ".stack";
   if (stack_config.profile.syscall == 0) stack_config.profile = tcp::KernelProfile();
+  udp::UdpStackConfig udp_config;
+  udp_config.name = name + ".udp";
+  udp_config.profile = stack_config.profile;
   vm->stack_ =
       std::make_unique<tcp::TcpStack>(loop_, port.nic, core_ptrs, std::move(stack_config));
-  vm->baseline_ = std::make_unique<BaselineSocketApi>(loop_, vm->stack_.get());
+  vm->udp_stack_ =
+      std::make_unique<udp::UdpStack>(loop_, port.nic, core_ptrs, std::move(udp_config));
+  udp::UdpStack* udp_raw = vm->udp_stack_.get();
+  vm->stack_->SetRawPacketHandler(
+      [udp_raw](netsim::Packet pkt) { udp_raw->OnPacket(std::move(pkt)); });
+  vm->baseline_ =
+      std::make_unique<BaselineSocketApi>(loop_, vm->stack_.get(), vm->udp_stack_.get());
   vms_.push_back(std::move(vm));
   return vms_.back().get();
 }

@@ -19,6 +19,7 @@
 #include "src/core/shm_nsm.h"
 #include "src/netsim/fabric.h"
 #include "src/tcpstack/stack.h"
+#include "src/udpstack/stack.h"
 
 namespace netkernel::core {
 
@@ -38,6 +39,7 @@ class Nsm {
   uint8_t id() const { return id_; }
   NsmKind kind() const { return kind_; }
   tcp::TcpStack* stack() { return stack_.get(); }
+  udp::UdpStack* udp_stack() { return udp_stack_.get(); }
   ServiceLib* servicelib() { return slib_.get(); }
   ShmServiceLib* shm_servicelib() { return shm_slib_.get(); }
   sim::CpuCore* vcpu(int i) { return cores_[i].get(); }
@@ -67,6 +69,7 @@ class Nsm {
   std::vector<std::unique_ptr<sim::CpuCore>> cores_;
   std::unique_ptr<shm::NkDevice> dev_;
   std::unique_ptr<tcp::TcpStack> stack_;
+  std::unique_ptr<udp::UdpStack> udp_stack_;
   std::unique_ptr<ServiceLib> slib_;
   std::unique_ptr<ShmServiceLib> shm_slib_;
   netsim::Nic* vnic_ = nullptr;
@@ -89,6 +92,7 @@ class Vm {
   GuestLib* guestlib() { return guestlib_.get(); }
   BaselineSocketApi* baseline() { return baseline_.get(); }
   tcp::TcpStack* guest_stack() { return stack_.get(); }
+  udp::UdpStack* guest_udp_stack() { return udp_stack_.get(); }
   Nsm* nsm() { return nsm_; }
   shm::HugepagePool* pool() { return pool_.get(); }
 
@@ -127,6 +131,7 @@ class Vm {
   std::unordered_map<const Nsm*, netsim::IpAddr> ip_per_nsm_;
   // Baseline mode.
   std::unique_ptr<tcp::TcpStack> stack_;
+  std::unique_ptr<udp::UdpStack> udp_stack_;
   std::unique_ptr<BaselineSocketApi> baseline_;
   netsim::Nic* vnic_ = nullptr;
 };

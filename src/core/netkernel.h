@@ -35,5 +35,7 @@
 #include "src/sim/event_loop.h"
 #include "src/sim/task.h"
 #include "src/tcpstack/stack.h"
+#include "src/udpstack/stack.h"
+#include "src/udpstack/udp_types.h"
 
 #endif  // SRC_CORE_NETKERNEL_H_

@@ -14,20 +14,21 @@ using shm::Nqe;
 using shm::NqeOp;
 
 ServiceLib::ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
-                       tcp::TcpStack* stack, Config config)
+                       tcp::TcpStack* stack, udp::UdpStack* udp_stack, Config config)
     : loop_(loop),
       nsm_id_(nsm_id),
       ce_(ce),
       dev_(dev),
       stack_(stack),
+      udp_stack_(udp_stack),
       config_(config),
       drain_scheduled_(static_cast<size_t>(dev->num_queue_sets()), false) {
   dev_->SetWakeCallback([this] { OnDeviceWake(); });
 }
 
 ServiceLib::ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
-                       tcp::TcpStack* stack)
-    : ServiceLib(loop, nsm_id, ce, dev, stack, Config()) {}
+                       tcp::TcpStack* stack, udp::UdpStack* udp_stack)
+    : ServiceLib(loop, nsm_id, ce, dev, stack, udp_stack, Config()) {}
 
 void ServiceLib::AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr vm_ip) {
   VmInfo info;
@@ -54,6 +55,11 @@ ServiceLib::Conn* ServiceLib::FindBySid(tcp::SocketId sid) {
   return it == by_sid_.end() ? nullptr : it->second.get();
 }
 
+ServiceLib::Conn* ServiceLib::FindByUsid(udp::SocketId usid) {
+  auto it = by_usid_.find(usid);
+  return it == by_usid_.end() ? nullptr : it->second.get();
+}
+
 ServiceLib::Conn& ServiceLib::NewConn(uint8_t vm_id, uint8_t vm_qset, uint32_t vm_sock) {
   auto c = std::make_unique<Conn>();
   c->vm_id = vm_id;
@@ -69,15 +75,16 @@ ServiceLib::Conn& ServiceLib::NewConn(uint8_t vm_id, uint8_t vm_qset, uint32_t v
 // NSM -> VM NQE emission
 // ---------------------------------------------------------------------------
 
-void ServiceLib::EnqueueToVm(const Conn& c, Nqe nqe, bool receive_ring) {
+bool ServiceLib::EnqueueToVm(const Conn& c, Nqe nqe, bool receive_ring) {
   nqe.vm_id = c.vm_id;
   nqe.queue_set = c.vm_qset;
   nqe.vm_sock = c.vm_sock;
   int qs = c.nsm_qset < dev_->num_queue_sets() ? c.nsm_qset : 0;
   shm::QueueSet& q = dev_->queue_set(qs);
   bool ok = (receive_ring ? q.receive : q.completion).TryEnqueue(nqe);
-  if (!ok) return;  // severe overload; NQE dropped (4K-deep rings)
+  if (!ok) return false;  // severe overload; NQE dropped (4K-deep rings)
   ce_->NotifyNsmOutbound(nsm_id_);
+  return true;
 }
 
 void ServiceLib::Respond(const Conn& c, NqeOp op, NqeOp orig, int32_t result, uint64_t op_data) {
@@ -133,6 +140,9 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
     case NqeOp::kSocket:
       DoSocket(nqe);
       return;
+    case NqeOp::kSocketUdp:
+      DoSocketUdp(nqe);
+      return;
     case NqeOp::kAccept:
       DoAcceptLink(nqe);
       return;
@@ -146,11 +156,21 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
     if (nqe.Op() == NqeOp::kSend) {
       orphan_sends_[VmKey(nqe.vm_id, nqe.vm_sock)].push_back(nqe);
     }
+    // A kSendTo whose socket already closed (a kClose overtook it through the
+    // job ring): the datagram is lost — UDP loses datagrams — but its payload
+    // chunk must go back to the pool.
+    if (nqe.Op() == NqeOp::kSendTo) {
+      auto vit = vms_.find(nqe.vm_id);
+      if (vit != vms_.end()) vit->second.pool->Free(nqe.data_ptr);
+    }
     return;
   }
   switch (nqe.Op()) {
     case NqeOp::kBind:
       DoBind(nqe, *c);
+      break;
+    case NqeOp::kBindUdp:
+      DoBindUdp(nqe, *c);
       break;
     case NqeOp::kListen:
       DoListen(nqe, *c);
@@ -161,8 +181,20 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
     case NqeOp::kSend:
       DoSend(nqe, *c);
       break;
+    case NqeOp::kSendTo:
+      DoSendTo(nqe, *c);
+      break;
+    case NqeOp::kRecvFrom:
+      // Datagram receive credit: the guest consumed op_data bytes.
+      c->rx_outstanding = c->rx_outstanding > nqe.op_data ? c->rx_outstanding - nqe.op_data : 0;
+      if (c->dgram) ShipDgrams(c->usid);
+      break;
     case NqeOp::kClose:
-      DoClose(*c);
+      if (c->dgram) {
+        DoCloseDgram(*c);
+      } else {
+        DoClose(*c);
+      }
       break;
     case NqeOp::kSetsockopt:
     case NqeOp::kGetsockopt:
@@ -438,6 +470,145 @@ void ServiceLib::MaybeFinishClose(tcp::SocketId sid) {
   stack_->SetCallbacks(sid, {});
   stack_->Close(sid);
   by_sid_.erase(sid);
+}
+
+// ---------------------------------------------------------------------------
+// Datagram (SOCK_DGRAM) path
+// ---------------------------------------------------------------------------
+
+void ServiceLib::DoSocketUdp(const Nqe& nqe) {
+  auto vit = vms_.find(nqe.vm_id);
+  if (vit == vms_.end()) return;
+  Conn tmp;
+  tmp.vm_id = nqe.vm_id;
+  tmp.vm_qset = nqe.queue_set;
+  tmp.vm_sock = nqe.vm_sock;
+  tmp.nsm_qset = nqe.reserved[2];
+  if (udp_stack_ == nullptr) {
+    Respond(tmp, NqeOp::kOpResult, NqeOp::kSocketUdp, udp::kBadSocket);
+    return;
+  }
+  udp::SocketId usid = udp_stack_->CreateSocket();
+  // Datagrams of this VM use the VM's address; bind an ephemeral port now so
+  // an unbound sendto already carries a routable source.
+  udp_stack_->Bind(usid, vit->second.ip, 0);
+
+  Conn& c = NewConn(nqe.vm_id, nqe.queue_set, nqe.vm_sock);
+  c.dgram = true;
+  c.usid = usid;
+  c.linked = true;
+  c.nsm_qset = nqe.reserved[2];
+  by_usid_[usid] = std::move(pending_owner_);
+  by_vm_[VmKey(c.vm_id, c.vm_sock)] = by_usid_[usid].get();
+  udp::UdpSocketCallbacks cbs;
+  cbs.on_readable = [this, usid] { ShipDgrams(usid); };
+  udp_stack_->SetCallbacks(usid, std::move(cbs));
+  Respond(c, NqeOp::kOpResult, NqeOp::kSocketUdp, 0, usid);
+}
+
+void ServiceLib::DoBindUdp(const Nqe& nqe, Conn& c) {
+  auto vit = vms_.find(c.vm_id);
+  if (vit == vms_.end() || udp_stack_ == nullptr) return;
+  int r = udp_stack_->Bind(c.usid, vit->second.ip, shm::AddrPort(nqe.op_data));
+  Respond(c, NqeOp::kOpResult, NqeOp::kBindUdp, r);
+}
+
+void ServiceLib::DoSendTo(const Nqe& nqe, Conn& c) {
+  auto vit = vms_.find(c.vm_id);
+  if (vit == vms_.end() || udp_stack_ == nullptr) return;
+  shm::HugepagePool* pool = vit->second.pool;
+  udp::SocketId usid = c.usid;
+  uint64_t ptr = nqe.data_ptr;
+  uint32_t size = nqe.size;
+  uint64_t dst = nqe.op_data;
+
+  // Copy from hugepages into the stack on the socket's core (Table 6's
+  // overhead), then transmit. UDP never parks data: the credit returns as
+  // soon as the datagram is handed to the stack.
+  Cycles copy = static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * size);
+  ++c.sends_in_flight;
+  udp_stack_->ChargeOnSocketCore(usid, copy, [this, usid, ptr, size, dst, pool] {
+    Conn* c2 = FindByUsid(usid);
+    if (c2 == nullptr) {
+      pool->Free(ptr);
+      return;
+    }
+    --c2->sends_in_flight;
+    if (udp_stack_->Exists(usid)) {
+      udp_stack_->SendTo(usid, shm::AddrIp(dst), shm::AddrPort(dst), pool->Data(ptr), size);
+    }
+    pool->Free(ptr);
+    Respond(*c2, NqeOp::kSendToResult, NqeOp::kSendTo, 0, size);
+    MaybeFinishCloseDgram(usid);
+  });
+}
+
+void ServiceLib::ShipDgrams(udp::SocketId usid) {
+  Conn* c = FindByUsid(usid);
+  if (c == nullptr || c->ship_pending || udp_stack_ == nullptr) return;
+  if (c->close_pending) {
+    // Stop delivering to a closing guest socket; let the close complete.
+    MaybeFinishCloseDgram(usid);
+    return;
+  }
+  auto vit = vms_.find(c->vm_id);
+  if (vit == vms_.end()) return;
+  shm::HugepagePool* pool = vit->second.pool;
+
+  uint32_t next = udp_stack_->NextDatagramSize(usid);
+  if (udp_stack_->RxQueuedDatagrams(usid) == 0 || c->rx_outstanding >= config_.rx_outstanding_cap) {
+    return;
+  }
+  uint64_t off = pool->Alloc(next > 0 ? next : 1);
+  if (off == shm::HugepagePool::kInvalidOffset) {
+    // Pool exhausted. A returning credit re-invokes us, but with no credit
+    // outstanding none would come — poll until space frees up.
+    if (c->rx_outstanding == 0) {
+      loop_->ScheduleAfter(50 * kMicrosecond, [this, usid] { ShipDgrams(usid); });
+    }
+    return;
+  }
+  c->ship_pending = true;
+  Cycles copy = static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * next);
+  udp_stack_->ChargeOnSocketCore(usid, copy, [this, usid, off, next, pool] {
+    Conn* c2 = FindByUsid(usid);
+    if (c2 == nullptr) {
+      pool->Free(off);
+      return;
+    }
+    c2->ship_pending = false;
+    netsim::IpAddr src_ip = 0;
+    uint16_t src_port = 0;
+    int64_t n = udp_stack_->RecvFrom(usid, pool->Data(off), next, &src_ip, &src_port);
+    bool shipped = false;
+    if (n >= 0) {
+      Nqe nqe = MakeNqe(NqeOp::kDgramRecv, c2->vm_id, c2->vm_qset, c2->vm_sock,
+                        shm::PackAddr(src_ip, src_port), off, static_cast<uint32_t>(n));
+      shipped = EnqueueToVm(*c2, nqe, true);
+      if (shipped) c2->rx_outstanding += static_cast<uint64_t>(n);
+    }
+    // NSM-side receive-ring full means the datagram is dropped (UDP applies
+    // no backpressure) — the chunk goes straight back to the pool and no
+    // credit accrues. (A drop at CoreEngine's final CE->VM hop can still
+    // strand credit, as with TCP kRecvData; both rings are 4K deep, so that
+    // needs sustained severe overload.)
+    if (!shipped) pool->Free(off);
+    ShipDgrams(usid);
+  });
+}
+
+void ServiceLib::DoCloseDgram(Conn& c) {
+  c.close_pending = true;
+  MaybeFinishCloseDgram(c.usid);
+}
+
+void ServiceLib::MaybeFinishCloseDgram(udp::SocketId usid) {
+  Conn* c = FindByUsid(usid);
+  if (c == nullptr || !c->close_pending) return;
+  if (c->sends_in_flight > 0 || c->ship_pending) return;
+  by_vm_.erase(VmKey(c->vm_id, c->vm_sock));
+  if (udp_stack_ != nullptr) udp_stack_->Close(usid);
+  by_usid_.erase(usid);
 }
 
 }  // namespace netkernel::core

@@ -23,6 +23,7 @@
 #include "src/shm/hugepage_pool.h"
 #include "src/shm/nk_device.h"
 #include "src/tcpstack/stack.h"
+#include "src/udpstack/stack.h"
 
 namespace netkernel::core {
 
@@ -34,10 +35,11 @@ class ServiceLib {
     uint64_t rx_outstanding_cap = 1 * kMiB;
   };
 
+  // `udp_stack` may be null: SOCK_DGRAM NQEs then fail with an error result.
   ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
-             tcp::TcpStack* stack, Config config);
+             tcp::TcpStack* stack, udp::UdpStack* udp_stack, Config config);
   ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
-             tcp::TcpStack* stack);
+             tcp::TcpStack* stack, udp::UdpStack* udp_stack = nullptr);
 
   // Registers a VM served by this NSM. `pool` is the hugepage region shared
   // with that VM; `vm_ip` is the address its connections use.
@@ -52,6 +54,7 @@ class ServiceLib {
   void SetVmCcFactory(uint8_t vm_id, tcp::CcFactory factory);
 
   tcp::TcpStack* stack() { return stack_; }
+  udp::UdpStack* udp_stack() { return udp_stack_; }
   uint8_t nsm_id() const { return nsm_id_; }
   uint64_t nqes_processed() const { return nqes_processed_; }
 
@@ -68,6 +71,9 @@ class ServiceLib {
   };
   struct Conn {
     tcp::SocketId sid = tcp::kInvalidSocket;
+    // Datagram sockets live in the UDP stack; sid stays invalid for them.
+    bool dgram = false;
+    udp::SocketId usid = udp::kInvalidSocket;
     uint8_t vm_id = 0;
     uint8_t vm_qset = 0;
     uint32_t vm_sock = 0;
@@ -89,6 +95,7 @@ class ServiceLib {
 
   Conn* FindByVm(uint8_t vm_id, uint32_t vm_sock);
   Conn* FindBySid(tcp::SocketId sid);
+  Conn* FindByUsid(udp::SocketId usid);
   Conn& NewConn(uint8_t vm_id, uint8_t vm_qset, uint32_t vm_sock);
   void InstallDataCallbacks(Conn& c);
 
@@ -106,10 +113,20 @@ class ServiceLib {
   void MaybeFinishClose(tcp::SocketId sid);
   void DrainPendingTx(Conn& c);
 
-  // NSM -> VM NQEs.
+  // Datagram (SOCK_DGRAM) handlers.
+  void DoSocketUdp(const shm::Nqe& nqe);
+  void DoBindUdp(const shm::Nqe& nqe, Conn& c);
+  void DoSendTo(const shm::Nqe& nqe, Conn& c);
+  void DoCloseDgram(Conn& c);
+  void MaybeFinishCloseDgram(udp::SocketId usid);
+  // Datagram receive shipping (udp stack -> hugepages -> kDgramRecv NQEs).
+  void ShipDgrams(udp::SocketId usid);
+
+  // NSM -> VM NQEs. EnqueueToVm returns false when the destination ring is
+  // full and the NQE was dropped (the caller owns any referenced chunk).
   void Respond(const Conn& c, shm::NqeOp op, shm::NqeOp orig, int32_t result,
                uint64_t op_data = 0);
-  void EnqueueToVm(const Conn& c, shm::Nqe nqe, bool receive_ring);
+  bool EnqueueToVm(const Conn& c, shm::Nqe nqe, bool receive_ring);
 
   // Receive shipping (stack -> hugepages -> kRecvData NQEs).
   void ShipRecv(tcp::SocketId sid);
@@ -120,10 +137,12 @@ class ServiceLib {
   CoreEngine* ce_;
   shm::NkDevice* dev_;
   tcp::TcpStack* stack_;
+  udp::UdpStack* udp_stack_;
   Config config_;
 
   std::unordered_map<uint8_t, VmInfo> vms_;
   std::unordered_map<tcp::SocketId, std::unique_ptr<Conn>> by_sid_;  // owner
+  std::unordered_map<udp::SocketId, std::unique_ptr<Conn>> by_usid_;  // owner (dgram)
   std::unordered_map<uint64_t, Conn*> by_vm_;
   std::unique_ptr<Conn> pending_owner_;  // freshly built Conn awaiting indexing
   // kSend NQEs that arrived before their connection's accept-link NQE.

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/udpstack/udp_types.h"
 
 namespace netkernel::core {
 
@@ -109,6 +110,18 @@ void ShmServiceLib::Dispatch(const Nqe& nqe) {
       eps_[ref.ep_id] = std::move(ep);
       by_vm_[VmKey(ref.vm_id, ref.vm_sock)] = &ref;
       Respond(ref, NqeOp::kOpResult, NqeOp::kSocket, 0, ref.ep_id);
+      return;
+    }
+    case NqeOp::kSocketUdp: {
+      // The shared-memory NSM carries no datagram transport; fail the socket
+      // creation so the guest's SocketDgram returns an error instead of
+      // blocking on a completion that would never come.
+      Endpoint tmp;
+      tmp.vm_id = nqe.vm_id;
+      tmp.vm_qset = nqe.queue_set;
+      tmp.vm_sock = nqe.vm_sock;
+      tmp.nsm_qset = nqe.reserved[2];
+      Respond(tmp, NqeOp::kOpResult, NqeOp::kSocketUdp, udp::kBadSocket);
       return;
     }
     case NqeOp::kAccept: {

@@ -57,6 +57,21 @@ class SocketApi {
   virtual sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) = 0;
   virtual sim::Task<int> Close(sim::CpuCore* core, int fd) = 0;
 
+  // ---- Datagram (SOCK_DGRAM) surface ----
+  // Creates a UDP socket; returns fd >= 0 (negative UdpError on failure).
+  // Bind/Close/epoll work on datagram fds exactly as on stream fds.
+  virtual sim::Task<int> SocketDgram(sim::CpuCore* core) = 0;
+  // Sends one datagram of `len` <= udp::kMaxDatagram bytes; returns len or a
+  // negative error. Never blocks on the network (UDP applies no backpressure)
+  // but may wait for local send-buffer credit.
+  virtual sim::Task<int64_t> SendTo(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip,
+                                    uint16_t dst_port, const uint8_t* data, uint64_t len) = 0;
+  // Blocks until a datagram arrives; copies up to `max` bytes (a longer
+  // datagram is truncated) and reports the source address. Returns bytes
+  // copied or a negative error.
+  virtual sim::Task<int64_t> RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max,
+                                      netsim::IpAddr* src_ip, uint16_t* src_port) = 0;
+
   // I/O event notification (epoll-style, level-triggered).
   virtual int EpollCreate() = 0;
   // mask == 0 removes fd from the interest set.

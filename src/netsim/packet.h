@@ -27,7 +27,7 @@ constexpr IpAddr MakeIp(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
          (static_cast<IpAddr>(c) << 8) | d;
 }
 
-enum class Protocol : uint8_t { kRaw = 0, kTcp = 6 };
+enum class Protocol : uint8_t { kRaw = 0, kTcp = 6, kUdp = 17 };
 
 struct Packet {
   IpAddr src = 0;

@@ -18,12 +18,18 @@ std::string NqeOpName(NqeOp op) {
     case NqeOp::kShutdown: return "shutdown";
     case NqeOp::kClose: return "close";
     case NqeOp::kSend: return "send";
+    case NqeOp::kSocketUdp: return "socket_udp";
+    case NqeOp::kBindUdp: return "bind_udp";
+    case NqeOp::kSendTo: return "sendto";
+    case NqeOp::kRecvFrom: return "recvfrom";
     case NqeOp::kOpResult: return "op_result";
     case NqeOp::kConnectResult: return "connect_result";
     case NqeOp::kAcceptedConn: return "accepted_conn";
     case NqeOp::kSendResult: return "send_result";
     case NqeOp::kRecvData: return "recv_data";
     case NqeOp::kFinReceived: return "fin_received";
+    case NqeOp::kSendToResult: return "sendto_result";
+    case NqeOp::kDgramRecv: return "dgram_recv";
     case NqeOp::kRegisterDevice: return "register_device";
     case NqeOp::kDeregisterDevice: return "deregister_device";
   }

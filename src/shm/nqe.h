@@ -36,6 +36,12 @@ enum class NqeOp : uint8_t {
   kShutdown = 9,
   kClose = 10,
   kSend = 11,  // send queue: data_ptr/size reference hugepage payload
+  // Datagram (SOCK_DGRAM) operations: connectionless, so CoreEngine routes
+  // them by socket key alone — no connection-table completion handshake.
+  kSocketUdp = 12,  // job: create a UDP socket in the NSM
+  kBindUdp = 13,    // job: bind ip:port carried in op_data
+  kSendTo = 14,     // send queue: op_data = packed destination, payload in hugepages
+  kRecvFrom = 15,   // job: datagram receive credit return (op_data = bytes freed)
   // NSM -> VM results and events.
   kOpResult = 32,       // completion queue: result of a control op
   kConnectResult = 33,  // completion queue
@@ -43,6 +49,8 @@ enum class NqeOp : uint8_t {
   kSendResult = 35,     // completion queue: buffer usage can be decreased
   kRecvData = 36,       // receive queue: data_ptr/size reference received payload
   kFinReceived = 37,    // receive queue: peer closed
+  kSendToResult = 38,   // completion queue: datagram sent, send credit returned
+  kDgramRecv = 39,      // receive queue: datagram payload; op_data = packed source
   // Control plane (CoreEngine registration channel, §5).
   kRegisterDevice = 64,
   kDeregisterDevice = 65,

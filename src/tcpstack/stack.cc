@@ -598,6 +598,12 @@ void TcpStack::DrainRx() {
   const SimTime now = loop_->Now();
 
   for (size_t i = 0; i < n; ++i) {
+    if (pkts[i].protocol != netsim::Protocol::kTcp) {
+      // IP-protocol demux: the softirq hands non-TCP packets (UDP) to the
+      // registered sibling stack sharing this NIC.
+      if (raw_packet_handler_) raw_packet_handler_(std::move(pkts[i]));
+      continue;
+    }
     auto seg = std::static_pointer_cast<const Segment>(pkts[i].payload);
     if (!seg) continue;
     int cidx = static_cast<int>(pkts[i].flow_hash % cores_.size());

@@ -138,6 +138,12 @@ class TcpStack {
   // layers above (ServiceLib) whose work shares the stack cores.
   void ChargeOnSocketCore(SocketId id, Cycles cycles, std::function<void()> fn);
 
+  // IP-protocol demux: this stack owns the NIC's softirq path; packets whose
+  // protocol is not TCP are handed to this handler (e.g. the host's UdpStack).
+  void SetRawPacketHandler(std::function<void(netsim::Packet)> handler) {
+    raw_packet_handler_ = std::move(handler);
+  }
+
  private:
   struct Sock {
     SocketId id = kInvalidSocket;
@@ -249,6 +255,7 @@ class TcpStack {
   std::unordered_map<uint16_t, std::vector<SocketId>> listeners_;
   uint16_t next_ephemeral_ = 32768;
   bool rx_drain_scheduled_ = false;
+  std::function<void(netsim::Packet)> raw_packet_handler_;
   TcpStackStats stats_;
 };
 

@@ -1,0 +1,225 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/udpstack/stack.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace netkernel::udp {
+
+UdpStack::UdpStack(sim::EventLoop* loop, netsim::Nic* nic, std::vector<sim::CpuCore*> cores,
+                   UdpStackConfig config)
+    : loop_(loop), nic_(nic), cores_(std::move(cores)), config_(std::move(config)) {
+  NK_CHECK(!cores_.empty());
+}
+
+UdpStack::Sock* UdpStack::Find(SocketId id) {
+  auto it = socks_.find(id);
+  return it == socks_.end() ? nullptr : it->second.get();
+}
+
+const UdpStack::Sock* UdpStack::Find(SocketId id) const {
+  auto it = socks_.find(id);
+  return it == socks_.end() ? nullptr : it->second.get();
+}
+
+SocketId UdpStack::CreateSocket() {
+  auto s = std::make_unique<Sock>();
+  s->id = next_id_++;
+  SocketId id = s->id;
+  socks_[id] = std::move(s);
+  return id;
+}
+
+uint16_t UdpStack::AllocEphemeralPort(IpAddr ip) {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= 65535 ? 32768 : next_ephemeral_ + 1;
+    if (bindings_.count(BindKey(ip, port)) == 0 && bindings_.count(BindKey(0, port)) == 0) {
+      return port;
+    }
+  }
+  return 0;
+}
+
+int UdpStack::BindInternal(Sock& s, IpAddr ip, uint16_t port) {
+  if (port == 0) {
+    port = AllocEphemeralPort(ip);
+    if (port == 0) return kAddrInUse;
+  } else if (bindings_.count(BindKey(ip, port)) != 0) {
+    return kAddrInUse;
+  }
+  if (s.bound) bindings_.erase(BindKey(s.local_ip, s.local_port));
+  s.bound = true;
+  s.local_ip = ip;
+  s.local_port = port;
+  // Sockets spread over the stack cores by local port (RSS on the UDP flow
+  // hash of a connectionless socket degenerates to the destination port).
+  s.core_idx = static_cast<int>((port * 0x9e3779b97f4a7c15ULL >> 32) % cores_.size());
+  bindings_[BindKey(ip, port)] = s.id;
+  return 0;
+}
+
+int UdpStack::Bind(SocketId id, IpAddr ip, uint16_t port) {
+  Sock* s = Find(id);
+  if (s == nullptr) return kBadSocket;
+  return BindInternal(*s, ip, port);
+}
+
+int UdpStack::SendTo(SocketId id, IpAddr dst_ip, uint16_t dst_port, const uint8_t* data,
+                     uint32_t len) {
+  Sock* s = Find(id);
+  if (s == nullptr) return kBadSocket;
+  if (len > kMaxDatagram) return kMsgSize;
+  if (!s->bound) {
+    int r = BindInternal(*s, 0, 0);
+    if (r != 0) return r;
+  }
+
+  auto dgram = std::make_shared<Datagram>();
+  dgram->src_ip = s->local_ip != 0 ? s->local_ip : nic_->ip();
+  dgram->dst_ip = dst_ip;
+  dgram->src_port = s->local_port;
+  dgram->dst_port = dst_port;
+  if (len > 0) dgram->payload.assign(data, data + len);
+
+  const uint32_t frags = FragCount(len);
+  const tcp::CostProfile& p = config_.profile;
+  Cycles cost = p.tx_fixed_per_chunk + p.tx_per_seg * frags +
+                static_cast<Cycles>(p.tx_per_byte * len);
+  // The datagram hits the wire once the owning core has done the tx work
+  // (skb alloc, fragmentation, checksum). It is committed now — closing the
+  // socket while the skb sits in the tx path does not claw it back.
+  cores_[static_cast<size_t>(s->core_idx)]->Charge(cost, [this, dgram, len, frags] {
+    netsim::Packet pkt;
+    pkt.src = dgram->src_ip;
+    pkt.dst = dgram->dst_ip;
+    pkt.wire_bytes = WireBytes(len);
+    pkt.protocol = netsim::Protocol::kUdp;
+    pkt.flow_hash = (static_cast<uint64_t>(dgram->dst_port) << 16) | dgram->src_port;
+    pkt.payload = dgram;
+    ++stats_.datagrams_sent;
+    stats_.fragments_sent += frags;
+    stats_.bytes_sent += len;
+    if (nic_ != nullptr) nic_->Transmit(std::move(pkt));
+  });
+  return static_cast<int>(len);
+}
+
+int64_t UdpStack::RecvFrom(SocketId id, uint8_t* out, uint64_t max, IpAddr* src_ip,
+                           uint16_t* src_port) {
+  Sock* s = Find(id);
+  if (s == nullptr) return kBadSocket;
+  if (s->rx.empty()) return -1;
+  DatagramPtr d = std::move(s->rx.front().dgram);
+  s->rx.pop_front();
+  s->rx_bytes -= d->payload.size();
+  uint64_t n = std::min<uint64_t>(max, d->payload.size());
+  if (n > 0 && out != nullptr) std::copy_n(d->payload.data(), n, out);
+  if (src_ip != nullptr) *src_ip = d->src_ip;
+  if (src_port != nullptr) *src_port = d->src_port;
+  return static_cast<int64_t>(n);
+}
+
+void UdpStack::Close(SocketId id) {
+  Sock* s = Find(id);
+  if (s == nullptr) return;
+  if (s->bound) bindings_.erase(BindKey(s->local_ip, s->local_port));
+  socks_.erase(id);
+}
+
+void UdpStack::SetCallbacks(SocketId id, UdpSocketCallbacks cbs) {
+  Sock* s = Find(id);
+  if (s != nullptr) s->cbs = std::move(cbs);
+}
+
+uint32_t UdpStack::NextDatagramSize(SocketId id) const {
+  const Sock* s = Find(id);
+  if (s == nullptr || s->rx.empty()) return 0;
+  return static_cast<uint32_t>(s->rx.front().dgram->payload.size());
+}
+
+size_t UdpStack::RxQueuedDatagrams(SocketId id) const {
+  const Sock* s = Find(id);
+  return s == nullptr ? 0 : s->rx.size();
+}
+
+uint64_t UdpStack::RxQueuedBytes(SocketId id) const {
+  const Sock* s = Find(id);
+  return s == nullptr ? 0 : s->rx_bytes;
+}
+
+uint16_t UdpStack::LocalPort(SocketId id) const {
+  const Sock* s = Find(id);
+  return s == nullptr ? 0 : s->local_port;
+}
+
+int UdpStack::CoreIndex(SocketId id) const {
+  const Sock* s = Find(id);
+  return s == nullptr ? 0 : s->core_idx;
+}
+
+void UdpStack::ChargeOnSocketCore(SocketId id, Cycles cycles, std::function<void()> fn) {
+  cores_[static_cast<size_t>(CoreIndex(id))]->Charge(cycles, std::move(fn));
+}
+
+UdpStack::Sock* UdpStack::Lookup(IpAddr dst_ip, uint16_t dst_port) {
+  auto it = bindings_.find(BindKey(dst_ip, dst_port));
+  if (it == bindings_.end()) it = bindings_.find(BindKey(0, dst_port));
+  if (it == bindings_.end()) return nullptr;
+  return Find(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void UdpStack::OnPacket(netsim::Packet pkt) {
+  if (pkt.protocol != netsim::Protocol::kUdp || !pkt.payload) return;
+  auto dgram = std::static_pointer_cast<const Datagram>(pkt.payload);
+  Sock* s = Lookup(dgram->dst_ip, dgram->dst_port);
+  if (s == nullptr) {
+    // Port unreachable. A real stack answers with ICMP; we just count it
+    // (application-level timeouts recover, as with real filtered UDP).
+    ++stats_.no_socket_drops;
+    return;
+  }
+
+  sim::CpuCore* core = cores_[static_cast<size_t>(s->core_idx)];
+  const SimTime now = loop_->Now();
+  // NIC-ring overflow: the owning core is hopelessly backlogged.
+  if (core->IdleAt() - now > config_.rx_backlog_cap) {
+    ++stats_.rx_ring_drops;
+    return;
+  }
+
+  const uint32_t len = static_cast<uint32_t>(dgram->payload.size());
+  const uint32_t frags = FragCount(len);
+  const tcp::CostProfile& p = config_.profile;
+  // Protocol work per fragment plus payload touching. The softirq's fixed
+  // per-batch cost was charged by the host stack that drained the NIC.
+  Cycles cost = p.rx_per_seg * frags + static_cast<Cycles>(p.rx_per_byte * len);
+  SocketId sid = s->id;
+  core->Charge(cost, [this, sid, dgram = std::move(dgram), len, frags] {
+    Sock* s2 = Find(sid);
+    stats_.fragments_received += frags;
+    if (s2 == nullptr) {
+      ++stats_.no_socket_drops;
+      return;
+    }
+    // Drop-on-overflow: UDP applies no backpressure; a slow reader loses
+    // datagrams at its own receive queue.
+    if (s2->rx_bytes + len > config_.rcvbuf_bytes) {
+      ++stats_.rx_queue_drops;
+      return;
+    }
+    ++stats_.datagrams_received;
+    stats_.bytes_received += len;
+    s2->rx.push_back(RxDgram{std::move(dgram)});
+    s2->rx_bytes += len;
+    if (s2->cbs.on_readable) s2->cbs.on_readable();
+  });
+}
+
+}  // namespace netkernel::udp
