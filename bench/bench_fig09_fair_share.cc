@@ -13,8 +13,17 @@ using namespace netkernel;
 
 namespace {
 
-// Returns {A_share, B_share} as % of aggregate goodput.
-std::pair<double, double> RunShare(bool netkernel, int b_conns) {
+struct ShareResult {
+  double a_share = 0, b_share = 0;  // % of aggregate goodput at the sink
+  // NetKernel only: the same split as CoreEngine's PerVmStats sees it —
+  // per-VM switched NQEs and payload bytes — so the fairness claim is
+  // checkable at the switch, not just at the receiver.
+  double ce_a_bytes_share = 0, ce_b_bytes_share = 0;
+  uint64_t ce_a_switched = 0, ce_b_switched = 0;
+  uint64_t ce_a_throttled = 0, ce_b_throttled = 0;
+};
+
+ShareResult RunShare(bool netkernel, int b_conns) {
   sim::EventLoop loop;
   netsim::Fabric fabric(&loop);
   // Both VMs share a single 10G bottleneck. Its placement matches each
@@ -63,11 +72,34 @@ std::pair<double, double> RunShare(bool netkernel, int b_conns) {
 
   loop.Run(400 * kMillisecond);  // converge
   uint64_t a0 = a_rx.bytes_received, b0 = b_rx.bytes_received;
+  core::PerVmStats pa0, pb0;
+  if (netkernel) {
+    pa0 = host_a.VmNkStats(vm_a);
+    pb0 = host_a.VmNkStats(vm_b);
+  }
   loop.Run(loop.Now() + 1500 * kMillisecond);
   double a_bytes = static_cast<double>(a_rx.bytes_received - a0);
   double b_bytes = static_cast<double>(b_rx.bytes_received - b0);
   double total = a_bytes + b_bytes;
-  return {100.0 * a_bytes / total, 100.0 * b_bytes / total};
+  ShareResult r;
+  r.a_share = 100.0 * a_bytes / total;
+  r.b_share = 100.0 * b_bytes / total;
+  if (netkernel) {
+    core::PerVmStats pa = host_a.VmNkStats(vm_a);
+    core::PerVmStats pb = host_a.VmNkStats(vm_b);
+    double ce_a = static_cast<double>(pa.bytes - pa0.bytes);
+    double ce_b = static_cast<double>(pb.bytes - pb0.bytes);
+    double ce_total = ce_a + ce_b;
+    if (ce_total > 0) {
+      r.ce_a_bytes_share = 100.0 * ce_a / ce_total;
+      r.ce_b_bytes_share = 100.0 * ce_b / ce_total;
+    }
+    r.ce_a_switched = pa.switched - pa0.switched;
+    r.ce_b_switched = pb.switched - pb0.switched;
+    r.ce_a_throttled = pa.throttled - pa0.throttled;
+    r.ce_b_throttled = pb.throttled - pb0.throttled;
+  }
+  return r;
 }
 
 }  // namespace
@@ -76,12 +108,19 @@ int main() {
   bench::PrintHeader(
       "Fig 9: bandwidth share of well-behaved VM A (8 conns) vs selfish VM B",
       "paper Fig 9 (Baseline: B grows with flows; NetKernel: 50/50)");
-  std::printf("%12s | %22s | %22s\n", "conn ratio", "Baseline A% / B%", "NetKernel A% / B%");
+  std::printf("%12s | %22s | %22s | %26s\n", "conn ratio", "Baseline A% / B%",
+              "NetKernel A% / B%", "CE PerVmStats A% / B% bytes");
   for (int b_conns : {8, 16, 24}) {
     auto base = RunShare(false, b_conns);
     auto nk = RunShare(true, b_conns);
-    std::printf("%9d:8  | %10.1f / %-10.1f | %10.1f / %-10.1f\n", b_conns, base.first,
-                base.second, nk.first, nk.second);
+    std::printf("%9d:8  | %10.1f / %-10.1f | %10.1f / %-10.1f | %12.1f / %-12.1f\n",
+                b_conns, base.a_share, base.b_share, nk.a_share, nk.b_share,
+                nk.ce_a_bytes_share, nk.ce_b_bytes_share);
+    std::printf("%12s | switched A/B: %llu / %llu   throttled A/B: %llu / %llu\n", "",
+                static_cast<unsigned long long>(nk.ce_a_switched),
+                static_cast<unsigned long long>(nk.ce_b_switched),
+                static_cast<unsigned long long>(nk.ce_a_throttled),
+                static_cast<unsigned long long>(nk.ce_b_throttled));
   }
   return 0;
 }

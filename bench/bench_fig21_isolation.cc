@@ -73,5 +73,20 @@ int main() {
     std::printf("%8.1f %10.2f %10.2f %10.2f\n", ToSeconds(static_cast<SimTime>(i) * kBin),
                 gbps(s1), gbps(s2), gbps(s3));
   }
+
+  // The switch's own view of the same run: per-VM service, policing, and
+  // loss accounting from CoreEngineStats::per_vm (nothing is eyeballed).
+  std::printf("\nCoreEngine per-VM stats:\n");
+  std::printf("%6s %12s %14s %12s %12s %12s\n", "VM", "switched", "bytes", "throttled",
+              "deferred", "dropped");
+  for (core::Vm* vm : {vm1, vm2, vm3}) {
+    core::PerVmStats s = host_a.VmNkStats(vm);
+    std::printf("%6s %12llu %14llu %12llu %12llu %12llu\n", vm->name().c_str(),
+                static_cast<unsigned long long>(s.switched),
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.throttled),
+                static_cast<unsigned long long>(s.deferred),
+                static_cast<unsigned long long>(s.dropped));
+  }
   return 0;
 }

@@ -12,7 +12,11 @@ using shm::Nqe;
 using shm::NqeOp;
 
 CoreEngine::CoreEngine(sim::EventLoop* loop, sim::CpuCore* core, CoreEngineConfig config)
-    : loop_(loop), core_(core), config_(config) {}
+    : loop_(loop), core_(core), config_(config) {
+  // A zero bound would make every destination permanently "full" and stall
+  // routing outright; the park needs at least one slot to carry backpressure.
+  NK_CHECK(config_.pending_bound >= 1);
+}
 
 // ---------------------------------------------------------------------------
 // Control plane
@@ -56,9 +60,16 @@ void CoreEngine::RegisterNsmDevice(uint8_t nsm_id, shm::NkDevice* dev) {
 }
 
 void CoreEngine::DeregisterVmDevice(uint8_t vm_id) {
-  vms_.erase(vm_id);
+  auto vit = vms_.find(vm_id);
+  if (vit != vms_.end()) {
+    // Parked deliveries to the dead device would dangle; the VM is gone, so
+    // there is no guest to return completions to — count and discard.
+    PurgePark(vit->second.dev, /*synthesize_errors=*/false);
+    vms_.erase(vit);
+  }
   vm_rr_order_.erase(std::remove(vm_rr_order_.begin(), vm_rr_order_.end(), vm_id),
                      vm_rr_order_.end());
+  if (vm_rr_cursor_ >= vm_rr_order_.size()) vm_rr_cursor_ = 0;
   for (auto it = conn_table_.begin(); it != conn_table_.end();) {
     if ((it->first >> 32) == vm_id) {
       it = conn_table_.erase(it);
@@ -76,9 +87,56 @@ void CoreEngine::DeregisterVmDevice(uint8_t vm_id) {
 }
 
 void CoreEngine::DeregisterNsmDevice(uint8_t nsm_id) {
+  shm::NkDevice* dev = FindNsm(nsm_id);
   nsms_.erase(nsm_id);
   nsm_rr_order_.erase(std::remove(nsm_rr_order_.begin(), nsm_rr_order_.end(), nsm_id),
                       nsm_rr_order_.end());
+  if (nsm_rr_cursor_ >= nsm_rr_order_.size()) nsm_rr_cursor_ = 0;
+  // VM->NSM deliveries parked for the dead device will never land: return
+  // error completions so guest send credits and hugepage chunks are released.
+  if (dev != nullptr) PurgePark(dev, /*synthesize_errors=*/true);
+
+  // Symmetric to DeregisterVmDevice: table entries pointing at the dead NSM
+  // must not linger. Established connections died with their stack — tell
+  // each guest with an error FIN so its socket state unwinds; datagram
+  // sockets are stateless at the NSM boundary, so dropping the entry lets
+  // the next datagram op re-home to the VM's current NSM.
+  std::vector<Delivery> fins;
+  for (auto it = conn_table_.begin(); it != conn_table_.end();) {
+    if (it->second.nsm_id != nsm_id) {
+      ++it;
+      continue;
+    }
+    uint8_t vm_id = static_cast<uint8_t>(it->first >> 32);
+    uint32_t vm_sock = static_cast<uint32_t>(it->first);
+    auto vit = vms_.find(vm_id);
+    if (vit != vms_.end() && vit->second.dev != nullptr) {
+      Delivery d;
+      d.dst = vit->second.dev;
+      d.qset = it->second.vm_qset < d.dst->num_queue_sets() ? it->second.vm_qset : 0;
+      d.ring = shm::RingKind::kReceive;
+      d.toward_vm = true;
+      d.nqe = MakeNqe(NqeOp::kFinReceived, vm_id, it->second.vm_qset, vm_sock, 0, 0,
+                      static_cast<uint32_t>(kCeNetUnreach));
+      PlanDelivery(d, fins);
+    }
+    it = conn_table_.erase(it);
+  }
+  for (auto it = dgram_table_.begin(); it != dgram_table_.end();) {
+    if (it->second.nsm_id == nsm_id) {
+      it = dgram_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!fins.empty()) DeliverPlan(fins);
+}
+
+void CoreEngine::SetVmWeight(uint8_t vm_id, uint32_t weight) {
+  auto it = vms_.find(vm_id);
+  NK_CHECK(it != vms_.end());
+  NK_CHECK(weight >= 1);
+  it->second.weight = weight;
 }
 
 void CoreEngine::AssignVmToNsm(uint8_t vm_id, uint8_t nsm_id) {
@@ -114,6 +172,45 @@ void CoreEngine::ScheduleRound() {
   loop_->ScheduleAfter(0, [this] { ProcessRound(); });
 }
 
+uint64_t CoreEngine::PollVm(VmState& vm, uint64_t limit, std::vector<Delivery>& plan,
+                            Cycles& cost, SimTime* retry_at, bool* send_blocked,
+                            bool* job_blocked) {
+  uint64_t taken = 0;
+  Nqe nqe;
+  const int nqs = vm.dev->num_queue_sets();
+  for (int i = 0; i < nqs && taken < limit; ++i) {
+    // Start each chunk at a rotating queue set: restarting at 0 every time
+    // would let a saturated qset 0 eat the whole deficit while the VM's
+    // other queue sets starve.
+    int qs = (vm.qset_cursor + i) % nqs;
+    shm::QueueSet& q = vm.dev->queue_set(qs);
+    // Send ring before job ring: a close NQE must not overtake the data
+    // NQEs the guest enqueued before it.
+    if (!*send_blocked) {
+      while (taken < limit && q.send.Peek(&nqe)) {
+        if (!RouteVmNqe(nqe, true, vm, plan, cost, retry_at)) {
+          *send_blocked = true;
+          break;
+        }
+        q.send.TryDequeue(&nqe);
+        ++taken;
+      }
+    }
+    if (!*job_blocked) {
+      while (taken < limit && q.job.Peek(&nqe)) {
+        if (!RouteVmNqe(nqe, false, vm, plan, cost, retry_at)) {
+          *job_blocked = true;
+          break;
+        }
+        q.job.TryDequeue(&nqe);
+        ++taken;
+      }
+    }
+  }
+  if (nqs > 0) vm.qset_cursor = (vm.qset_cursor + 1) % nqs;
+  return taken;
+}
+
 bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
                             std::vector<Delivery>& plan, Cycles& cost, SimTime* retry_at) {
   const SimTime now = loop_->Now();
@@ -122,6 +219,7 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
     SimTime t = vm.op_bucket.NextAvailable(now, 1.0);
     if (*retry_at == kSimTimeNever || t < *retry_at) *retry_at = t;
     ++stats_.throttled_nqes;
+    ++stats_.per_vm[nqe.vm_id].throttled;
     return false;
   }
   if (from_send_ring && nqe.size > 0 &&
@@ -129,11 +227,19 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
     SimTime t = vm.byte_bucket.NextAvailable(now, static_cast<double>(nqe.size));
     if (*retry_at == kSimTimeNever || t < *retry_at) *retry_at = t;
     ++stats_.throttled_nqes;
+    ++stats_.per_vm[nqe.vm_id].throttled;
     // The op-bucket token is intentionally kept: conservative policing.
     return false;
   }
 
-  if (RouteDgramNqe(nqe, from_send_ring, vm, plan, cost)) return true;
+  switch (RouteDgramNqe(nqe, from_send_ring, vm, plan, cost)) {
+    case DgramRoute::kClaimed:
+      return true;
+    case DgramRoute::kDeferred:
+      return false;
+    case DgramRoute::kNotDgram:
+      break;
+  }
 
   uint64_t key = ConnKey(nqe.vm_id, nqe.vm_sock);
   auto op = nqe.Op();
@@ -143,9 +249,8 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
 
   if (entry == nullptr) {
     // New connection: map to the VM's current NSM (Fig 6 step 1-2).
-    if (!vm.has_nsm) return true;  // drop: no NSM assigned
-    shm::NkDevice* ndev = FindNsm(vm.nsm_id);
-    if (ndev == nullptr) return true;
+    shm::NkDevice* ndev = vm.has_nsm ? FindNsm(vm.nsm_id) : nullptr;
+    if (ndev == nullptr) return FailVmNqe(nqe, plan);  // no NSM to serve it
     ConnEntry e;
     e.nsm_id = vm.nsm_id;
     e.nsm_qset = HashQset(key, ndev);
@@ -164,21 +269,31 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
   }
 
   shm::NkDevice* ndev = FindNsm(entry->nsm_id);
-  if (ndev == nullptr) return true;  // NSM gone; drop
+  if (ndev == nullptr) {
+    // NSM vanished between rounds (DeregisterNsmDevice also purges the
+    // table, so this is a same-round race): unwind the guest's state.
+    conn_table_.erase(key);
+    return FailVmNqe(nqe, plan);
+  }
+  // Backpressure: the NSM's pending queue is at the bound, so the NQE stays
+  // in the guest ring. (The token already spent on it is kept — conservative
+  // policing, same as the byte-bucket path above.)
+  if (Backpressured(ndev)) return false;
 
   Delivery d;
   d.dst = ndev;
   d.qset = entry->nsm_qset;
-  d.to_send_ring = from_send_ring;
+  d.ring = from_send_ring ? shm::RingKind::kSend : shm::RingKind::kJob;
   d.nqe = nqe;
-  plan.push_back(d);
+  PlanDelivery(d, plan);
   if (from_send_ring) stats_.send_bytes_switched += nqe.size;
   if (op == NqeOp::kClose) conn_table_.erase(key);
   return true;
 }
 
-bool CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
-                               std::vector<Delivery>& plan, Cycles& cost) {
+CoreEngine::DgramRoute CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_ring,
+                                                 VmState& vm, std::vector<Delivery>& plan,
+                                                 Cycles& cost) {
   const NqeOp op = nqe.Op();
   const uint64_t key = ConnKey(nqe.vm_id, nqe.vm_sock);
   DgramEntry* entry = nullptr;
@@ -189,9 +304,11 @@ bool CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
     // New datagram socket: map it to the VM's current NSM. The entry is
     // complete immediately — connectionless sockets are keyed by the guest
     // handle alone, with no NSM socket id to learn (contrast Fig 6 step 4).
-    if (!vm.has_nsm) return true;  // drop: no NSM assigned
-    shm::NkDevice* ndev = FindNsm(vm.nsm_id);
-    if (ndev == nullptr) return true;
+    shm::NkDevice* ndev = vm.has_nsm ? FindNsm(vm.nsm_id) : nullptr;
+    if (ndev == nullptr) {
+      FailVmNqe(nqe, plan);  // no NSM to serve it
+      return DgramRoute::kClaimed;
+    }
     DgramEntry e;
     e.nsm_id = vm.nsm_id;
     e.nsm_qset = HashQset(key, ndev);
@@ -202,47 +319,65 @@ bool CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
     cost += config_.costs.ce_table_lookup;
   } else if (op == NqeOp::kBindUdp || op == NqeOp::kSendTo || op == NqeOp::kRecvFrom) {
     // Socket not (or no longer) in the table — e.g. a kClose through the job
-    // ring overtook kSendTo NQEs still queued on the send ring. Forward
-    // statelessly to the VM's current NSM: the NSM side owns the hugepage
+    // ring overtook kSendTo NQEs still queued on the send ring, or the
+    // socket's NSM was deregistered. Forward statelessly to the VM's current
+    // NSM (re-homing the datagram flow): the NSM side owns the hugepage
     // accounting and must see the NQE to release its payload chunk.
-    if (!vm.has_nsm) return true;
-    shm::NkDevice* fdev = FindNsm(vm.nsm_id);
-    if (fdev == nullptr) return true;
+    shm::NkDevice* fdev = vm.has_nsm ? FindNsm(vm.nsm_id) : nullptr;
+    if (fdev == nullptr) {
+      FailVmNqe(nqe, plan);
+      return DgramRoute::kClaimed;
+    }
+    if (Backpressured(fdev)) return DgramRoute::kDeferred;
     Delivery d;
     d.dst = fdev;
     d.qset = HashQset(key, fdev);
-    d.to_send_ring = from_send_ring;
+    d.ring = from_send_ring ? shm::RingKind::kSend : shm::RingKind::kJob;
     d.nqe = nqe;
-    plan.push_back(d);
+    PlanDelivery(d, plan);
     ++stats_.dgram_nqes_switched;
     cost += config_.costs.ce_table_lookup;
-    return true;
+    return DgramRoute::kClaimed;
   } else {
-    return false;  // not a datagram socket; fall through to connection routing
+    // Not a datagram socket; fall through to connection routing.
+    return DgramRoute::kNotDgram;
   }
 
   shm::NkDevice* ndev = FindNsm(entry->nsm_id);
   if (ndev == nullptr) {
-    if (op == NqeOp::kClose) dgram_table_.erase(key);
-    return true;  // NSM gone; drop
+    // NSM vanished: drop the stale mapping so the next op re-homes to the
+    // VM's current NSM, and unwind this NQE's guest state.
+    dgram_table_.erase(key);
+    FailVmNqe(nqe, plan);
+    return DgramRoute::kClaimed;
   }
+  if (Backpressured(ndev)) return DgramRoute::kDeferred;
 
   Delivery d;
   d.dst = ndev;
   d.qset = entry->nsm_qset;
-  d.to_send_ring = from_send_ring;
+  d.ring = from_send_ring ? shm::RingKind::kSend : shm::RingKind::kJob;
   d.nqe = nqe;
-  plan.push_back(d);
+  PlanDelivery(d, plan);
   ++stats_.dgram_nqes_switched;
   if (from_send_ring) stats_.send_bytes_switched += nqe.size;
   if (op == NqeOp::kClose) dgram_table_.erase(key);
-  return true;
+  return DgramRoute::kClaimed;
 }
 
-void CoreEngine::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
+bool CoreEngine::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
                              Cycles& cost) {
   auto vit = vms_.find(nqe.vm_id);
-  if (vit == vms_.end() || vit->second.dev == nullptr) return;  // VM gone
+  if (vit == vms_.end() || vit->second.dev == nullptr) {
+    // VM gone: nothing to deliver to, but the loss must still be visible.
+    ++stats_.nqes_dropped;
+    ++stats_.per_vm[nqe.vm_id].dropped;
+    return true;  // consume it
+  }
+  // Backpressure toward the NSM: the VM device's pending queue is at the
+  // bound, so the NQE stays in the NSM ring (kRecvData chunks and their
+  // receive credits are never lost to switch overload).
+  if (Backpressured(vit->second.dev)) return false;
 
   auto op = nqe.Op();
   // Fig 6 step 4: the NSM's first response for a connection carries the NSM
@@ -261,10 +396,80 @@ void CoreEngine::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Deliver
   d.dst = vit->second.dev;
   d.qset = nqe.queue_set;
   if (d.qset >= vit->second.dev->num_queue_sets()) d.qset = 0;
-  d.to_receive_ring =
-      op == NqeOp::kRecvData || op == NqeOp::kFinReceived || op == NqeOp::kDgramRecv;
+  d.ring = (op == NqeOp::kRecvData || op == NqeOp::kFinReceived || op == NqeOp::kDgramRecv)
+               ? shm::RingKind::kReceive
+               : shm::RingKind::kCompletion;
+  d.toward_vm = true;
   d.nqe = nqe;
-  plan.push_back(d);
+  PlanDelivery(d, plan);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Failure path: error completions instead of silent loss
+// ---------------------------------------------------------------------------
+
+bool CoreEngine::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
+  NqeOp completion_op;
+  bool carries_chunk = false;
+  switch (orig.Op()) {
+    case NqeOp::kSend:
+      completion_op = NqeOp::kSendResult;
+      carries_chunk = true;
+      break;
+    case NqeOp::kSendTo:
+      completion_op = NqeOp::kSendToResult;
+      carries_chunk = true;
+      break;
+    case NqeOp::kConnect:
+      completion_op = NqeOp::kConnectResult;
+      break;
+    case NqeOp::kSocket:
+    case NqeOp::kSocketUdp:
+    case NqeOp::kBind:
+    case NqeOp::kBindUdp:
+    case NqeOp::kListen:
+    case NqeOp::kSetsockopt:
+    case NqeOp::kGetsockopt:
+    case NqeOp::kIoctl:
+    case NqeOp::kShutdown:
+      completion_op = NqeOp::kOpResult;
+      break;
+    default:
+      // kClose / kAccept / kRecvFrom hold no reclaimable guest state and no
+      // guest thread waits on them; the drop counter is the whole story.
+      return false;
+  }
+  auto vit = vms_.find(orig.vm_id);
+  if (vit == vms_.end() || vit->second.dev == nullptr) return false;
+
+  // The completion mirrors a real NSM response: result code in `size`
+  // (negative errno, as ServiceLib::Respond encodes it), the original op in
+  // reserved[0]. Send-family errors return the credit in op_data and flag
+  // the untouched payload chunk so GuestLib frees it.
+  Nqe resp = MakeNqe(completion_op, orig.vm_id, orig.queue_set, orig.vm_sock);
+  resp.size = static_cast<uint32_t>(kCeNetUnreach);
+  resp.reserved[0] = orig.op;
+  if (carries_chunk) {
+    resp.op_data = orig.size;  // send credit to return
+    resp.data_ptr = orig.data_ptr;
+    resp.reserved[1] = shm::kNqeFlagChunkUnconsumed;
+  }
+
+  out->dst = vit->second.dev;
+  out->qset = orig.queue_set < out->dst->num_queue_sets() ? orig.queue_set : 0;
+  out->ring = shm::RingKind::kCompletion;
+  out->toward_vm = true;
+  out->nqe = resp;
+  return true;
+}
+
+bool CoreEngine::FailVmNqe(const Nqe& orig, std::vector<Delivery>& plan) {
+  ++stats_.nqes_dropped;
+  ++stats_.per_vm[orig.vm_id].dropped;
+  Delivery d;
+  if (BuildErrorCompletion(orig, &d)) PlanDelivery(d, plan);
+  return true;
 }
 
 void CoreEngine::ProcessRound() {
@@ -276,47 +481,74 @@ void CoreEngine::ProcessRound() {
   SimTime retry_at = kSimTimeNever;
   uint64_t total = 0;
   const int batch = config_.batch;
+  const uint64_t base_quantum =
+      static_cast<uint64_t>(config_.quantum > 0 ? config_.quantum : config_.batch);
   Nqe nqe;
 
-  // Poll every VM queue set round-robin (fair sharing, §4.4).
-  for (uint8_t vm_id : vm_rr_order_) {
-    VmState& vm = vms_[vm_id];
-    for (int qs = 0; qs < vm.dev->num_queue_sets(); ++qs) {
-      shm::QueueSet& q = vm.dev->queue_set(qs);
-      // Send ring before job ring: a close NQE must not overtake the data
-      // NQEs the guest enqueued before it.
-      int taken_send = 0;
-      while (taken_send < batch && q.send.Peek(&nqe)) {
-        if (!RouteVmNqe(nqe, true, vm, plan, cost, &retry_at)) break;
-        q.send.TryDequeue(&nqe);
-        ++taken_send;
-      }
-      int taken = 0;
-      while (taken < batch && q.job.Peek(&nqe)) {
-        if (!RouteVmNqe(nqe, false, vm, plan, cost, &retry_at)) break;
-        q.job.TryDequeue(&nqe);
-        ++taken;
-      }
-      int n = taken + taken_send;
-      if (n > 0) {
-        cost += config_.costs.CePerNqe(n) * static_cast<Cycles>(n);
-        total += static_cast<uint64_t>(n);
-      }
+  // Poll the VM queue sets with weighted deficit round robin (fair sharing,
+  // §4.4): each round a VM earns quantum * weight NQEs of service. Spending
+  // is interleaved in weight-sized chunks across multiple passes, so when
+  // the destination backpressures mid-round, the capacity that WAS available
+  // was consumed in proportion to the weights — a single greedy pass would
+  // hand it all to whichever VM happened to be polled first. The starting
+  // VM rotates across rounds, so no registrant keeps a head-of-line edge.
+  const size_t nvm = vm_rr_order_.size();
+  struct Slot {
+    VmState* vm = nullptr;
+    uint64_t taken = 0;
+    bool send_blocked = false;
+    bool job_blocked = false;
+  };
+  std::vector<Slot> order(nvm);
+  for (size_t i = 0; i < nvm; ++i) {
+    VmState& vm = vms_[vm_rr_order_[(vm_rr_cursor_ + i) % nvm]];
+    const uint64_t quantum = base_quantum * vm.weight;
+    // Carry at most one round of unspent deficit: enough to smooth over a
+    // throttled round, not enough to let an idle VM hoard a burst.
+    vm.deficit = std::min(vm.deficit + quantum, 2 * quantum);
+    order[i].vm = &vm;
+  }
+  for (bool progress = true; progress;) {
+    progress = false;
+    for (Slot& s : order) {
+      VmState& vm = *s.vm;
+      if ((s.send_blocked && s.job_blocked) || s.taken >= vm.deficit) continue;
+      uint64_t chunk = std::min<uint64_t>(vm.weight, vm.deficit - s.taken);
+      uint64_t got =
+          PollVm(vm, chunk, plan, cost, &retry_at, &s.send_blocked, &s.job_blocked);
+      s.taken += got;
+      if (got > 0) progress = true;
     }
   }
+  for (Slot& s : order) {
+    VmState& vm = *s.vm;
+    if (s.taken > 0) {
+      vm.deficit -= s.taken;
+      cost += config_.costs.CePerNqe(static_cast<int>(s.taken)) *
+              static_cast<Cycles>(s.taken);
+      total += s.taken;
+    }
+    // Classic DRR: an emptied queue forfeits its remaining deficit.
+    if (!vm.dev->HasOutbound()) vm.deficit = 0;
+  }
+  if (nvm > 0) vm_rr_cursor_ = (vm_rr_cursor_ + 1) % nvm;
 
-  // Poll every NSM queue set.
-  for (uint8_t nsm_id : nsm_rr_order_) {
+  // Poll every NSM queue set, rotating the starting NSM for the same reason.
+  const size_t nnsm = nsm_rr_order_.size();
+  for (size_t i = 0; i < nnsm; ++i) {
+    uint8_t nsm_id = nsm_rr_order_[(nsm_rr_cursor_ + i) % nnsm];
     shm::NkDevice* dev = nsms_[nsm_id];
     for (int qs = 0; qs < dev->num_queue_sets(); ++qs) {
       shm::QueueSet& q = dev->queue_set(qs);
       int n = 0;
-      while (n < batch && q.completion.TryDequeue(&nqe)) {
-        RouteNsmNqe(nqe, nsm_id, plan, cost);
+      while (n < batch && q.completion.Peek(&nqe)) {
+        if (!RouteNsmNqe(nqe, nsm_id, plan, cost)) break;
+        q.completion.TryDequeue(&nqe);
         ++n;
       }
-      while (n < 2 * batch && q.receive.TryDequeue(&nqe)) {
-        RouteNsmNqe(nqe, nsm_id, plan, cost);
+      while (n < 2 * batch && q.receive.Peek(&nqe)) {
+        if (!RouteNsmNqe(nqe, nsm_id, plan, cost)) break;
+        q.receive.TryDequeue(&nqe);
         ++n;
       }
       if (n > 0) {
@@ -325,8 +557,12 @@ void CoreEngine::ProcessRound() {
       }
     }
   }
+  if (nnsm > 0) nsm_rr_cursor_ = (nsm_rr_cursor_ + 1) % nnsm;
 
   if (total == 0 && plan.empty()) {
+    // No new work this round, but parked deliveries may now fit — retry
+    // them directly (the busy-polling CE's next spin would).
+    if (parked_total_ > 0) DeliverPlan({});
     if (retry_at != kSimTimeNever) {
       retry_timer_ = loop_->Schedule(retry_at, [this] { ScheduleRound(); });
     }
@@ -337,37 +573,143 @@ void CoreEngine::ProcessRound() {
   stats_.nqes_switched += total;
 
   core_->Charge(cost, [this, plan = std::move(plan)] {
-    // Deliver the switched NQEs into destination rings and ring doorbells.
-    std::vector<shm::NkDevice*> to_wake;
-    for (const Delivery& d : plan) {
-      shm::QueueSet& q = d.dst->queue_set(d.qset);
-      shm::SpscRing<Nqe>* ring;
-      if (d.to_receive_ring) {
-        ring = &q.receive;
-      } else if (d.to_send_ring) {
-        ring = &q.send;
-      } else if (d.nqe.Op() == NqeOp::kOpResult || d.nqe.Op() == NqeOp::kConnectResult ||
-                 d.nqe.Op() == NqeOp::kAcceptedConn || d.nqe.Op() == NqeOp::kSendResult ||
-                 d.nqe.Op() == NqeOp::kSendToResult) {
-        ring = &q.completion;
-      } else {
-        ring = &q.job;
-      }
-      if (!ring->TryEnqueue(d.nqe)) {
-        // Destination ring full: the real system would stall the producer;
-        // with 4K-deep rings this indicates a severe overload. Drop + count.
-        continue;
-      }
-      if (std::find(to_wake.begin(), to_wake.end(), d.dst) == to_wake.end()) {
-        to_wake.push_back(d.dst);
-      }
-    }
-    for (shm::NkDevice* dev : to_wake) dev->Wake();
+    DeliverPlan(plan);
     ProcessRound();  // keep polling while work remains
   });
 
   if (retry_at != kSimTimeNever) {
     retry_timer_ = loop_->Schedule(retry_at, [this] { ScheduleRound(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delivery: destination rings, backpressure park, doorbells
+// ---------------------------------------------------------------------------
+
+bool CoreEngine::TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>& to_wake) {
+  if (!d.dst->queue_set(d.qset).ring(d.ring).TryEnqueue(d.nqe)) return false;
+  PerVmStats& pv = stats_.per_vm[d.nqe.vm_id];
+  ++pv.switched;
+  // Only data-carrying ops count as payload: kFinReceived also rides the
+  // receive ring but encodes a negative errno in `size`, which would add
+  // ~4 GB of phantom bytes per error FIN.
+  NqeOp op = d.nqe.Op();
+  if (op == NqeOp::kSend || op == NqeOp::kSendTo || op == NqeOp::kRecvData ||
+      op == NqeOp::kDgramRecv) {
+    pv.bytes += d.nqe.size;
+  }
+  if (std::find(to_wake.begin(), to_wake.end(), d.dst) == to_wake.end()) {
+    to_wake.push_back(d.dst);
+  }
+  return true;
+}
+
+void CoreEngine::DropDelivery(const Delivery& d, std::vector<Delivery>& errors) {
+  ++stats_.nqes_dropped;
+  ++stats_.per_vm[d.nqe.vm_id].dropped;
+  if (d.toward_vm) return;  // nothing to unwind guest-side from here
+  // A VM->NSM NQE died inside the switch: the guest still holds its state
+  // (send credit, hugepage chunk, a thread waiting on the control op).
+  Delivery err;
+  if (BuildErrorCompletion(d.nqe, &err)) errors.push_back(err);
+}
+
+void CoreEngine::ParkOrDrop(const Delivery& d, std::vector<Delivery>& errors) {
+  std::deque<Delivery>& dq = parked_[d.dst];
+  if (dq.size() >= config_.pending_bound) {
+    DropDelivery(d, errors);
+    return;
+  }
+  dq.push_back(d);
+  ++parked_total_;
+  ++stats_.deliveries_deferred;
+  ++stats_.per_vm[d.nqe.vm_id].deferred;
+}
+
+size_t CoreEngine::DeliverPlan(const std::vector<Delivery>& plan) {
+  // These deliveries are no longer "in flight": from here each one either
+  // lands in a ring, parks, or drops — all of which Backpressured() sees.
+  // (Saturating: some entries, e.g. deregistration FINs, were never counted.)
+  for (const Delivery& d : plan) {
+    auto it = in_flight_.find(d.dst);
+    if (it != in_flight_.end()) {
+      if (--it->second == 0) in_flight_.erase(it);
+    }
+  }
+
+  std::vector<shm::NkDevice*> to_wake;
+  size_t delivered = 0;
+
+  // Parked deliveries go first: they are older than anything in the plan,
+  // and draining them FIFO preserves per-ring NQE order across stalls.
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    std::deque<Delivery>& dq = it->second;
+    while (!dq.empty() && TryDeliver(dq.front(), to_wake)) {
+      dq.pop_front();
+      --parked_total_;
+      ++delivered;
+    }
+    it = dq.empty() ? parked_.erase(it) : std::next(it);
+  }
+
+  std::vector<Delivery> errors;
+  for (const Delivery& d : plan) {
+    // Anything already parked for this device must stay ahead of d, or the
+    // destination would observe reordered NQEs.
+    auto pit = parked_.find(d.dst);
+    bool behind_park = pit != parked_.end() && !pit->second.empty();
+    if (!behind_park && TryDeliver(d, to_wake)) {
+      ++delivered;
+      continue;
+    }
+    ParkOrDrop(d, errors);
+  }
+
+  // Error completions synthesized for dropped deliveries. They bypass the
+  // bound: each one exists because an NQE was already dropped, so their
+  // count is bounded by the drops themselves.
+  for (const Delivery& e : errors) {
+    auto pit = parked_.find(e.dst);
+    bool behind_park = pit != parked_.end() && !pit->second.empty();
+    if (!behind_park && TryDeliver(e, to_wake)) {
+      ++delivered;
+      continue;
+    }
+    parked_[e.dst].push_back(e);
+    ++parked_total_;
+    ++stats_.deliveries_deferred;
+    ++stats_.per_vm[e.nqe.vm_id].deferred;
+  }
+
+  for (shm::NkDevice* dev : to_wake) dev->Wake();
+  if (parked_total_ > 0) ArmParkRetry();
+  return delivered;
+}
+
+void CoreEngine::ArmParkRetry() {
+  if (park_timer_.Pending()) return;
+  // The real CE busy-polls; 5 us approximates its next useful spin at the
+  // simulator's granularity without melting the event loop.
+  park_timer_ = loop_->ScheduleAfter(5 * kMicrosecond, [this] {
+    if (parked_total_ > 0) DeliverPlan({});
+    ScheduleRound();
+  });
+}
+
+void CoreEngine::PurgePark(shm::NkDevice* dev, bool synthesize_errors) {
+  auto it = parked_.find(dev);
+  if (it == parked_.end()) return;
+  std::vector<Delivery> errors;
+  for (const Delivery& d : it->second) {
+    --parked_total_;
+    DropDelivery(d, errors);
+  }
+  parked_.erase(it);
+  if (synthesize_errors && !errors.empty()) {
+    // Balance DeliverPlan's in-flight decrement for these synthesized
+    // completions so concurrent rounds' counts stay exact.
+    for (const Delivery& e : errors) ++in_flight_[e.dst];
+    DeliverPlan(errors);
   }
 }
 

@@ -7,12 +7,20 @@
 //     <VM id, queue set, socket id> <-> <NSM id, queue set, socket id>;
 //   * flexible VM -> NSM mapping (multiplexing several VMs onto one NSM and
 //     switching a VM's NSM on the fly);
-//   * round-robin polling over every queue set for basic fairness, plus
-//     optional per-VM token buckets (bytes/s and ops/s) for isolation (§7.6);
+//   * weighted deficit-round-robin polling over the VM queue sets (per-VM
+//     weights via SetVmWeight, cursor rotated across rounds so no registrant
+//     keeps a head-of-line advantage), plus optional per-VM token buckets
+//     (bytes/s and ops/s) for isolation (§7.6);
+//   * per-destination backpressure: a delivery that finds its ring full is
+//     parked in a bounded per-device pending queue and retried on later
+//     rounds; beyond the bound the NQE is dropped with an error completion
+//     returned to the guest so send credits and hugepage chunks never leak;
 //   * batched polling (cycles per switched NQE shrink with batch size,
 //     calibrated against Fig 11);
 //   * the control plane: NK device (de)registration via 8-byte
-//     <ce_op, ce_data> messages (§5).
+//     <ce_op, ce_data> messages (§5);
+//   * per-VM observability (PerVmStats) so fairness and isolation are
+//     assertable rather than eyeballed.
 //
 // CoreEngine burns one dedicated hypervisor core (busy-polling in the real
 // system). The DES models it event-driven: rounds are triggered by producer
@@ -52,9 +60,33 @@ struct CeMessage {
 };
 static_assert(sizeof(CeMessage) == 8, "control messages are 8 bytes (paper §5)");
 
+// Error result CoreEngine stamps into synthesized completions when it cannot
+// route or deliver an NQE (no NSM assigned, NSM deregistered, or the pending
+// delivery bound was exceeded). Mirrors -ENETUNREACH.
+constexpr int32_t kCeNetUnreach = -101;
+
 struct CoreEngineConfig {
-  int batch = 16;  // NQEs drained per ring per polling round
+  int batch = 16;  // NQEs drained per NSM ring per polling round
+  // DRR quantum: NQEs a weight-1 VM may switch per round. 0 means "use
+  // batch", so tuning batch (the ablation knob) scales both sides.
+  int quantum = 0;
+  // Deliveries parked per destination device before backpressure reaches the
+  // source rings (routing defers, NQEs stay queued guest-side). Deliveries
+  // already planned when the bound trips are dropped with error completions
+  // back to the guest. Must be >= 1.
+  size_t pending_bound = 1024;
   tcp::NetkernelCosts costs;
+};
+
+// Per-VM slice of the switch's work, keyed by VM id. `switched` counts NQEs
+// actually delivered into a destination ring (both directions), so fairness
+// tests can assert shares of real service rather than of polling attempts.
+struct PerVmStats {
+  uint64_t switched = 0;   // NQEs delivered (VM->NSM and NSM->VM)
+  uint64_t dropped = 0;    // NQEs dropped (no route, or pending bound hit)
+  uint64_t throttled = 0;  // NQEs deferred by this VM's token buckets
+  uint64_t bytes = 0;      // payload bytes delivered (send + receive data)
+  uint64_t deferred = 0;   // deliveries parked on a full destination ring
 };
 
 struct CoreEngineStats {
@@ -64,6 +96,9 @@ struct CoreEngineStats {
   uint64_t throttled_nqes = 0;  // deferred by a token bucket
   uint64_t send_bytes_switched = 0;
   uint64_t dgram_nqes_switched = 0;  // connectionless (UDP) NQEs
+  uint64_t nqes_dropped = 0;         // every drop, anywhere in the switch
+  uint64_t deliveries_deferred = 0;  // parked on a full destination ring
+  std::unordered_map<uint8_t, PerVmStats> per_vm;
 };
 
 class CoreEngine {
@@ -84,13 +119,23 @@ class CoreEngine {
   // ---- Isolation (per-VM egress policing, §4.4/§7.6) ----
   void SetVmByteRate(uint8_t vm_id, double bytes_per_sec, double burst_bytes);
   void SetVmOpRate(uint8_t vm_id, double nqes_per_sec, double burst_nqes);
+  // DRR weight: a weight-w VM receives w/sum(weights) of the switch's NQE
+  // service under contention. Default 1; must be >= 1.
+  void SetVmWeight(uint8_t vm_id, uint32_t weight);
 
   // ---- Datapath notifications (producers ring the doorbell) ----
   void NotifyVmOutbound(uint8_t vm_id);
   void NotifyNsmOutbound(uint8_t nsm_id);
 
   const CoreEngineStats& stats() const { return stats_; }
+  // Per-VM slice; zero-initialized if the VM never moved an NQE.
+  PerVmStats VmStats(uint8_t vm_id) const {
+    auto it = stats_.per_vm.find(vm_id);
+    return it == stats_.per_vm.end() ? PerVmStats{} : it->second;
+  }
   size_t ConnectionTableSize() const { return conn_table_.size(); }
+  size_t DgramTableSize() const { return dgram_table_.size(); }
+  size_t ParkedDeliveries() const { return parked_total_; }
   sim::CpuCore* core() { return core_; }
 
  private:
@@ -113,12 +158,20 @@ class CoreEngine {
     bool has_nsm = false;
     TokenBucket byte_bucket;
     TokenBucket op_bucket;
+    // Deficit round-robin state: deficit accrues quantum * weight per round
+    // and is spent one NQE at a time, so service converges on the weight
+    // ratio no matter the registration order.
+    uint32_t weight = 1;
+    uint64_t deficit = 0;
+    // Rotates per polling chunk so a backlogged queue set 0 cannot consume
+    // the whole deficit and starve the VM's other queue sets.
+    int qset_cursor = 0;
   };
   struct Delivery {
     shm::NkDevice* dst = nullptr;
     int qset = 0;
-    bool to_receive_ring = false;  // NSM->VM: receive vs completion
-    bool to_send_ring = false;     // VM->NSM: send vs job
+    shm::RingKind ring = shm::RingKind::kJob;
+    bool toward_vm = false;  // NSM->VM (or CE-synthesized completion)
     shm::Nqe nqe;
   };
 
@@ -137,15 +190,63 @@ class CoreEngine {
 
   void ScheduleRound();
   void ProcessRound();
+  // Routes up to `limit` NQEs from `vm`'s queue sets (send ring before job
+  // ring per set). A throttled/backpressured ring sets the matching blocked
+  // flag so later passes of the same round skip it.
+  uint64_t PollVm(VmState& vm, uint64_t limit, std::vector<Delivery>& plan, Cycles& cost,
+                  SimTime* retry_at, bool* send_blocked, bool* job_blocked);
   // Routes one VM->NSM NQE; returns false if it must stay queued (throttled).
   bool RouteVmNqe(const shm::Nqe& nqe, bool from_send_ring, VmState& vm,
                   std::vector<Delivery>& plan, Cycles& cost, SimTime* retry_at);
-  // Connectionless-NQE routing via the datagram socket table. Returns true if
-  // the NQE was claimed (routed or dropped) as a datagram op.
-  bool RouteDgramNqe(const shm::Nqe& nqe, bool from_send_ring, VmState& vm,
-                     std::vector<Delivery>& plan, Cycles& cost);
-  void RouteNsmNqe(const shm::Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
+  // Connectionless-NQE routing via the datagram socket table.
+  enum class DgramRoute {
+    kNotDgram,   // not a datagram op; fall through to connection routing
+    kClaimed,    // routed (or failed with an error completion): consume it
+    kDeferred,   // destination backpressured: leave it in the guest ring
+  };
+  DgramRoute RouteDgramNqe(const shm::Nqe& nqe, bool from_send_ring, VmState& vm,
+                           std::vector<Delivery>& plan, Cycles& cost);
+  // Routes one NSM->VM NQE; returns false if it must stay queued (the VM
+  // device's pending queue is at the bound — backpressure toward the NSM).
+  bool RouteNsmNqe(const shm::Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
                    Cycles& cost);
+
+  // The switch could not route `orig`: count the drop and, for ops whose
+  // guest holds state (a waiting control op, a send credit, a hugepage
+  // chunk), append the error completion to `plan`. Always returns true so
+  // routing callers can `return FailVmNqe(...)` to consume the NQE.
+  bool FailVmNqe(const shm::Nqe& orig, std::vector<Delivery>& plan);
+  // True when `dev`'s outstanding deliveries (parked + planned-but-not-yet-
+  // delivered) are at the bound: routing toward it must defer at the source
+  // ring (backpressure) instead of planning a delivery that would be dropped.
+  bool Backpressured(shm::NkDevice* dev) const {
+    size_t outstanding = 0;
+    auto pit = parked_.find(dev);
+    if (pit != parked_.end()) outstanding += pit->second.size();
+    auto fit = in_flight_.find(dev);
+    if (fit != in_flight_.end()) outstanding += fit->second;
+    return outstanding >= config_.pending_bound;
+  }
+  // Appends `d` to the round's plan, counting it outstanding for its
+  // destination until the delivery phase processes it.
+  void PlanDelivery(const Delivery& d, std::vector<Delivery>& plan) {
+    ++in_flight_[d.dst];
+    plan.push_back(d);
+  }
+  // Builds the guest-facing error completion for `orig`; false if the op
+  // needs none (kClose/kAccept/kRecvFrom carry no reclaimable guest state).
+  bool BuildErrorCompletion(const shm::Nqe& orig, Delivery* out);
+
+  // Delivery phase: parked deliveries retry first (per-device FIFO, so a
+  // ring's NQE order is never reordered around a stall), then the round's
+  // plan. Returns how many NQEs landed in destination rings.
+  size_t DeliverPlan(const std::vector<Delivery>& plan);
+  bool TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>& to_wake);
+  void ParkOrDrop(const Delivery& d, std::vector<Delivery>& errors);
+  void DropDelivery(const Delivery& d, std::vector<Delivery>& errors);
+  // Discards parked deliveries destined for a deregistering device.
+  void PurgePark(shm::NkDevice* dev, bool synthesize_errors);
+  void ArmParkRetry();
 
   sim::EventLoop* loop_;
   sim::CpuCore* core_;
@@ -154,11 +255,20 @@ class CoreEngine {
   std::unordered_map<uint8_t, shm::NkDevice*> nsms_;
   std::unordered_map<uint64_t, ConnEntry> conn_table_;
   std::unordered_map<uint64_t, DgramEntry> dgram_table_;
-  std::vector<uint8_t> vm_rr_order_;   // round-robin polling order
+  std::vector<uint8_t> vm_rr_order_;   // deficit-round-robin polling order
   std::vector<uint8_t> nsm_rr_order_;
-  size_t rr_cursor_ = 0;
+  size_t vm_rr_cursor_ = 0;   // rotated every round: who gets polled first
+  size_t nsm_rr_cursor_ = 0;
   bool round_scheduled_ = false;
   sim::EventHandle retry_timer_;
+  sim::EventHandle park_timer_;
+  // Backpressure: deliveries that found their destination ring full, FIFO
+  // per device, bounded by config_.pending_bound.
+  std::unordered_map<shm::NkDevice*, std::deque<Delivery>> parked_;
+  size_t parked_total_ = 0;
+  // Deliveries planned this/earlier rounds whose delivery phase has not run
+  // yet; counted against the pending bound so a round cannot overshoot it.
+  std::unordered_map<shm::NkDevice*, size_t> in_flight_;
   CoreEngineStats stats_;
 };
 

@@ -479,6 +479,13 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
         (nqe.Op() == NqeOp::kRecvData && nqe.size > 0)) {
       pool_->Free(nqe.data_ptr);
     }
+    // CoreEngine-rejected send whose socket closed meanwhile: the payload
+    // chunk was never consumed and still belongs to this guest.
+    if ((nqe.Op() == NqeOp::kSendResult || nqe.Op() == NqeOp::kSendToResult) &&
+        nqe.reserved[1] == shm::kNqeFlagChunkUnconsumed) {
+      pool_->Free(nqe.data_ptr);
+      ++send_credit_reclaims_;
+    }
     return;
   }
   switch (nqe.Op()) {
@@ -498,6 +505,18 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
     case NqeOp::kSendToResult: {
       uint64_t bytes = nqe.op_data;
       g->send_usage = g->send_usage > bytes ? g->send_usage - bytes : 0;
+      if (nqe.reserved[1] == shm::kNqeFlagChunkUnconsumed) {
+        // CoreEngine could not deliver the send (no NSM, or switch overload
+        // beyond the pending bound): reclaim the untouched payload chunk.
+        // A lost stream write breaks the byte stream, so the TCP socket is
+        // errored; a lost datagram is ordinary UDP loss.
+        pool_->Free(nqe.data_ptr);
+        ++send_credit_reclaims_;
+        if (nqe.Op() == NqeOp::kSendResult) {
+          g->error = true;
+          g->err = static_cast<int32_t>(nqe.size);
+        }
+      }
       break;
     }
     case NqeOp::kDgramRecv:

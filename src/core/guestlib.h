@@ -90,6 +90,9 @@ class GuestLib : public SocketApi {
   // Stats.
   uint64_t nqes_sent() const { return nqes_sent_; }
   uint64_t nqes_received() const { return nqes_received_; }
+  // Sends CoreEngine rejected with an error completion; each one had its
+  // hugepage chunk freed and its send credit returned here.
+  uint64_t send_credit_reclaims() const { return send_credit_reclaims_; }
 
  private:
   struct RxChunk {
@@ -176,6 +179,7 @@ class GuestLib : public SocketApi {
   std::vector<Overflow> overflow_;
   uint64_t nqes_sent_ = 0;
   uint64_t nqes_received_ = 0;
+  uint64_t send_credit_reclaims_ = 0;
 };
 
 }  // namespace netkernel::core

@@ -171,6 +171,13 @@ Vm* Host::CreateBaselineVm(const std::string& name, int vcpus,
   return vms_.back().get();
 }
 
+void Host::SetVmWeight(Vm* vm, uint32_t weight) {
+  NK_CHECK(vm->netkernel_mode());
+  ce_->SetVmWeight(vm->id(), weight);
+}
+
+PerVmStats Host::VmNkStats(const Vm* vm) const { return ce_->VmStats(vm->id()); }
+
 void Host::SwitchNsm(Vm* vm, Nsm* nsm) {
   NK_CHECK(vm->netkernel_mode());
   ce_->AssignVmToNsm(vm->id(), nsm->id());

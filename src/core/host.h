@@ -170,6 +170,14 @@ class Host {
   // Moves a VM to a different NSM on the fly (new sockets go to `nsm`).
   void SwitchNsm(Vm* vm, Nsm* nsm);
 
+  // DRR weight of a NetKernel VM at this host's CoreEngine (default 1): a
+  // weight-w VM receives w/sum(weights) of the switch's NQE service under
+  // contention (§4.4).
+  void SetVmWeight(Vm* vm, uint32_t weight);
+  // This VM's slice of the CoreEngine per-VM stats (observability surface
+  // for the Fig 9/21 fairness and isolation claims).
+  PerVmStats VmNkStats(const Vm* vm) const;
+
   netsim::IpAddr AllocIp();
 
   // Resets the process-wide IP allocator. Tests that compare two runs for

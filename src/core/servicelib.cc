@@ -82,7 +82,12 @@ bool ServiceLib::EnqueueToVm(const Conn& c, Nqe nqe, bool receive_ring) {
   int qs = c.nsm_qset < dev_->num_queue_sets() ? c.nsm_qset : 0;
   shm::QueueSet& q = dev_->queue_set(qs);
   bool ok = (receive_ring ? q.receive : q.completion).TryEnqueue(nqe);
-  if (!ok) return false;  // severe overload; NQE dropped (4K-deep rings)
+  if (!ok) {
+    // Severe overload: the NSM-side ring (4K deep) is full. The caller owns
+    // any referenced chunk; the loss itself must never be silent.
+    ++nqes_dropped_;
+    return false;
+  }
   ce_->NotifyNsmOutbound(nsm_id_);
   return true;
 }
@@ -427,8 +432,20 @@ void ServiceLib::ShipRecv(tcp::SocketId sid) {
       } else {
         Nqe nqe = MakeNqe(NqeOp::kRecvData, c2->vm_id, c2->vm_qset, c2->vm_sock, 0, off,
                           static_cast<uint32_t>(n));
-        EnqueueToVm(*c2, nqe, true);
-        c2->rx_outstanding += n;
+        if (EnqueueToVm(*c2, nqe, true)) {
+          c2->rx_outstanding += n;
+        } else {
+          // Receive ring full at the final hop. The bytes already left the
+          // stack and cannot be re-queued, so the stream is broken: free the
+          // chunk (no leak, no phantom rx_outstanding) and error the
+          // connection instead of silently losing payload.
+          pool->Free(off);
+          if (!c2->fin_sent_to_vm) {
+            c2->fin_sent_to_vm = true;
+            DeliverErrorFin(sid);
+          }
+          return;
+        }
       }
       ShipRecv(sid);
     });
@@ -440,6 +457,18 @@ void ServiceLib::ShipRecv(tcp::SocketId sid) {
     c->fin_sent_to_vm = true;
     Nqe fin = MakeNqe(NqeOp::kFinReceived, c->vm_id, c->vm_qset, c->vm_sock, 0, 0, 0);
     EnqueueToVm(*c, fin, true);
+  }
+}
+
+// Delivers the stream-broken error FIN for a connection whose kRecvData was
+// lost to a full ring, retrying until the ring drains enough to carry it.
+void ServiceLib::DeliverErrorFin(tcp::SocketId sid) {
+  Conn* c = FindBySid(sid);
+  if (c == nullptr) return;
+  Nqe fin = MakeNqe(NqeOp::kFinReceived, 0, 0, 0, 0, 0,
+                    static_cast<uint32_t>(tcp::kConnReset));
+  if (!EnqueueToVm(*c, fin, true)) {
+    loop_->ScheduleAfter(50 * kMicrosecond, [this, sid] { DeliverErrorFin(sid); });
   }
 }
 

@@ -57,6 +57,8 @@ class ServiceLib {
   udp::UdpStack* udp_stack() { return udp_stack_; }
   uint8_t nsm_id() const { return nsm_id_; }
   uint64_t nqes_processed() const { return nqes_processed_; }
+  // NSM->VM NQEs lost to a full NSM-side ring (severe overload).
+  uint64_t nqes_dropped() const { return nqes_dropped_; }
 
  private:
   struct VmInfo {
@@ -130,6 +132,9 @@ class ServiceLib {
 
   // Receive shipping (stack -> hugepages -> kRecvData NQEs).
   void ShipRecv(tcp::SocketId sid);
+  // A kRecvData died at a full ring after its bytes left the stack: the
+  // stream is broken — error the connection (retries until the FIN fits).
+  void DeliverErrorFin(tcp::SocketId sid);
   void AutoAccept(tcp::SocketId listener_sid);
 
   sim::EventLoop* loop_;
@@ -149,6 +154,7 @@ class ServiceLib {
   std::unordered_map<uint64_t, std::vector<shm::Nqe>> orphan_sends_;
   std::vector<bool> drain_scheduled_;
   uint64_t nqes_processed_ = 0;
+  uint64_t nqes_dropped_ = 0;
 };
 
 }  // namespace netkernel::core

@@ -51,7 +51,9 @@ void ShmServiceLib::EnqueueToVm(const Endpoint& ep, Nqe nqe, bool receive_ring) 
   nqe.vm_sock = ep.vm_sock;
   int qs = ep.nsm_qset < dev_->num_queue_sets() ? ep.nsm_qset : 0;
   shm::QueueSet& q = dev_->queue_set(qs);
-  (receive_ring ? q.receive : q.completion).TryEnqueue(nqe);
+  if (!(receive_ring ? q.receive : q.completion).TryEnqueue(nqe)) {
+    ++nqes_dropped_;  // severe overload; never lose an NQE without counting
+  }
   ce_->NotifyNsmOutbound(nsm_id_);
 }
 

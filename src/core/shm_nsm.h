@@ -37,6 +37,8 @@ class ShmServiceLib {
   void OnRecvCredit(uint8_t vm_id, uint32_t vm_sock, uint32_t bytes);
 
   uint64_t bytes_copied() const { return bytes_copied_; }
+  // NSM->VM NQEs lost to a full NSM-side ring (severe overload).
+  uint64_t nqes_dropped() const { return nqes_dropped_; }
 
  private:
   struct PendingChunk {
@@ -98,6 +100,7 @@ class ShmServiceLib {
   std::unordered_map<uint64_t, std::vector<shm::Nqe>> orphan_sends_;
   uint64_t next_ep_ = 1;
   uint64_t bytes_copied_ = 0;
+  uint64_t nqes_dropped_ = 0;
 };
 
 }  // namespace netkernel::core

@@ -19,6 +19,8 @@ class Switch {
   explicit Switch(std::string name) : name_(std::move(name)) {}
   Switch(const Switch&) = delete;
   Switch& operator=(const Switch&) = delete;
+  // Fabric owns derived shims (e.g. its uplink adapter) through Switch*.
+  virtual ~Switch() = default;
 
   const std::string& name() const { return name_; }
 

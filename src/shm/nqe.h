@@ -3,9 +3,9 @@
 // of socket semantics exchanged between GuestLib and ServiceLib (paper §4.2,
 // Figure 3).
 //
-// Layout (32 bytes total):
-//   1 B op type | 1 B VM ID | 1 B queue set ID | 4 B VM socket ID |
-//   8 B op_data | 8 B data pointer | 4 B size | 5 B reserved
+// Byte budget (32 bytes total, Figure 3):
+//   8 B op_data | 8 B data pointer | 4 B VM socket ID | 4 B size |
+//   1 B op type | 1 B VM ID | 1 B queue set ID | 5 B reserved
 //
 // `vm_sock` is the handle of the sock structure in the user VM (the paper
 // stores a pointer; we store a 32-bit handle). `op_data` carries per-op
@@ -56,6 +56,13 @@ enum class NqeOp : uint8_t {
   kDeregisterDevice = 65,
 };
 
+// reserved[1] flag on NSM->VM completions: the operation failed inside the
+// switch before any consumer saw it, so the payload chunk referenced by
+// data_ptr was never consumed — GuestLib must free it and reclaim the send
+// credit. Set by CoreEngine-synthesized error completions (never by a real
+// NSM, whose completions always carry data_ptr == 0).
+constexpr uint8_t kNqeFlagChunkUnconsumed = 1;
+
 // op_data packing helpers for address-carrying ops (ip in high 32 bits,
 // port in low 16).
 constexpr uint64_t PackAddr(uint32_t ip, uint16_t port) {
@@ -64,21 +71,23 @@ constexpr uint64_t PackAddr(uint32_t ip, uint16_t port) {
 constexpr uint32_t AddrIp(uint64_t op_data) { return static_cast<uint32_t>(op_data >> 32); }
 constexpr uint16_t AddrPort(uint64_t op_data) { return static_cast<uint16_t>(op_data & 0xffff); }
 
-#pragma pack(push, 1)
+// Fields are ordered wide-to-narrow so every member sits at its natural
+// alignment and the struct is exactly 32 bytes without packing pragmas —
+// packed misaligned fields are UB to bind references to (and slower to
+// load on most ISAs). The byte budget matches Figure 3 exactly.
 struct Nqe {
+  uint64_t op_data = 0;   // operation payload / result
+  uint64_t data_ptr = 0;  // offset into the shared hugepage region
+  uint32_t vm_sock = 0;   // socket handle in the user VM
+  uint32_t size = 0;      // size of the data pointed at
   uint8_t op = 0;         // NqeOp
   uint8_t vm_id = 0;      // originating VM (or NSM for responses)
   uint8_t queue_set = 0;  // queue set the NQE was enqueued on
-  uint32_t vm_sock = 0;   // socket handle in the user VM
-  uint64_t op_data = 0;   // operation payload / result
-  uint64_t data_ptr = 0;  // offset into the shared hugepage region
-  uint32_t size = 0;      // size of the data pointed at
   uint8_t reserved[5] = {0, 0, 0, 0, 0};
 
   NqeOp Op() const { return static_cast<NqeOp>(op); }
   void SetOp(NqeOp o) { op = static_cast<uint8_t>(o); }
 };
-#pragma pack(pop)
 
 static_assert(sizeof(Nqe) == 32, "NQE must be exactly 32 bytes (paper Figure 3)");
 

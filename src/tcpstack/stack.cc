@@ -831,11 +831,15 @@ void TcpStack::HandleEstablishedData(Sock& s, const Segment& seg, bool ce_marked
         case TcpState::kFinWait1:
           s2.state = TcpState::kClosing;  // simultaneous close
           break;
-        case TcpState::kFinWait2:
+        case TcpState::kFinWait2: {
           SendAck(s2, false);
+          // EnterTimeWait destroys the sock outright when time_wait <= 0;
+          // the EOF notification must run off a copy, not the dead sock.
+          std::function<void()> on_readable = s2.cbs.on_readable;
           EnterTimeWait(s2);
-          if (s2.cbs.on_readable) s2.cbs.on_readable();
+          if (on_readable) on_readable();
           return;
+        }
         default:
           break;
       }
@@ -874,8 +878,11 @@ void TcpStack::HandleAck(Sock& s, const Segment& seg) {
       ArmRto(s);
     }
     if (fin_acked) {
+      // OnFinAcked can destroy the sock (LAST_ACK -> CLOSED): the id must be
+      // read before the call, not from possibly-freed memory after it.
+      SocketId sid = s.id;
       OnFinAcked(s);
-      if (Find(s.id) == nullptr) return;  // socket freed (LAST_ACK -> CLOSED)
+      if (Find(sid) == nullptr) return;
     }
     if (data_acked > 0 && !s.app_closed && s.cbs.on_writable) s.cbs.on_writable();
     PumpTx(s.id);

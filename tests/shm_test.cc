@@ -181,6 +181,53 @@ TEST(SpscRing, ConcurrentBatchStress) {
   EXPECT_FALSE(fail.load());
 }
 
+TEST(SpscRing, ConcurrentBatchWraparoundStress) {
+  // A deliberately tiny ring with mutually-prime batch sizes: the head/tail
+  // indices wrap every few operations and the batch copies straddle the
+  // wrap boundary constantly. Regression guard for EnqueueBatch/DequeueBatch
+  // index arithmetic under real two-thread concurrency. The ring is nearly
+  // always full/empty, so yield on every stall — on a core-starved machine a
+  // raw spin burns whole scheduler timeslices per handoff.
+  SpscRing<uint64_t> ring(8);
+  constexpr uint64_t kTotal = 50000;
+  std::atomic<bool> fail{false};
+  std::thread consumer([&] {
+    uint64_t expect = 0;
+    uint64_t buf[5];
+    while (expect < kTotal) {
+      size_t n = ring.DequeueBatch(buf, 5);
+      if (n == 0) std::this_thread::yield();
+      for (size_t i = 0; i < n; ++i) {
+        if (buf[i] != expect++) {
+          fail = true;
+          return;
+        }
+      }
+    }
+  });
+  std::thread producer([&] {
+    uint64_t next = 0;
+    uint64_t buf[3];
+    while (next < kTotal) {
+      size_t want = std::min<uint64_t>(3, kTotal - next);
+      for (size_t i = 0; i < want; ++i) buf[i] = next + i;
+      size_t pushed = ring.EnqueueBatch(buf, want);
+      if (pushed == 0) std::this_thread::yield();
+      next += pushed;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(fail.load());
+  EXPECT_TRUE(ring.Empty());
+  // The ring wrapped ~kTotal/7 times; indices must still agree exactly.
+  uint64_t v = 123;
+  EXPECT_TRUE(ring.TryEnqueue(v));
+  uint64_t out = 0;
+  EXPECT_TRUE(ring.TryDequeue(&out));
+  EXPECT_EQ(out, 123u);
+}
+
 // ---------------------------------------------------------------------------
 // Hugepage pool
 // ---------------------------------------------------------------------------
