@@ -1,30 +1,48 @@
 // Copyright (c) NetKernel reproduction authors.
-// Figure 11: CoreEngine NQE switching throughput vs polling batch size.
+// Figure 11: CoreEngine NQE switching throughput.
 //
-// This is a *real* microbenchmark (google-benchmark, actual CPU): one switch
-// operation is what CoreEngine does per NQE — dequeue from the GuestLib-side
-// ring, a connection-table lookup, and enqueue into the ServiceLib-side ring
-// (two 32-byte copies through lockless SPSC rings, §7.2). The paper reports
+// Part A is a *real* microbenchmark (actual CPU): one switch operation is
+// what CoreEngine does per NQE — dequeue from the GuestLib-side ring, a
+// connection-table lookup, and enqueue into the ServiceLib-side ring (two
+// 32-byte copies through lockless SPSC rings, §7.2). The paper reports
 // 8.0 M NQEs/s unbatched rising to 198.5 M NQEs/s at batch 256 on a 2.3 GHz
 // Xeon; absolute numbers here depend on the machine, the *shape* (large
 // monotone gains from batching) is the reproduced result.
+//
+// Part B is the multi-core extension past Fig 11's single-core wall: the
+// sharded CoreEngine (DES, deterministic) switching a saturating datagram
+// load at shards = {1, 2, 4}. Aggregate switched NQEs/s must scale
+// near-linearly; work stealing covers hash-placement imbalance.
+//
+// Flags:
+//   --json <path>   write machine-readable results
+//   --smoke         CI gate: run shards {1,4} only, exit 1 if the 4-shard
+//                   aggregate is below 2x the 1-shard run
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdio>
 #include <unordered_map>
 
+#include "bench/harness.h"
 #include "src/shm/nqe.h"
 #include "src/shm/spsc_ring.h"
 
+using namespace netkernel;
+using bench::CeShardResult;
+using bench::GlobalJson;
+using bench::PrintHeader;
+using bench::RunCeShardExperiment;
+using shm::MakeNqe;
+using shm::Nqe;
+using shm::NqeOp;
+using shm::SpscRing;
+
 namespace {
 
-using netkernel::shm::MakeNqe;
-using netkernel::shm::Nqe;
-using netkernel::shm::NqeOp;
-using netkernel::shm::SpscRing;
+volatile uint64_t g_sink;  // defeats dead-code elimination in Part A
 
-void BM_NqeSwitch(benchmark::State& state) {
-  const size_t batch = static_cast<size_t>(state.range(0));
+// One timed run of the raw switch loop at a given batch size; returns NQEs/s.
+double MeasureRawSwitch(size_t batch) {
   SpscRing<Nqe> vm_ring(4096);
   SpscRing<Nqe> nsm_ring(4096);
   // Minimal connection table, as CoreEngine consults per NQE.
@@ -34,32 +52,90 @@ void BM_NqeSwitch(benchmark::State& state) {
   std::vector<Nqe> buf(batch);
   uint64_t sock = 0;
   uint64_t switched = 0;
-  for (auto _ : state) {
-    // Producer side: the guest enqueues a batch of send NQEs.
-    for (size_t i = 0; i < batch; ++i) {
-      buf[i] = MakeNqe(NqeOp::kSend, 1, 0, static_cast<uint32_t>(sock++ % 64), 0, 4096, 64);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(200);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Amortize the clock read over many iterations.
+    for (int rep = 0; rep < 64; ++rep) {
+      // Producer side: the guest enqueues a batch of send NQEs.
+      for (size_t i = 0; i < batch; ++i) {
+        buf[i] = MakeNqe(NqeOp::kSend, 1, 0, static_cast<uint32_t>(sock++ % 64), 0, 4096, 64);
+      }
+      vm_ring.EnqueueBatch(buf.data(), batch);
+      // CoreEngine: drain the batch, look each NQE up, forward it.
+      size_t n = vm_ring.DequeueBatch(buf.data(), batch);
+      for (size_t i = 0; i < n; ++i) {
+        g_sink = conn_table.find(buf[i].vm_sock)->second;
+      }
+      nsm_ring.EnqueueBatch(buf.data(), n);
+      // ServiceLib side drains (keeps the ring from filling).
+      nsm_ring.DequeueBatch(buf.data(), batch);
+      switched += n;
     }
-    vm_ring.EnqueueBatch(buf.data(), batch);
-    // CoreEngine: drain the batch, look each NQE up, forward it.
-    size_t n = vm_ring.DequeueBatch(buf.data(), batch);
-    for (size_t i = 0; i < n; ++i) {
-      auto it = conn_table.find(buf[i].vm_sock);
-      benchmark::DoNotOptimize(it->second);
-    }
-    nsm_ring.EnqueueBatch(buf.data(), n);
-    // ServiceLib side drains (keeps the ring from filling).
-    nsm_ring.DequeueBatch(buf.data(), batch);
-    switched += n;
-    benchmark::ClobberMemory();
   }
-  state.counters["NQEs/s"] =
-      benchmark::Counter(static_cast<double>(switched), benchmark::Counter::kIsRate);
-  state.counters["batch"] = static_cast<double>(batch);
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return secs > 0 ? static_cast<double>(switched) / secs : 0;
 }
 
-BENCHMARK(BM_NqeSwitch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
-    ->Arg(256);
+void PrintShardRow(int shards, const CeShardResult& r, double base) {
+  std::printf("%6d %14.1f %9.2fx %11llu  ", shards, r.nqes_per_sec / 1e6,
+              base > 0 ? r.nqes_per_sec / base : 1.0,
+              static_cast<unsigned long long>(r.migrations));
+  for (uint64_t s : r.per_shard_switched) {
+    std::printf("%7.1fM", static_cast<double>(s) / 1e6);
+  }
+  std::printf("\n");
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
+  const bool smoke = bench::HasFlag(argc, argv, "--smoke");
+
+  int rc = 0;
+  if (!smoke) {
+    PrintHeader("Fig 11a: raw NQE switch rate vs polling batch (real CPU)",
+                "paper Fig 11 (8 M/s unbatched -> ~200 M/s at batch 256)");
+    std::printf("%6s %14s\n", "batch", "M NQEs/s");
+    for (size_t batch : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+      double rate = MeasureRawSwitch(batch);
+      std::printf("%6zu %14.1f\n", batch, rate / 1e6);
+      GlobalJson().Add("fig11_raw_switch", "batch=" + std::to_string(batch), "nqes_per_sec",
+                       rate);
+    }
+  }
+
+  PrintHeader("Fig 11b: sharded CoreEngine aggregate switch rate (DES)",
+              "ROADMAP: multi-core CE sharding past the one-core wall");
+  std::printf("%6s %14s %10s %11s  %s\n", "shards", "M NQEs/s", "speedup", "migrations",
+              "per-shard switched");
+  const SimTime window = smoke ? 5 * kMillisecond : 10 * kMillisecond;
+  double base = 0;
+  double at4 = 0;
+  for (int shards : {1, 2, 4}) {
+    if (smoke && shards == 2) continue;
+    CeShardResult r = RunCeShardExperiment(shards, window);
+    if (shards == 1) base = r.nqes_per_sec;
+    if (shards == 4) at4 = r.nqes_per_sec;
+    PrintShardRow(shards, r, base);
+    GlobalJson().Add("fig11_sharded_switch", "shards=" + std::to_string(shards),
+                     "nqes_per_sec", r.nqes_per_sec);
+    GlobalJson().Add("fig11_sharded_switch", "shards=" + std::to_string(shards), "migrations",
+                     static_cast<double>(r.migrations));
+  }
+  double speedup = base > 0 ? at4 / base : 0;
+  std::printf("\n4-shard speedup over 1 shard: %.2fx\n", speedup);
+  if (smoke) {
+    const double kMinSpeedup = 2.0;
+    if (speedup < kMinSpeedup) {
+      std::printf("SMOKE FAIL: %.2fx < %.2fx\n", speedup, kMinSpeedup);
+      rc = 1;
+    } else {
+      std::printf("SMOKE PASS (>= %.2fx required)\n", kMinSpeedup);
+    }
+  }
+
+  if (!GlobalJson().Write()) rc = rc == 0 ? 2 : rc;
+  return rc;
+}

@@ -2,14 +2,23 @@
 // Figures 18 & 19: throughput scalability with vCPUs (8 streams, 8 KB
 // messages). Paper anchors: send reaches 100G line rate with 3 vCPUs;
 // receive reaches 91G with 8 vCPUs; NetKernel tracks Baseline.
+//
+// The third table extends the scaling story to the switch itself: aggregate
+// switched NQEs/s vs the number of CoreEngine shards (dedicated CE cores),
+// past Fig 11's single-core wall. Supports `--json <path>`.
 
 #include "bench/harness.h"
 
 using namespace netkernel;
+using bench::CeShardResult;
+using bench::GlobalJson;
 using bench::PrintHeader;
+using bench::RunCeShardExperiment;
 using bench::RunStreamExperiment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
+
   PrintHeader("Fig 18: SEND throughput of 8 streams vs #vCPUs (8KB msgs)",
               "paper Fig 18 (line rate at >= 3 vCPUs)");
   std::printf("%6s %12s %12s\n", "vCPUs", "Baseline", "NetKernel");
@@ -17,6 +26,10 @@ int main() {
     double base = RunStreamExperiment(false, true, c, 8, 8192).gbps;
     double nk = RunStreamExperiment(true, true, c, 8, 8192).gbps;
     std::printf("%6d %12.1f %12.1f\n", c, base, nk);
+    GlobalJson().Add("fig18_send_scaling", "vcpus=" + std::to_string(c) + ",mode=baseline",
+                     "gbps", base);
+    GlobalJson().Add("fig18_send_scaling", "vcpus=" + std::to_string(c) + ",mode=netkernel",
+                     "gbps", nk);
   }
 
   PrintHeader("Fig 19: RECEIVE throughput of 8 streams vs #vCPUs (8KB msgs)",
@@ -26,6 +39,26 @@ int main() {
     double base = RunStreamExperiment(false, false, c, 8, 8192).gbps;
     double nk = RunStreamExperiment(true, false, c, 8, 8192).gbps;
     std::printf("%6d %12.1f %12.1f\n", c, base, nk);
+    GlobalJson().Add("fig19_recv_scaling", "vcpus=" + std::to_string(c) + ",mode=baseline",
+                     "gbps", base);
+    GlobalJson().Add("fig19_recv_scaling", "vcpus=" + std::to_string(c) + ",mode=netkernel",
+                     "gbps", nk);
   }
+
+  PrintHeader("CE shard scaling: aggregate switched NQEs/s vs #CE cores",
+              "ROADMAP: multi-core CE sharding (Fig 11's one-core wall)");
+  std::printf("%7s %14s %9s %11s\n", "shards", "M NQEs/s", "speedup", "migrations");
+  double base_rate = 0;
+  for (int shards : {1, 2, 4}) {
+    CeShardResult r = RunCeShardExperiment(shards);
+    if (shards == 1) base_rate = r.nqes_per_sec;
+    std::printf("%7d %14.1f %8.2fx %11llu\n", shards, r.nqes_per_sec / 1e6,
+                base_rate > 0 ? r.nqes_per_sec / base_rate : 1.0,
+                static_cast<unsigned long long>(r.migrations));
+    GlobalJson().Add("ce_shard_scaling", "shards=" + std::to_string(shards), "nqes_per_sec",
+                     r.nqes_per_sec);
+  }
+
+  GlobalJson().Write();
   return 0;
 }

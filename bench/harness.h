@@ -7,6 +7,7 @@
 #define BENCH_HARNESS_H_
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,179 @@
 #include "src/core/netkernel.h"
 
 namespace netkernel::bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: `<bench> --json <path>` appends one row per
+// reported metric and writes a JSON array on Write(). Future PRs diff these
+// BENCH_*.json files to track the perf trajectory.
+// ---------------------------------------------------------------------------
+
+class JsonReporter {
+ public:
+  void Enable(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& bench, const std::string& config, const std::string& metric,
+           double value) {
+    if (!enabled()) return;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"bench\": \"%s\", \"config\": \"%s\", \"metric\": \"%s\", "
+                  "\"value\": %.6g}",
+                  bench.c_str(), config.c_str(), metric.c_str(), value);
+    rows_.push_back(buf);
+  }
+
+  // Writes the accumulated rows; call once at the end of main().
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
+
+inline JsonReporter& GlobalJson() {
+  static JsonReporter reporter;
+  return reporter;
+}
+
+// Recognizes `--json <path>` (shared by every bench binary); other flags are
+// left for the binary itself.
+inline void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) GlobalJson().Enable(argv[i + 1]);
+  }
+}
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded CoreEngine switching experiment (Fig 11 / Fig 18-19 CE scaling):
+// `vm_devs` VM devices with `qsets_per_vm` queue sets each keep their send
+// rings saturated with datagram NQEs toward `nsms` NSM devices; consumers
+// drain the NSM rings faster than the switch can fill them, so aggregate
+// switched NQEs/s is bounded by the CE cores alone. Deterministic (pure DES),
+// which is what lets CI gate on the 1-shard vs 4-shard ratio.
+// ---------------------------------------------------------------------------
+
+struct CeShardResult {
+  double nqes_per_sec = 0;
+  uint64_t migrations = 0;
+  std::vector<uint64_t> per_shard_switched;
+};
+
+inline CeShardResult RunCeShardExperiment(int shards, SimTime window = 10 * kMillisecond,
+                                          int vm_devs = 8, int qsets_per_vm = 2, int nsms = 4,
+                                          int nsm_qsets = 8) {
+  using shm::MakeNqe;
+  using shm::Nqe;
+  using shm::NqeOp;
+  sim::EventLoop loop;
+  std::vector<std::unique_ptr<sim::CpuCore>> cores;
+  std::vector<sim::CpuCore*> core_ptrs;
+  for (int i = 0; i < shards; ++i) {
+    cores.push_back(std::make_unique<sim::CpuCore>(&loop, "ce" + std::to_string(i)));
+    core_ptrs.push_back(cores.back().get());
+  }
+  core::CoreEngineConfig cfg;
+  cfg.batch = 64;            // Fig 11's saturating batch tier
+  cfg.pending_bound = 8192;  // the consumer, not the park, absorbs bursts
+  core::CoreEngine ce(&loop, core_ptrs, cfg);
+
+  std::vector<std::unique_ptr<shm::NkDevice>> nsm_devs;
+  for (int n = 0; n < nsms; ++n) {
+    nsm_devs.push_back(
+        std::make_unique<shm::NkDevice>("nsm" + std::to_string(n), nsm_qsets));
+    ce.RegisterNsmDevice(static_cast<uint8_t>(n + 1), nsm_devs.back().get());
+  }
+  std::vector<std::unique_ptr<shm::NkDevice>> vm_devs_v;
+  for (int v = 0; v < vm_devs; ++v) {
+    vm_devs_v.push_back(std::make_unique<shm::NkDevice>("vm" + std::to_string(v),
+                                                        qsets_per_vm));
+    uint8_t vm_id = static_cast<uint8_t>(v + 1);
+    ce.RegisterVmDevice(vm_id, vm_devs_v.back().get());
+    ce.AssignVmToNsm(vm_id, static_cast<uint8_t>((v % nsms) + 1));
+    // One datagram socket per queue set (vm_sock == queue set id) so every
+    // NQE takes the table-lookup switching path.
+    for (int qs = 0; qs < qsets_per_vm; ++qs) {
+      vm_devs_v.back()->queue_set(qs).job.TryEnqueue(
+          MakeNqe(NqeOp::kSocketUdp, vm_id, static_cast<uint8_t>(qs),
+                  static_cast<uint32_t>(qs)));
+    }
+    ce.NotifyVmOutbound(vm_id);
+  }
+  loop.Run(loop.Now() + kMillisecond);
+
+  Nqe buf[256];
+  auto drain_nsms = [&] {
+    for (auto& dev : nsm_devs) {
+      for (int qs = 0; qs < dev->num_queue_sets(); ++qs) {
+        shm::QueueSet& q = dev->queue_set(qs);
+        while (q.send.DequeueBatch(buf, 256) > 0) {
+        }
+        while (q.job.DequeueBatch(buf, 256) > 0) {
+        }
+      }
+    }
+  };
+  drain_nsms();  // discard socket-creation NQEs
+
+  auto refill = [&] {
+    for (int v = 0; v < vm_devs; ++v) {
+      uint8_t vm_id = static_cast<uint8_t>(v + 1);
+      for (int qs = 0; qs < qsets_per_vm; ++qs) {
+        auto& ring = vm_devs_v[static_cast<size_t>(v)]->queue_set(qs).send;
+        while (ring.TryEnqueue(MakeNqe(NqeOp::kSendTo, vm_id, static_cast<uint8_t>(qs),
+                                       static_cast<uint32_t>(qs), 0, 0, 64))) {
+        }
+        ce.NotifyVmOutbound(vm_id, qs);
+      }
+    }
+  };
+
+  const SimTime warmup = 2 * kMillisecond;
+  const SimTime end = loop.Now() + warmup + window;
+  for (SimTime t = loop.Now(); t < end; t += 20 * kMicrosecond) {
+    loop.Schedule(t, refill);
+  }
+  for (SimTime t = loop.Now(); t < end; t += kMicrosecond) {
+    loop.Schedule(t, drain_nsms);
+  }
+  loop.Run(loop.Now() + warmup);
+  uint64_t start = ce.stats().nqes_switched;
+  SimTime t0 = loop.Now();
+  loop.Run(end);
+  SimTime span = loop.Now() - t0;
+
+  CeShardResult r;
+  uint64_t switched = ce.stats().nqes_switched - start;
+  r.nqes_per_sec =
+      span > 0 ? static_cast<double>(switched) / (static_cast<double>(span) / kSecond) : 0;
+  r.migrations = ce.stats().qset_migrations;
+  for (int i = 0; i < ce.num_shards(); ++i) {
+    r.per_shard_switched.push_back(ce.shard(i).stats().nqes_switched);
+  }
+  return r;
+}
 
 // A two-host testbed mirroring the paper's §7.1 setup: the measured host and
 // a peer ("the other testbed machine") that is never the bottleneck.

@@ -61,5 +61,22 @@ int main() {
     std::printf("selfish VM's shared window: %.0f KB across %d flows (%.1f KB/flow)\n",
                 g->cwnd() / 1e3, g->active_flows(), g->FlowShare() / 1e3);
   }
+
+  // Operators (and guests) read their own isolation counters at runtime over
+  // the same 8-byte CE control channel used for registration: a
+  // kQueryVmStats message returns one saturated 32-bit counter per query.
+  std::printf("\nPer-VM CoreEngine counters via CeOp::kQueryVmStats:\n");
+  for (core::Vm* vm : {polite, selfish}) {
+    auto query = [&](core::VmStatField f) {
+      core::CeMessage resp = host.ce().HandleControlMessage(
+          {static_cast<uint32_t>(core::CeOp::kQueryVmStats),
+           (static_cast<uint32_t>(vm->id()) << 8) | static_cast<uint32_t>(f)});
+      return resp.ce_data;
+    };
+    std::printf("  %-7s  switched=%u  bytes=%u KiB  throttled=%u  deferred=%u  dropped=%u\n",
+                vm->name().c_str(), query(core::VmStatField::kSwitched),
+                query(core::VmStatField::kBytesKiB), query(core::VmStatField::kThrottled),
+                query(core::VmStatField::kDeferred), query(core::VmStatField::kDropped));
+  }
   return 0;
 }

@@ -8,19 +8,29 @@
 
 namespace netkernel::core {
 
+using shm::MakeNqe;
 using shm::Nqe;
 using shm::NqeOp;
 
+// ===========================================================================
+// CoreEngine facade: construction, registries, placement, control plane.
+// ===========================================================================
+
 CoreEngine::CoreEngine(sim::EventLoop* loop, sim::CpuCore* core, CoreEngineConfig config)
-    : loop_(loop), core_(core), config_(config) {
+    : CoreEngine(loop, std::vector<sim::CpuCore*>{core}, config) {}
+
+CoreEngine::CoreEngine(sim::EventLoop* loop, std::vector<sim::CpuCore*> cores,
+                       CoreEngineConfig config)
+    : loop_(loop), config_(config) {
+  NK_CHECK(!cores.empty());
   // A zero bound would make every destination permanently "full" and stall
   // routing outright; the park needs at least one slot to carry backpressure.
   NK_CHECK(config_.pending_bound >= 1);
+  for (size_t i = 0; i < cores.size(); ++i) {
+    shards_.push_back(
+        std::make_unique<CoreEngineShard>(this, static_cast<int>(i), cores[i]));
+  }
 }
-
-// ---------------------------------------------------------------------------
-// Control plane
-// ---------------------------------------------------------------------------
 
 CeMessage CoreEngine::HandleControlMessage(CeMessage req) {
   switch (static_cast<CeOp>(req.ce_op)) {
@@ -39,6 +49,26 @@ CeMessage CoreEngine::HandleControlMessage(CeMessage req) {
       AssignVmToNsm(vm, nsm);
       return {static_cast<uint32_t>(CeOp::kOk), req.ce_data};
     }
+    case CeOp::kAssignQsetToShard: {
+      uint8_t vm = static_cast<uint8_t>(req.ce_data >> 16);
+      uint8_t qs = static_cast<uint8_t>(req.ce_data >> 8);
+      int shard = static_cast<int>(req.ce_data & 0xff);
+      if (!AssignQueueSetToShard(vm, qs, shard)) {
+        return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
+      }
+      return {static_cast<uint32_t>(CeOp::kOk), req.ce_data};
+    }
+    case CeOp::kQueryVmStats: {
+      uint8_t vm = static_cast<uint8_t>(req.ce_data >> 8);
+      uint8_t field = static_cast<uint8_t>(req.ce_data & 0xff);
+      if (field > static_cast<uint8_t>(VmStatField::kDeferred)) {
+        return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
+      }
+      uint64_t v = QueryVmStat(vm, static_cast<VmStatField>(field));
+      uint32_t saturated =
+          v > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(v);
+      return {static_cast<uint32_t>(CeOp::kOk), saturated};
+    }
     default:
       // Register ops need a device pointer and use the direct API below.
       return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
@@ -47,96 +77,57 @@ CeMessage CoreEngine::HandleControlMessage(CeMessage req) {
 
 void CoreEngine::RegisterVmDevice(uint8_t vm_id, shm::NkDevice* dev) {
   NK_CHECK(vms_.count(vm_id) == 0);
-  VmState st;
-  st.dev = dev;
-  vms_.emplace(vm_id, std::move(st));
-  vm_rr_order_.push_back(vm_id);
+  VmReg reg;
+  reg.dev = dev;
+  vms_.emplace(vm_id, std::move(reg));
+  // Default placement: hash each queue set over the shards. Explicit
+  // AssignQueueSetToShard and work stealing can both move it later.
+  const int nqs = dev->num_queue_sets();
+  for (int qs = 0; qs < nqs; ++qs) {
+    uint16_t key = QsetKey(vm_id, static_cast<uint8_t>(qs));
+    int shard = static_cast<int>(HashSpread(key, shards_.size()));
+    vm_qset_shard_[key] = shard;
+    shards_[static_cast<size_t>(shard)]->AddVmQset(vm_id, static_cast<uint8_t>(qs));
+  }
 }
 
 void CoreEngine::RegisterNsmDevice(uint8_t nsm_id, shm::NkDevice* dev) {
   NK_CHECK(nsms_.count(nsm_id) == 0);
   nsms_[nsm_id] = dev;
-  nsm_rr_order_.push_back(nsm_id);
+  // Consecutive queue sets land on consecutive shards, so an NSM with at
+  // least num_shards() queue sets keeps every switching core reachable for
+  // shard-aligned connection placement.
+  const size_t base = HashSpread(nsm_id, shards_.size());
+  const int nqs = dev->num_queue_sets();
+  for (int qs = 0; qs < nqs; ++qs) {
+    int shard = static_cast<int>((base + static_cast<size_t>(qs)) % shards_.size());
+    nsm_qset_shard_[QsetKey(nsm_id, static_cast<uint8_t>(qs))] = shard;
+    shards_[static_cast<size_t>(shard)]->AddNsmQset(nsm_id, static_cast<uint8_t>(qs));
+  }
 }
 
 void CoreEngine::DeregisterVmDevice(uint8_t vm_id) {
   auto vit = vms_.find(vm_id);
-  if (vit != vms_.end()) {
-    // Parked deliveries to the dead device would dangle; the VM is gone, so
-    // there is no guest to return completions to — count and discard.
-    PurgePark(vit->second.dev, /*synthesize_errors=*/false);
-    vms_.erase(vit);
+  shm::NkDevice* dev = vit == vms_.end() ? nullptr : vit->second.dev;
+  for (auto& s : shards_) s->RemoveVm(vm_id, dev);
+  if (dev != nullptr) park_cursors_.erase(dev);
+  for (auto it = vm_qset_shard_.begin(); it != vm_qset_shard_.end();) {
+    it = (it->first >> 8) == vm_id ? vm_qset_shard_.erase(it) : std::next(it);
   }
-  vm_rr_order_.erase(std::remove(vm_rr_order_.begin(), vm_rr_order_.end(), vm_id),
-                     vm_rr_order_.end());
-  if (vm_rr_cursor_ >= vm_rr_order_.size()) vm_rr_cursor_ = 0;
-  for (auto it = conn_table_.begin(); it != conn_table_.end();) {
-    if ((it->first >> 32) == vm_id) {
-      it = conn_table_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  for (auto it = dgram_table_.begin(); it != dgram_table_.end();) {
-    if ((it->first >> 32) == vm_id) {
-      it = dgram_table_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // The whole per-VM registry dies with the VM — DRR weight, token buckets,
+  // and every shard's deficit/cursor slot — so a re-registered VM id starts
+  // fresh instead of inheriting stale scheduler state.
+  if (vit != vms_.end()) vms_.erase(vit);
 }
 
 void CoreEngine::DeregisterNsmDevice(uint8_t nsm_id) {
   shm::NkDevice* dev = FindNsm(nsm_id);
   nsms_.erase(nsm_id);
-  nsm_rr_order_.erase(std::remove(nsm_rr_order_.begin(), nsm_rr_order_.end(), nsm_id),
-                      nsm_rr_order_.end());
-  if (nsm_rr_cursor_ >= nsm_rr_order_.size()) nsm_rr_cursor_ = 0;
-  // VM->NSM deliveries parked for the dead device will never land: return
-  // error completions so guest send credits and hugepage chunks are released.
-  if (dev != nullptr) PurgePark(dev, /*synthesize_errors=*/true);
-
-  // Symmetric to DeregisterVmDevice: table entries pointing at the dead NSM
-  // must not linger. Established connections died with their stack — tell
-  // each guest with an error FIN so its socket state unwinds; datagram
-  // sockets are stateless at the NSM boundary, so dropping the entry lets
-  // the next datagram op re-home to the VM's current NSM.
-  std::vector<Delivery> fins;
-  for (auto it = conn_table_.begin(); it != conn_table_.end();) {
-    if (it->second.nsm_id != nsm_id) {
-      ++it;
-      continue;
-    }
-    uint8_t vm_id = static_cast<uint8_t>(it->first >> 32);
-    uint32_t vm_sock = static_cast<uint32_t>(it->first);
-    auto vit = vms_.find(vm_id);
-    if (vit != vms_.end() && vit->second.dev != nullptr) {
-      Delivery d;
-      d.dst = vit->second.dev;
-      d.qset = it->second.vm_qset < d.dst->num_queue_sets() ? it->second.vm_qset : 0;
-      d.ring = shm::RingKind::kReceive;
-      d.toward_vm = true;
-      d.nqe = MakeNqe(NqeOp::kFinReceived, vm_id, it->second.vm_qset, vm_sock, 0, 0,
-                      static_cast<uint32_t>(kCeNetUnreach));
-      PlanDelivery(d, fins);
-    }
-    it = conn_table_.erase(it);
+  for (auto it = nsm_qset_shard_.begin(); it != nsm_qset_shard_.end();) {
+    it = (it->first >> 8) == nsm_id ? nsm_qset_shard_.erase(it) : std::next(it);
   }
-  for (auto it = dgram_table_.begin(); it != dgram_table_.end();) {
-    if (it->second.nsm_id == nsm_id) {
-      it = dgram_table_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (!fins.empty()) DeliverPlan(fins);
-}
-
-void CoreEngine::SetVmWeight(uint8_t vm_id, uint32_t weight) {
-  auto it = vms_.find(vm_id);
-  NK_CHECK(it != vms_.end());
-  NK_CHECK(weight >= 1);
-  it->second.weight = weight;
+  if (dev != nullptr) park_cursors_.erase(dev);
+  for (auto& s : shards_) s->RemoveNsm(nsm_id, dev);
 }
 
 void CoreEngine::AssignVmToNsm(uint8_t vm_id, uint8_t nsm_id) {
@@ -146,6 +137,52 @@ void CoreEngine::AssignVmToNsm(uint8_t vm_id, uint8_t nsm_id) {
   it->second.nsm_id = nsm_id;
   it->second.has_nsm = true;
 }
+
+bool CoreEngine::AssignQueueSetToShard(uint8_t vm_id, uint8_t qset, int shard) {
+  VmReg* reg = FindVm(vm_id);
+  if (reg == nullptr || reg->dev == nullptr) return false;
+  if (shard < 0 || shard >= num_shards()) return false;
+  if (static_cast<int>(qset) >= reg->dev->num_queue_sets()) return false;
+  auto it = vm_qset_shard_.find(QsetKey(vm_id, qset));
+  if (it == vm_qset_shard_.end()) return false;
+  CoreEngineShard* from = shards_[static_cast<size_t>(it->second)].get();
+  CoreEngineShard* to = shards_[static_cast<size_t>(shard)].get();
+  if (from == to) return true;
+  if (from->in_flight_total_ > 0) {
+    // The owner has a delivery plan in flight: queue the handoff event; it
+    // executes at the owner's round boundary, after the plan lands.
+    from->pending_handoffs_.push_back({vm_id, qset, shard});
+    return true;
+  }
+  MigrateVmQset(vm_id, qset, from, to);
+  return true;
+}
+
+uint64_t CoreEngine::QueryVmStat(uint8_t vm_id, VmStatField field) const {
+  PerVmStats s = VmStats(vm_id);
+  switch (field) {
+    case VmStatField::kSwitched:
+      return s.switched;
+    case VmStatField::kDropped:
+      return s.dropped;
+    case VmStatField::kThrottled:
+      return s.throttled;
+    case VmStatField::kBytesKiB:
+      return s.bytes >> 10;
+    case VmStatField::kDeferred:
+      return s.deferred;
+  }
+  return 0;
+}
+
+void CoreEngine::SetVmWeight(uint8_t vm_id, uint32_t weight) {
+  auto it = vms_.find(vm_id);
+  NK_CHECK(it != vms_.end());
+  NK_CHECK(weight >= 1);
+  it->second.weight = weight;
+}
+
+uint32_t CoreEngine::VmWeight(uint8_t vm_id) const { return VmWeightOrDefault(vm_id); }
 
 void CoreEngine::SetVmByteRate(uint8_t vm_id, double bytes_per_sec, double burst_bytes) {
   auto it = vms_.find(vm_id);
@@ -159,36 +196,427 @@ void CoreEngine::SetVmOpRate(uint8_t vm_id, double nqes_per_sec, double burst_nq
   it->second.op_bucket = TokenBucket(nqes_per_sec, burst_nqes);
 }
 
+void CoreEngine::NotifyVmOutbound(uint8_t vm_id, int qset) {
+  if (qset >= 0) {
+    auto it = vm_qset_shard_.find(QsetKey(vm_id, static_cast<uint8_t>(qset)));
+    if (it != vm_qset_shard_.end()) {
+      shards_[static_cast<size_t>(it->second)]->ScheduleRound();
+      return;
+    }
+  }
+  if (vms_.count(vm_id) != 0) {
+    for (auto& s : shards_) {
+      if (s->sched_.count(vm_id) != 0) s->ScheduleRound();
+    }
+    return;
+  }
+  // Unknown VM: preserve the single-core semantics (a doorbell always spins
+  // the switch) so racing deregistrations cannot strand queued NQEs.
+  for (auto& s : shards_) s->ScheduleRound();
+}
+
+void CoreEngine::NotifyNsmOutbound(uint8_t nsm_id, int qset) {
+  if (qset >= 0) {
+    auto it = nsm_qset_shard_.find(QsetKey(nsm_id, static_cast<uint8_t>(qset)));
+    if (it != nsm_qset_shard_.end()) {
+      shards_[static_cast<size_t>(it->second)]->ScheduleRound();
+      return;
+    }
+  }
+  if (nsms_.count(nsm_id) != 0) {
+    for (auto& s : shards_) {
+      if (s->nsm_qsets_.count(nsm_id) != 0) s->ScheduleRound();
+    }
+    return;
+  }
+  for (auto& s : shards_) s->ScheduleRound();
+}
+
+CoreEngineStats CoreEngine::stats() const {
+  CoreEngineStats agg;
+  for (const auto& s : shards_) {
+    const CoreEngineStats& st = s->stats_;
+    agg.nqes_switched += st.nqes_switched;
+    agg.rounds += st.rounds;
+    agg.table_inserts += st.table_inserts;
+    agg.throttled_nqes += st.throttled_nqes;
+    agg.send_bytes_switched += st.send_bytes_switched;
+    agg.dgram_nqes_switched += st.dgram_nqes_switched;
+    agg.nqes_dropped += st.nqes_dropped;
+    agg.deliveries_deferred += st.deliveries_deferred;
+    agg.qset_migrations += st.qset_migrations;
+    for (const auto& [vm, pv] : st.per_vm) {
+      PerVmStats& a = agg.per_vm[vm];
+      a.switched += pv.switched;
+      a.dropped += pv.dropped;
+      a.throttled += pv.throttled;
+      a.bytes += pv.bytes;
+      a.deferred += pv.deferred;
+    }
+  }
+  return agg;
+}
+
+PerVmStats CoreEngine::VmStats(uint8_t vm_id) const {
+  PerVmStats out;
+  for (const auto& s : shards_) {
+    auto it = s->stats_.per_vm.find(vm_id);
+    if (it == s->stats_.per_vm.end()) continue;
+    out.switched += it->second.switched;
+    out.dropped += it->second.dropped;
+    out.throttled += it->second.throttled;
+    out.bytes += it->second.bytes;
+    out.deferred += it->second.deferred;
+  }
+  return out;
+}
+
+size_t CoreEngine::ConnectionTableSize() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s->conn_table_.size();
+  return n;
+}
+
+size_t CoreEngine::DgramTableSize() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s->dgram_table_.size();
+  return n;
+}
+
+size_t CoreEngine::ParkedDeliveries() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s->parked_total_;
+  return n;
+}
+
+int CoreEngine::ShardOfVmQset(uint8_t vm_id, uint8_t qset) const {
+  auto it = vm_qset_shard_.find(QsetKey(vm_id, qset));
+  return it == vm_qset_shard_.end() ? -1 : it->second;
+}
+
+int CoreEngine::ShardOfNsmQset(uint8_t nsm_id, uint8_t qset) const {
+  auto it = nsm_qset_shard_.find(QsetKey(nsm_id, qset));
+  return it == nsm_qset_shard_.end() ? -1 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard plumbing: completion handshake, weighted park drain, handoff.
+// ---------------------------------------------------------------------------
+
+void CoreEngine::CompleteConnHandshake(const Nqe& nqe, Cycles& cost) {
+  const uint64_t key = ConnKey(nqe.vm_id, nqe.vm_sock);
+  int owner = ShardOfVmQset(nqe.vm_id, nqe.queue_set);
+  if (owner >= 0) {
+    auto& table = shards_[static_cast<size_t>(owner)]->conn_table_;
+    auto eit = table.find(key);
+    if (eit != table.end()) {
+      if (!eit->second.complete) {
+        eit->second.nsm_sock = nqe.op_data;
+        eit->second.complete = true;
+        cost += config_.costs.ce_table_lookup;
+      }
+      return;
+    }
+  }
+  // Rare: the entry's queue set migrated mid-handshake. Scan the shards.
+  for (auto& s : shards_) {
+    auto eit = s->conn_table_.find(key);
+    if (eit == s->conn_table_.end()) continue;
+    if (!eit->second.complete) {
+      eit->second.nsm_sock = nqe.op_data;
+      eit->second.complete = true;
+      cost += config_.costs.ce_table_lookup;
+    }
+    return;
+  }
+}
+
+size_t CoreEngine::DrainParked(shm::NkDevice* dev, std::vector<shm::NkDevice*>& to_wake) {
+  const size_t n = shards_.size();
+  ParkCursor& pc = park_cursors_[dev];
+  size_t delivered = 0;
+  size_t idle = 0;  // consecutive shards with nothing parked for `dev`
+  // The cursor + spent pair persists across sweeps, so the concatenated
+  // delivery stream is exactly the weighted round-robin sequence no matter
+  // where a full destination ring cut a sweep off.
+  while (idle < n) {
+    CoreEngineShard* s = shards_[pc.shard % n].get();
+    uint8_t vm = 0;
+    if (!s->PeekParkedVm(dev, &vm)) {
+      pc.shard = (pc.shard + 1) % n;
+      pc.spent = 0;
+      ++idle;
+      continue;
+    }
+    uint32_t w = VmWeightOrDefault(vm);
+    if (w < 1) w = 1;
+    if (pc.spent >= w) {  // this visit's weighted quantum is spent
+      pc.shard = (pc.shard + 1) % n;
+      pc.spent = 0;
+      continue;
+    }
+    if (!s->TryDeliverParkedFront(dev, to_wake)) break;  // ring full: resume here
+    ++pc.spent;
+    ++delivered;
+    idle = 0;
+  }
+  return delivered;
+}
+
+void CoreEngine::MaybeRebalance(CoreEngineShard* victim) {
+  if (!config_.work_stealing || shards_.size() < 2) return;
+  ++victim->rounds_since_rebalance_;
+  if (victim->rounds_since_rebalance_ < config_.steal_cooldown_rounds) return;
+  if (victim->VmBacklog() < config_.steal_backlog) return;
+  // Shedding the only owned queue set would just move the hotspot.
+  size_t owned = 0;
+  for (const auto& [vm, vs] : victim->sched_) owned += vs.qsets.size();
+  if (owned < 2) return;
+  CoreEngineShard* thief = nullptr;
+  for (auto& s : shards_) {
+    if (s.get() == victim) continue;
+    if (s->VmBacklog() == 0) {
+      thief = s.get();
+      break;
+    }
+  }
+  if (thief == nullptr) return;  // nobody idle: every core is already earning
+  uint8_t best_vm = 0;
+  uint8_t best_qs = 0;
+  uint64_t best = 0;
+  for (const auto& [vm, vs] : victim->sched_) {
+    for (uint8_t qs : vs.qsets) {
+      uint64_t b = victim->VmQsetBacklog(vm, qs);
+      if (b > best) {
+        best = b;
+        best_vm = vm;
+        best_qs = qs;
+      }
+    }
+  }
+  if (best == 0) return;
+  victim->rounds_since_rebalance_ = 0;
+  MigrateVmQset(best_vm, best_qs, victim, thief);
+}
+
+void CoreEngine::MigrateVmQset(uint8_t vm_id, uint8_t qset, CoreEngineShard* from,
+                               CoreEngineShard* to) {
+  if (from == to) return;
+  if (ShardOfVmQset(vm_id, qset) != from->index_) return;  // ownership drifted
+  VmReg* reg = FindVm(vm_id);
+  if (reg == nullptr) return;
+  vm_qset_shard_[QsetKey(vm_id, qset)] = to->index_;
+  from->RemoveVmQset(vm_id, qset);
+  to->AddVmQset(vm_id, qset);
+  // Table entries routed through the queue set travel with it.
+  for (auto it = from->conn_table_.begin(); it != from->conn_table_.end();) {
+    if (static_cast<uint8_t>(it->first >> 32) == vm_id && it->second.vm_qset == qset) {
+      to->conn_table_.emplace(it->first, it->second);
+      it = from->conn_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = from->dgram_table_.begin(); it != from->dgram_table_.end();) {
+    if (static_cast<uint8_t>(it->first >> 32) == vm_id && it->second.vm_qset == qset) {
+      to->dgram_table_.emplace(it->first, it->second);
+      it = from->dgram_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Parked deliveries follow their *producer*. VM->NSM deliveries of the
+  // migrating queue set move: their producer is the owning shard, so after
+  // the handoff every new NQE of those flows is planned by `to`, and the
+  // moved FIFO stays strictly older than anything `to` can produce (`from`
+  // has no plan in flight at a round boundary). Toward-VM deliveries stay
+  // put: they are produced by the shard polling the connection's NSM queue
+  // set, which does not move here — keeping them under that producer's park
+  // preserves per-connection receive order.
+  for (auto pit = from->parked_.begin(); pit != from->parked_.end();) {
+    std::deque<CoreEngineShard::Delivery>& dq = pit->second;
+    std::deque<CoreEngineShard::Delivery> keep;
+    for (CoreEngineShard::Delivery& d : dq) {
+      bool moves = !d.toward_vm && d.nqe.vm_id == vm_id && d.nqe.queue_set == qset;
+      if (moves) {
+        to->parked_[pit->first].push_back(std::move(d));
+        ++to->parked_total_;
+        --from->parked_total_;
+      } else {
+        keep.push_back(std::move(d));
+      }
+    }
+    if (keep.empty()) {
+      pit = from->parked_.erase(pit);
+    } else {
+      pit->second = std::move(keep);
+      ++pit;
+    }
+  }
+  ++from->stats_.qset_migrations;
+  if (to->parked_total_ > 0) to->ArmParkRetry();
+  to->ScheduleRound();
+}
+
+// ===========================================================================
+// CoreEngineShard: the per-core datapath.
+// ===========================================================================
+
+CoreEngineShard::CoreEngineShard(CoreEngine* engine, int index, sim::CpuCore* core)
+    : engine_(engine), index_(index), core_(core) {}
+
+void CoreEngineShard::AddVmQset(uint8_t vm_id, uint8_t qset) {
+  VmSched& vs = sched_[vm_id];
+  if (vs.qsets.empty()) vm_rr_order_.push_back(vm_id);
+  if (std::find(vs.qsets.begin(), vs.qsets.end(), qset) == vs.qsets.end()) {
+    vs.qsets.push_back(qset);
+  }
+}
+
+void CoreEngineShard::RemoveVmQset(uint8_t vm_id, uint8_t qset) {
+  auto it = sched_.find(vm_id);
+  if (it == sched_.end()) return;
+  VmSched& vs = it->second;
+  vs.qsets.erase(std::remove(vs.qsets.begin(), vs.qsets.end(), qset), vs.qsets.end());
+  if (!vs.qsets.empty()) {
+    vs.cursor %= static_cast<int>(vs.qsets.size());
+    return;
+  }
+  sched_.erase(it);
+  vm_rr_order_.erase(std::remove(vm_rr_order_.begin(), vm_rr_order_.end(), vm_id),
+                     vm_rr_order_.end());
+  if (vm_rr_cursor_ >= vm_rr_order_.size()) vm_rr_cursor_ = 0;
+}
+
+void CoreEngineShard::AddNsmQset(uint8_t nsm_id, uint8_t qset) {
+  std::vector<uint8_t>& owned = nsm_qsets_[nsm_id];
+  if (owned.empty()) nsm_rr_order_.push_back(nsm_id);
+  owned.push_back(qset);
+}
+
+void CoreEngineShard::RemoveVm(uint8_t vm_id, shm::NkDevice* dev) {
+  // Parked deliveries to the dead device would dangle; the VM is gone, so
+  // there is no guest to return completions to — count and discard.
+  if (dev != nullptr) PurgePark(dev, /*synthesize_errors=*/false);
+  for (auto it = conn_table_.begin(); it != conn_table_.end();) {
+    it = (it->first >> 32) == vm_id ? conn_table_.erase(it) : std::next(it);
+  }
+  for (auto it = dgram_table_.begin(); it != dgram_table_.end();) {
+    it = (it->first >> 32) == vm_id ? dgram_table_.erase(it) : std::next(it);
+  }
+  sched_.erase(vm_id);
+  vm_rr_order_.erase(std::remove(vm_rr_order_.begin(), vm_rr_order_.end(), vm_id),
+                     vm_rr_order_.end());
+  if (vm_rr_cursor_ >= vm_rr_order_.size()) vm_rr_cursor_ = 0;
+  pending_handoffs_.erase(
+      std::remove_if(pending_handoffs_.begin(), pending_handoffs_.end(),
+                     [vm_id](const PendingHandoff& h) { return h.vm_id == vm_id; }),
+      pending_handoffs_.end());
+}
+
+void CoreEngineShard::RemoveNsm(uint8_t nsm_id, shm::NkDevice* dev) {
+  nsm_qsets_.erase(nsm_id);
+  nsm_rr_order_.erase(std::remove(nsm_rr_order_.begin(), nsm_rr_order_.end(), nsm_id),
+                      nsm_rr_order_.end());
+  if (nsm_rr_cursor_ >= nsm_rr_order_.size()) nsm_rr_cursor_ = 0;
+  // VM->NSM deliveries parked for the dead device will never land: return
+  // error completions so guest send credits and hugepage chunks are released.
+  if (dev != nullptr) PurgePark(dev, /*synthesize_errors=*/true);
+
+  // Table entries pointing at the dead NSM must not linger. Established
+  // connections died with their stack — tell each guest with an error FIN so
+  // its socket state unwinds; datagram sockets are stateless at the NSM
+  // boundary, so dropping the entry lets the next datagram op re-home to the
+  // VM's current NSM.
+  std::vector<Delivery> fins;
+  for (auto it = conn_table_.begin(); it != conn_table_.end();) {
+    if (it->second.nsm_id != nsm_id) {
+      ++it;
+      continue;
+    }
+    uint8_t vm_id = static_cast<uint8_t>(it->first >> 32);
+    uint32_t vm_sock = static_cast<uint32_t>(it->first);
+    CoreEngine::VmReg* reg = engine_->FindVm(vm_id);
+    if (reg != nullptr && reg->dev != nullptr) {
+      Delivery d;
+      d.dst = reg->dev;
+      d.qset = it->second.vm_qset < d.dst->num_queue_sets() ? it->second.vm_qset : 0;
+      d.ring = shm::RingKind::kReceive;
+      d.toward_vm = true;
+      d.nqe = MakeNqe(NqeOp::kFinReceived, vm_id, it->second.vm_qset, vm_sock, 0, 0,
+                      static_cast<uint32_t>(kCeNetUnreach));
+      PlanDelivery(d, fins);
+    }
+    it = conn_table_.erase(it);
+  }
+  for (auto it = dgram_table_.begin(); it != dgram_table_.end();) {
+    it = it->second.nsm_id == nsm_id ? dgram_table_.erase(it) : std::next(it);
+  }
+  if (!fins.empty()) DeliverPlan(fins);
+}
+
+uint64_t CoreEngineShard::VmQsetBacklog(uint8_t vm_id, uint8_t qset) const {
+  CoreEngine::VmReg* reg = engine_->FindVm(vm_id);
+  if (reg == nullptr || reg->dev == nullptr) return 0;
+  if (static_cast<int>(qset) >= reg->dev->num_queue_sets()) return 0;
+  shm::QueueSet& q = reg->dev->queue_set(qset);
+  return q.job.Size() + q.send.Size();
+}
+
+uint64_t CoreEngineShard::VmBacklog() const {
+  uint64_t total = 0;
+  for (const auto& [vm_id, vs] : sched_) {
+    for (uint8_t qs : vs.qsets) total += VmQsetBacklog(vm_id, qs);
+  }
+  return total;
+}
+
+bool CoreEngineShard::OwnedVmHasOutbound(uint8_t vm_id, const VmSched& vs) const {
+  for (uint8_t qs : vs.qsets) {
+    if (VmQsetBacklog(vm_id, qs) > 0) return true;
+  }
+  return false;
+}
+
+void CoreEngineShard::ExecutePendingHandoffs() {
+  if (pending_handoffs_.empty()) return;
+  std::vector<PendingHandoff> moves = std::move(pending_handoffs_);
+  pending_handoffs_.clear();
+  for (const PendingHandoff& h : moves) {
+    engine_->MigrateVmQset(h.vm_id, h.qset, this, &engine_->shard(h.to));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Datapath
 // ---------------------------------------------------------------------------
 
-void CoreEngine::NotifyVmOutbound(uint8_t vm_id) { ScheduleRound(); }
-void CoreEngine::NotifyNsmOutbound(uint8_t nsm_id) { ScheduleRound(); }
-
-void CoreEngine::ScheduleRound() {
+void CoreEngineShard::ScheduleRound() {
   if (round_scheduled_) return;
   round_scheduled_ = true;
-  loop_->ScheduleAfter(0, [this] { ProcessRound(); });
+  engine_->loop_->ScheduleAfter(0, [this] { ProcessRound(); });
 }
 
-uint64_t CoreEngine::PollVm(VmState& vm, uint64_t limit, std::vector<Delivery>& plan,
-                            Cycles& cost, SimTime* retry_at, bool* send_blocked,
-                            bool* job_blocked) {
+uint64_t CoreEngineShard::PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit,
+                                 std::vector<Delivery>& plan, Cycles& cost, SimTime* retry_at,
+                                 bool* send_blocked, bool* job_blocked) {
+  CoreEngine::VmReg* reg = engine_->FindVm(vm_id);
+  if (reg == nullptr || reg->dev == nullptr || vs.qsets.empty()) return 0;
   uint64_t taken = 0;
   Nqe nqe;
-  const int nqs = vm.dev->num_queue_sets();
+  const int nqs = static_cast<int>(vs.qsets.size());
   for (int i = 0; i < nqs && taken < limit; ++i) {
-    // Start each chunk at a rotating queue set: restarting at 0 every time
-    // would let a saturated qset 0 eat the whole deficit while the VM's
-    // other queue sets starve.
-    int qs = (vm.qset_cursor + i) % nqs;
-    shm::QueueSet& q = vm.dev->queue_set(qs);
+    // Start each chunk at a rotating queue set: restarting at the first
+    // owned set every time would let a saturated one eat the whole deficit
+    // while the VM's other owned queue sets starve.
+    uint8_t qsi = vs.qsets[static_cast<size_t>((vs.cursor + i) % nqs)];
+    if (static_cast<int>(qsi) >= reg->dev->num_queue_sets()) continue;
+    shm::QueueSet& q = reg->dev->queue_set(qsi);
     // Send ring before job ring: a close NQE must not overtake the data
     // NQEs the guest enqueued before it.
     if (!*send_blocked) {
       while (taken < limit && q.send.Peek(&nqe)) {
-        if (!RouteVmNqe(nqe, true, vm, plan, cost, retry_at)) {
+        if (!RouteVmNqe(nqe, true, plan, cost, retry_at)) {
           *send_blocked = true;
           break;
         }
@@ -198,7 +626,7 @@ uint64_t CoreEngine::PollVm(VmState& vm, uint64_t limit, std::vector<Delivery>& 
     }
     if (!*job_blocked) {
       while (taken < limit && q.job.Peek(&nqe)) {
-        if (!RouteVmNqe(nqe, false, vm, plan, cost, retry_at)) {
+        if (!RouteVmNqe(nqe, false, plan, cost, retry_at)) {
           *job_blocked = true;
           break;
         }
@@ -207,24 +635,44 @@ uint64_t CoreEngine::PollVm(VmState& vm, uint64_t limit, std::vector<Delivery>& 
       }
     }
   }
-  if (nqs > 0) vm.qset_cursor = (vm.qset_cursor + 1) % nqs;
+  vs.cursor = (vs.cursor + 1) % nqs;
   return taken;
 }
 
-bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
-                            std::vector<Delivery>& plan, Cycles& cost, SimTime* retry_at) {
-  const SimTime now = loop_->Now();
-  // Isolation: per-VM egress policing before switching (paper §7.6).
-  if (!vm.op_bucket.TryConsume(now, 1.0)) {
-    SimTime t = vm.op_bucket.NextAvailable(now, 1.0);
+uint8_t CoreEngineShard::ChooseNsmQset(uint8_t nsm_id, const shm::NkDevice* ndev,
+                                       uint64_t key) const {
+  auto it = nsm_qsets_.find(nsm_id);
+  if (it != nsm_qsets_.end() && !it->second.empty()) {
+    // Shard-aligned placement: the response path comes back on a queue set
+    // this shard polls, so the connection's state stays single-writer.
+    return it->second[CoreEngine::HashSpread(key, it->second.size())];
+  }
+  // This shard owns none of that NSM's queue sets (fewer sets than shards):
+  // spread globally; completions cross shards via the facade handshake.
+  return static_cast<uint8_t>(
+      CoreEngine::HashSpread(key, static_cast<size_t>(ndev->num_queue_sets())));
+}
+
+bool CoreEngineShard::RouteVmNqe(const Nqe& nqe, bool from_send_ring,
+                                 std::vector<Delivery>& plan, Cycles& cost,
+                                 SimTime* retry_at) {
+  CoreEngine::VmReg* reg = engine_->FindVm(nqe.vm_id);
+  if (reg == nullptr) return FailVmNqe(nqe, plan);  // racing deregistration
+  const SimTime now = engine_->loop_->Now();
+  const CoreEngineConfig& config = engine_->config_;
+  // Isolation: per-VM egress policing before switching (paper §7.6). The
+  // buckets live in the engine-wide registry (shared by the shards, as a
+  // real multi-core switch shares its policers via atomics).
+  if (!reg->op_bucket.TryConsume(now, 1.0)) {
+    SimTime t = reg->op_bucket.NextAvailable(now, 1.0);
     if (*retry_at == kSimTimeNever || t < *retry_at) *retry_at = t;
     ++stats_.throttled_nqes;
     ++stats_.per_vm[nqe.vm_id].throttled;
     return false;
   }
   if (from_send_ring && nqe.size > 0 &&
-      !vm.byte_bucket.TryConsume(now, static_cast<double>(nqe.size))) {
-    SimTime t = vm.byte_bucket.NextAvailable(now, static_cast<double>(nqe.size));
+      !reg->byte_bucket.TryConsume(now, static_cast<double>(nqe.size))) {
+    SimTime t = reg->byte_bucket.NextAvailable(now, static_cast<double>(nqe.size));
     if (*retry_at == kSimTimeNever || t < *retry_at) *retry_at = t;
     ++stats_.throttled_nqes;
     ++stats_.per_vm[nqe.vm_id].throttled;
@@ -232,7 +680,7 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
     return false;
   }
 
-  switch (RouteDgramNqe(nqe, from_send_ring, vm, plan, cost)) {
+  switch (RouteDgramNqe(nqe, from_send_ring, plan, cost)) {
     case DgramRoute::kClaimed:
       return true;
     case DgramRoute::kDeferred:
@@ -241,7 +689,7 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
       break;
   }
 
-  uint64_t key = ConnKey(nqe.vm_id, nqe.vm_sock);
+  uint64_t key = CoreEngine::ConnKey(nqe.vm_id, nqe.vm_sock);
   auto op = nqe.Op();
   ConnEntry* entry = nullptr;
   auto eit = conn_table_.find(key);
@@ -249,11 +697,11 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
 
   if (entry == nullptr) {
     // New connection: map to the VM's current NSM (Fig 6 step 1-2).
-    shm::NkDevice* ndev = vm.has_nsm ? FindNsm(vm.nsm_id) : nullptr;
+    shm::NkDevice* ndev = reg->has_nsm ? engine_->FindNsm(reg->nsm_id) : nullptr;
     if (ndev == nullptr) return FailVmNqe(nqe, plan);  // no NSM to serve it
     ConnEntry e;
-    e.nsm_id = vm.nsm_id;
-    e.nsm_qset = HashQset(key, ndev);
+    e.nsm_id = reg->nsm_id;
+    e.nsm_qset = ChooseNsmQset(reg->nsm_id, ndev, key);
     e.vm_qset = nqe.queue_set;
     if (op == NqeOp::kAccept) {
       // GuestLib announced the guest handle of an accepted connection; the
@@ -262,13 +710,13 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
       e.complete = true;
     }
     entry = &conn_table_.emplace(key, e).first->second;
-    cost += config_.costs.ce_table_insert;
+    cost += config.costs.ce_table_insert;
     ++stats_.table_inserts;
   } else {
-    cost += config_.costs.ce_table_lookup;
+    cost += config.costs.ce_table_lookup;
   }
 
-  shm::NkDevice* ndev = FindNsm(entry->nsm_id);
+  shm::NkDevice* ndev = engine_->FindNsm(entry->nsm_id);
   if (ndev == nullptr) {
     // NSM vanished between rounds (DeregisterNsmDevice also purges the
     // table, so this is a same-round race): unwind the guest's state.
@@ -291,11 +739,15 @@ bool CoreEngine::RouteVmNqe(const Nqe& nqe, bool from_send_ring, VmState& vm,
   return true;
 }
 
-CoreEngine::DgramRoute CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_ring,
-                                                 VmState& vm, std::vector<Delivery>& plan,
-                                                 Cycles& cost) {
+CoreEngineShard::DgramRoute CoreEngineShard::RouteDgramNqe(const Nqe& nqe,
+                                                           bool from_send_ring,
+                                                           std::vector<Delivery>& plan,
+                                                           Cycles& cost) {
+  CoreEngine::VmReg* reg = engine_->FindVm(nqe.vm_id);
+  if (reg == nullptr) return DgramRoute::kNotDgram;
+  const CoreEngineConfig& config = engine_->config_;
   const NqeOp op = nqe.Op();
-  const uint64_t key = ConnKey(nqe.vm_id, nqe.vm_sock);
+  const uint64_t key = CoreEngine::ConnKey(nqe.vm_id, nqe.vm_sock);
   DgramEntry* entry = nullptr;
   auto it = dgram_table_.find(key);
   if (it != dgram_table_.end()) entry = &it->second;
@@ -304,26 +756,27 @@ CoreEngine::DgramRoute CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_
     // New datagram socket: map it to the VM's current NSM. The entry is
     // complete immediately — connectionless sockets are keyed by the guest
     // handle alone, with no NSM socket id to learn (contrast Fig 6 step 4).
-    shm::NkDevice* ndev = vm.has_nsm ? FindNsm(vm.nsm_id) : nullptr;
+    shm::NkDevice* ndev = reg->has_nsm ? engine_->FindNsm(reg->nsm_id) : nullptr;
     if (ndev == nullptr) {
       FailVmNqe(nqe, plan);  // no NSM to serve it
       return DgramRoute::kClaimed;
     }
     DgramEntry e;
-    e.nsm_id = vm.nsm_id;
-    e.nsm_qset = HashQset(key, ndev);
+    e.nsm_id = reg->nsm_id;
+    e.nsm_qset = ChooseNsmQset(reg->nsm_id, ndev, key);
+    e.vm_qset = nqe.queue_set;
     entry = &dgram_table_.emplace(key, e).first->second;
-    cost += config_.costs.ce_table_insert;
+    cost += config.costs.ce_table_insert;
     ++stats_.table_inserts;
   } else if (entry != nullptr) {
-    cost += config_.costs.ce_table_lookup;
+    cost += config.costs.ce_table_lookup;
   } else if (op == NqeOp::kBindUdp || op == NqeOp::kSendTo || op == NqeOp::kRecvFrom) {
     // Socket not (or no longer) in the table — e.g. a kClose through the job
     // ring overtook kSendTo NQEs still queued on the send ring, or the
     // socket's NSM was deregistered. Forward statelessly to the VM's current
     // NSM (re-homing the datagram flow): the NSM side owns the hugepage
     // accounting and must see the NQE to release its payload chunk.
-    shm::NkDevice* fdev = vm.has_nsm ? FindNsm(vm.nsm_id) : nullptr;
+    shm::NkDevice* fdev = reg->has_nsm ? engine_->FindNsm(reg->nsm_id) : nullptr;
     if (fdev == nullptr) {
       FailVmNqe(nqe, plan);
       return DgramRoute::kClaimed;
@@ -331,19 +784,19 @@ CoreEngine::DgramRoute CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_
     if (Backpressured(fdev)) return DgramRoute::kDeferred;
     Delivery d;
     d.dst = fdev;
-    d.qset = HashQset(key, fdev);
+    d.qset = ChooseNsmQset(reg->nsm_id, fdev, key);
     d.ring = from_send_ring ? shm::RingKind::kSend : shm::RingKind::kJob;
     d.nqe = nqe;
     PlanDelivery(d, plan);
     ++stats_.dgram_nqes_switched;
-    cost += config_.costs.ce_table_lookup;
+    cost += config.costs.ce_table_lookup;
     return DgramRoute::kClaimed;
   } else {
     // Not a datagram socket; fall through to connection routing.
     return DgramRoute::kNotDgram;
   }
 
-  shm::NkDevice* ndev = FindNsm(entry->nsm_id);
+  shm::NkDevice* ndev = engine_->FindNsm(entry->nsm_id);
   if (ndev == nullptr) {
     // NSM vanished: drop the stale mapping so the next op re-homes to the
     // VM's current NSM, and unwind this NQE's guest state.
@@ -365,10 +818,11 @@ CoreEngine::DgramRoute CoreEngine::RouteDgramNqe(const Nqe& nqe, bool from_send_
   return DgramRoute::kClaimed;
 }
 
-bool CoreEngine::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
-                             Cycles& cost) {
-  auto vit = vms_.find(nqe.vm_id);
-  if (vit == vms_.end() || vit->second.dev == nullptr) {
+bool CoreEngineShard::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
+                                  Cycles& cost) {
+  (void)nsm_id;
+  CoreEngine::VmReg* reg = engine_->FindVm(nqe.vm_id);
+  if (reg == nullptr || reg->dev == nullptr) {
     // VM gone: nothing to deliver to, but the loss must still be visible.
     ++stats_.nqes_dropped;
     ++stats_.per_vm[nqe.vm_id].dropped;
@@ -377,25 +831,22 @@ bool CoreEngine::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Deliver
   // Backpressure toward the NSM: the VM device's pending queue is at the
   // bound, so the NQE stays in the NSM ring (kRecvData chunks and their
   // receive credits are never lost to switch overload).
-  if (Backpressured(vit->second.dev)) return false;
+  if (Backpressured(reg->dev)) return false;
 
   auto op = nqe.Op();
   // Fig 6 step 4: the NSM's first response for a connection carries the NSM
-  // socket id in op_data; complete the table entry.
+  // socket id in op_data; complete the table entry. The entry lives in the
+  // shard owning the connection's VM queue set, which may not be the shard
+  // polling this NSM queue set — the facade routes the handoff.
   if (op == NqeOp::kOpResult &&
       static_cast<NqeOp>(nqe.reserved[0]) == NqeOp::kSocket) {
-    auto eit = conn_table_.find(ConnKey(nqe.vm_id, nqe.vm_sock));
-    if (eit != conn_table_.end() && !eit->second.complete) {
-      eit->second.nsm_sock = nqe.op_data;
-      eit->second.complete = true;
-      cost += config_.costs.ce_table_lookup;
-    }
+    engine_->CompleteConnHandshake(nqe, cost);
   }
 
   Delivery d;
-  d.dst = vit->second.dev;
+  d.dst = reg->dev;
   d.qset = nqe.queue_set;
-  if (d.qset >= vit->second.dev->num_queue_sets()) d.qset = 0;
+  if (d.qset >= reg->dev->num_queue_sets()) d.qset = 0;
   d.ring = (op == NqeOp::kRecvData || op == NqeOp::kFinReceived || op == NqeOp::kDgramRecv)
                ? shm::RingKind::kReceive
                : shm::RingKind::kCompletion;
@@ -409,7 +860,7 @@ bool CoreEngine::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Deliver
 // Failure path: error completions instead of silent loss
 // ---------------------------------------------------------------------------
 
-bool CoreEngine::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
+bool CoreEngineShard::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
   NqeOp completion_op;
   bool carries_chunk = false;
   switch (orig.Op()) {
@@ -440,8 +891,8 @@ bool CoreEngine::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
       // guest thread waits on them; the drop counter is the whole story.
       return false;
   }
-  auto vit = vms_.find(orig.vm_id);
-  if (vit == vms_.end() || vit->second.dev == nullptr) return false;
+  CoreEngine::VmReg* reg = engine_->FindVm(orig.vm_id);
+  if (reg == nullptr || reg->dev == nullptr) return false;
 
   // The completion mirrors a real NSM response: result code in `size`
   // (negative errno, as ServiceLib::Respond encodes it), the original op in
@@ -456,7 +907,7 @@ bool CoreEngine::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
     resp.reserved[1] = shm::kNqeFlagChunkUnconsumed;
   }
 
-  out->dst = vit->second.dev;
+  out->dst = reg->dev;
   out->qset = orig.queue_set < out->dst->num_queue_sets() ? orig.queue_set : 0;
   out->ring = shm::RingKind::kCompletion;
   out->toward_vm = true;
@@ -464,7 +915,7 @@ bool CoreEngine::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
   return true;
 }
 
-bool CoreEngine::FailVmNqe(const Nqe& orig, std::vector<Delivery>& plan) {
+bool CoreEngineShard::FailVmNqe(const Nqe& orig, std::vector<Delivery>& plan) {
   ++stats_.nqes_dropped;
   ++stats_.per_vm[orig.vm_id].dropped;
   Delivery d;
@@ -472,74 +923,98 @@ bool CoreEngine::FailVmNqe(const Nqe& orig, std::vector<Delivery>& plan) {
   return true;
 }
 
-void CoreEngine::ProcessRound() {
+bool CoreEngineShard::Backpressured(shm::NkDevice* dev) const {
+  size_t outstanding = 0;
+  auto pit = parked_.find(dev);
+  if (pit != parked_.end()) outstanding += pit->second.size();
+  auto fit = in_flight_.find(dev);
+  if (fit != in_flight_.end()) outstanding += fit->second;
+  return outstanding >= engine_->config_.pending_bound;
+}
+
+void CoreEngineShard::PlanDelivery(const Delivery& d, std::vector<Delivery>& plan) {
+  ++in_flight_[d.dst];
+  ++in_flight_total_;
+  plan.push_back(d);
+}
+
+void CoreEngineShard::ProcessRound() {
   round_scheduled_ = false;
   retry_timer_.Cancel();
 
+  const CoreEngineConfig& config = engine_->config_;
   std::vector<Delivery> plan;
   Cycles cost = 0;
   SimTime retry_at = kSimTimeNever;
   uint64_t total = 0;
-  const int batch = config_.batch;
+  const int batch = config.batch;
   const uint64_t base_quantum =
-      static_cast<uint64_t>(config_.quantum > 0 ? config_.quantum : config_.batch);
+      static_cast<uint64_t>(config.quantum > 0 ? config.quantum : config.batch);
   Nqe nqe;
 
-  // Poll the VM queue sets with weighted deficit round robin (fair sharing,
-  // §4.4): each round a VM earns quantum * weight NQEs of service. Spending
-  // is interleaved in weight-sized chunks across multiple passes, so when
-  // the destination backpressures mid-round, the capacity that WAS available
-  // was consumed in proportion to the weights — a single greedy pass would
-  // hand it all to whichever VM happened to be polled first. The starting
-  // VM rotates across rounds, so no registrant keeps a head-of-line edge.
+  // Poll the owned VM queue sets with weighted deficit round robin (fair
+  // sharing, §4.4): each round a VM earns quantum * weight NQEs of service.
+  // Spending is interleaved in weight-sized chunks across multiple passes, so
+  // when the destination backpressures mid-round, the capacity that WAS
+  // available was consumed in proportion to the weights — a single greedy
+  // pass would hand it all to whichever VM happened to be polled first. The
+  // starting VM rotates across rounds, so no registrant keeps a head-of-line
+  // edge.
   const size_t nvm = vm_rr_order_.size();
   struct Slot {
-    VmState* vm = nullptr;
+    uint8_t vm_id = 0;
+    VmSched* vs = nullptr;
+    uint64_t weight = 1;
     uint64_t taken = 0;
     bool send_blocked = false;
     bool job_blocked = false;
   };
   std::vector<Slot> order(nvm);
   for (size_t i = 0; i < nvm; ++i) {
-    VmState& vm = vms_[vm_rr_order_[(vm_rr_cursor_ + i) % nvm]];
-    const uint64_t quantum = base_quantum * vm.weight;
+    uint8_t vm_id = vm_rr_order_[(vm_rr_cursor_ + i) % nvm];
+    VmSched& vs = sched_[vm_id];
+    const uint64_t weight = engine_->VmWeightOrDefault(vm_id);
+    const uint64_t quantum = base_quantum * weight;
     // Carry at most one round of unspent deficit: enough to smooth over a
     // throttled round, not enough to let an idle VM hoard a burst.
-    vm.deficit = std::min(vm.deficit + quantum, 2 * quantum);
-    order[i].vm = &vm;
+    vs.deficit = std::min(vs.deficit + quantum, 2 * quantum);
+    order[i].vm_id = vm_id;
+    order[i].vs = &vs;
+    order[i].weight = weight;
   }
   for (bool progress = true; progress;) {
     progress = false;
     for (Slot& s : order) {
-      VmState& vm = *s.vm;
-      if ((s.send_blocked && s.job_blocked) || s.taken >= vm.deficit) continue;
-      uint64_t chunk = std::min<uint64_t>(vm.weight, vm.deficit - s.taken);
-      uint64_t got =
-          PollVm(vm, chunk, plan, cost, &retry_at, &s.send_blocked, &s.job_blocked);
+      if ((s.send_blocked && s.job_blocked) || s.taken >= s.vs->deficit) continue;
+      uint64_t chunk = std::min<uint64_t>(s.weight, s.vs->deficit - s.taken);
+      uint64_t got = PollVm(s.vm_id, *s.vs, chunk, plan, cost, &retry_at, &s.send_blocked,
+                            &s.job_blocked);
       s.taken += got;
       if (got > 0) progress = true;
     }
   }
   for (Slot& s : order) {
-    VmState& vm = *s.vm;
     if (s.taken > 0) {
-      vm.deficit -= s.taken;
-      cost += config_.costs.CePerNqe(static_cast<int>(s.taken)) *
+      s.vs->deficit -= s.taken;
+      cost += config.costs.CePerNqe(static_cast<int>(s.taken)) *
               static_cast<Cycles>(s.taken);
       total += s.taken;
     }
     // Classic DRR: an emptied queue forfeits its remaining deficit.
-    if (!vm.dev->HasOutbound()) vm.deficit = 0;
+    if (!OwnedVmHasOutbound(s.vm_id, *s.vs)) s.vs->deficit = 0;
   }
   if (nvm > 0) vm_rr_cursor_ = (vm_rr_cursor_ + 1) % nvm;
 
-  // Poll every NSM queue set, rotating the starting NSM for the same reason.
+  // Poll the owned NSM queue sets, rotating the starting NSM for the same
+  // reason.
   const size_t nnsm = nsm_rr_order_.size();
   for (size_t i = 0; i < nnsm; ++i) {
     uint8_t nsm_id = nsm_rr_order_[(nsm_rr_cursor_ + i) % nnsm];
-    shm::NkDevice* dev = nsms_[nsm_id];
-    for (int qs = 0; qs < dev->num_queue_sets(); ++qs) {
-      shm::QueueSet& q = dev->queue_set(qs);
+    shm::NkDevice* dev = engine_->FindNsm(nsm_id);
+    if (dev == nullptr) continue;
+    for (uint8_t qsi : nsm_qsets_[nsm_id]) {
+      if (static_cast<int>(qsi) >= dev->num_queue_sets()) continue;
+      shm::QueueSet& q = dev->queue_set(qsi);
       int n = 0;
       while (n < batch && q.completion.Peek(&nqe)) {
         if (!RouteNsmNqe(nqe, nsm_id, plan, cost)) break;
@@ -552,7 +1027,7 @@ void CoreEngine::ProcessRound() {
         ++n;
       }
       if (n > 0) {
-        cost += config_.costs.CePerNqe(n) * static_cast<Cycles>(n);
+        cost += config.costs.CePerNqe(n) * static_cast<Cycles>(n);
         total += static_cast<uint64_t>(n);
       }
     }
@@ -563,8 +1038,15 @@ void CoreEngine::ProcessRound() {
     // No new work this round, but parked deliveries may now fit — retry
     // them directly (the busy-polling CE's next spin would).
     if (parked_total_ > 0) DeliverPlan({});
+    if (in_flight_total_ == 0) {
+      // Round boundary with nothing in flight: safe point for handoffs. A
+      // fully backpressured shard still reaches here, so its backlog can be
+      // rebalanced even when it cannot switch a single NQE.
+      ExecutePendingHandoffs();
+      engine_->MaybeRebalance(this);
+    }
     if (retry_at != kSimTimeNever) {
-      retry_timer_ = loop_->Schedule(retry_at, [this] { ScheduleRound(); });
+      retry_timer_ = engine_->loop_->Schedule(retry_at, [this] { ScheduleRound(); });
     }
     return;
   }
@@ -574,11 +1056,19 @@ void CoreEngine::ProcessRound() {
 
   core_->Charge(cost, [this, plan = std::move(plan)] {
     DeliverPlan(plan);
+    // Handoffs only when *no* plan is in flight: a doorbell can start
+    // another round (and charge another plan) before this callback runs,
+    // and migrating under it would let newer NQEs overtake the parked
+    // deliveries that move with the queue set.
+    if (in_flight_total_ == 0) {
+      ExecutePendingHandoffs();
+      engine_->MaybeRebalance(this);
+    }
     ProcessRound();  // keep polling while work remains
   });
 
   if (retry_at != kSimTimeNever) {
-    retry_timer_ = loop_->Schedule(retry_at, [this] { ScheduleRound(); });
+    retry_timer_ = engine_->loop_->Schedule(retry_at, [this] { ScheduleRound(); });
   }
 }
 
@@ -586,7 +1076,7 @@ void CoreEngine::ProcessRound() {
 // Delivery: destination rings, backpressure park, doorbells
 // ---------------------------------------------------------------------------
 
-bool CoreEngine::TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>& to_wake) {
+bool CoreEngineShard::TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>& to_wake) {
   if (!d.dst->queue_set(d.qset).ring(d.ring).TryEnqueue(d.nqe)) return false;
   PerVmStats& pv = stats_.per_vm[d.nqe.vm_id];
   ++pv.switched;
@@ -604,7 +1094,7 @@ bool CoreEngine::TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>& to_w
   return true;
 }
 
-void CoreEngine::DropDelivery(const Delivery& d, std::vector<Delivery>& errors) {
+void CoreEngineShard::DropDelivery(const Delivery& d, std::vector<Delivery>& errors) {
   ++stats_.nqes_dropped;
   ++stats_.per_vm[d.nqe.vm_id].dropped;
   if (d.toward_vm) return;  // nothing to unwind guest-side from here
@@ -614,9 +1104,9 @@ void CoreEngine::DropDelivery(const Delivery& d, std::vector<Delivery>& errors) 
   if (BuildErrorCompletion(d.nqe, &err)) errors.push_back(err);
 }
 
-void CoreEngine::ParkOrDrop(const Delivery& d, std::vector<Delivery>& errors) {
+void CoreEngineShard::ParkOrDrop(const Delivery& d, std::vector<Delivery>& errors) {
   std::deque<Delivery>& dq = parked_[d.dst];
-  if (dq.size() >= config_.pending_bound) {
+  if (dq.size() >= engine_->config_.pending_bound) {
     DropDelivery(d, errors);
     return;
   }
@@ -626,13 +1116,40 @@ void CoreEngine::ParkOrDrop(const Delivery& d, std::vector<Delivery>& errors) {
   ++stats_.per_vm[d.nqe.vm_id].deferred;
 }
 
-size_t CoreEngine::DeliverPlan(const std::vector<Delivery>& plan) {
+bool CoreEngineShard::HasParkedFor(shm::NkDevice* dev) const {
+  auto it = parked_.find(dev);
+  return it != parked_.end() && !it->second.empty();
+}
+
+bool CoreEngineShard::PeekParkedVm(shm::NkDevice* dev, uint8_t* vm_id) const {
+  auto it = parked_.find(dev);
+  if (it == parked_.end() || it->second.empty()) return false;
+  *vm_id = it->second.front().nqe.vm_id;
+  return true;
+}
+
+bool CoreEngineShard::TryDeliverParkedFront(shm::NkDevice* dev,
+                                            std::vector<shm::NkDevice*>& to_wake) {
+  auto it = parked_.find(dev);
+  if (it == parked_.end() || it->second.empty()) return false;
+  if (!TryDeliver(it->second.front(), to_wake)) return false;
+  it->second.pop_front();
+  --parked_total_;
+  if (it->second.empty()) parked_.erase(it);
+  return true;
+}
+
+size_t CoreEngineShard::DeliverPlan(const std::vector<Delivery>& plan) {
   // These deliveries are no longer "in flight": from here each one either
   // lands in a ring, parks, or drops — all of which Backpressured() sees.
-  // (Saturating: some entries, e.g. deregistration FINs, were never counted.)
+  // Every caller counts its entries through PlanDelivery (rounds and
+  // deregistration FINs) or manually (PurgePark's synthesized errors), so
+  // the decrement is exact — the in_flight_total_ == 0 handoff gate relies
+  // on that. The map lookup stays defensive against future uncounted plans.
   for (const Delivery& d : plan) {
     auto it = in_flight_.find(d.dst);
     if (it != in_flight_.end()) {
+      --in_flight_total_;
       if (--it->second == 0) in_flight_.erase(it);
     }
   }
@@ -641,16 +1158,13 @@ size_t CoreEngine::DeliverPlan(const std::vector<Delivery>& plan) {
   size_t delivered = 0;
 
   // Parked deliveries go first: they are older than anything in the plan,
-  // and draining them FIFO preserves per-ring NQE order across stalls.
-  for (auto it = parked_.begin(); it != parked_.end();) {
-    std::deque<Delivery>& dq = it->second;
-    while (!dq.empty() && TryDeliver(dq.front(), to_wake)) {
-      dq.pop_front();
-      --parked_total_;
-      ++delivered;
-    }
-    it = dq.empty() ? parked_.erase(it) : std::next(it);
-  }
+  // and draining them FIFO preserves per-ring NQE order across stalls. The
+  // drain goes through the facade so a destination contended by several
+  // shards is shared by VM weight, not by whoever retries first.
+  std::vector<shm::NkDevice*> devs;
+  devs.reserve(parked_.size());
+  for (const auto& [dev, dq] : parked_) devs.push_back(dev);
+  for (shm::NkDevice* dev : devs) delivered += engine_->DrainParked(dev, to_wake);
 
   std::vector<Delivery> errors;
   for (const Delivery& d : plan) {
@@ -686,17 +1200,17 @@ size_t CoreEngine::DeliverPlan(const std::vector<Delivery>& plan) {
   return delivered;
 }
 
-void CoreEngine::ArmParkRetry() {
+void CoreEngineShard::ArmParkRetry() {
   if (park_timer_.Pending()) return;
   // The real CE busy-polls; 5 us approximates its next useful spin at the
   // simulator's granularity without melting the event loop.
-  park_timer_ = loop_->ScheduleAfter(5 * kMicrosecond, [this] {
+  park_timer_ = engine_->loop_->ScheduleAfter(5 * kMicrosecond, [this] {
     if (parked_total_ > 0) DeliverPlan({});
     ScheduleRound();
   });
 }
 
-void CoreEngine::PurgePark(shm::NkDevice* dev, bool synthesize_errors) {
+void CoreEngineShard::PurgePark(shm::NkDevice* dev, bool synthesize_errors) {
   auto it = parked_.find(dev);
   if (it == parked_.end()) return;
   std::vector<Delivery> errors;
@@ -708,7 +1222,10 @@ void CoreEngine::PurgePark(shm::NkDevice* dev, bool synthesize_errors) {
   if (synthesize_errors && !errors.empty()) {
     // Balance DeliverPlan's in-flight decrement for these synthesized
     // completions so concurrent rounds' counts stay exact.
-    for (const Delivery& e : errors) ++in_flight_[e.dst];
+    for (const Delivery& e : errors) {
+      ++in_flight_[e.dst];
+      ++in_flight_total_;
+    }
     DeliverPlan(errors);
   }
 }

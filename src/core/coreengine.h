@@ -22,16 +22,34 @@
 //   * per-VM observability (PerVmStats) so fairness and isolation are
 //     assertable rather than eyeballed.
 //
-// CoreEngine burns one dedicated hypervisor core (busy-polling in the real
-// system). The DES models it event-driven: rounds are triggered by producer
-// notifications and their cycle cost is charged on the CE core, so batch
-// sizes grow under load exactly as a busy-polling switch's would.
+// Multi-core switching (Fig 11's single-core wall): CoreEngine is an N-shard
+// switch. Each CoreEngineShard busy-polls on its own dedicated hypervisor
+// core and owns a *disjoint* set of VM queue sets and NSM queue sets, plus
+// the connection/datagram-table entries, parked deliveries, and DRR state
+// routed through them. No mutex is charged to a switched NQE: every queue
+// set has exactly one owning shard (single-writer state, in the spirit of
+// wait-free handoff constructions), and ownership moves only via explicit
+// handoff events executed at a shard's round boundary — work-stealing
+// rebalance migrates a queue set from an overloaded shard to an idle one,
+// carrying its table entries and parked deliveries so NQE conservation and
+// per-connection ordering survive the move. Placement defaults to a hash of
+// the <vm, queue set> id and can be pinned with AssignQueueSetToShard.
+//
+// In this single-threaded DES the shards share the event loop, so cross-shard
+// interactions that a real implementation would carry on MPSC handoff rings
+// (a completion arriving on a queue set owned by a different shard than the
+// connection's VM side, or two shards draining parked deliveries for the same
+// contended destination) are modeled as direct calls through the CoreEngine
+// facade. The facade arbitrates contended destinations by draining the
+// per-shard parked FIFOs in weighted round-robin, so DRR weights keep their
+// meaning even when competing VMs live on different shards.
 
 #ifndef SRC_CORE_COREENGINE_H_
 #define SRC_CORE_COREENGINE_H_
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -50,8 +68,26 @@ enum class CeOp : uint32_t {
   kDeregisterVm = 3,
   kDeregisterNsm = 4,
   kAssignVmToNsm = 5,
+  // ce_data = vm_id << 16 | queue_set << 8 | shard. Pins a VM queue set to a
+  // switching shard (overrides hash placement and work-stealing moves it
+  // back only if that shard overloads again).
+  kAssignQsetToShard = 6,
+  // ce_data = vm_id << 8 | VmStatField. Response carries the (saturated)
+  // 32-bit counter in ce_data, so guests/operators read their own isolation
+  // counters over the same 8-byte channel used for registration.
+  kQueryVmStats = 7,
   kOk = 100,
   kError = 101,
+};
+
+// Selector for kQueryVmStats. Bytes are reported in KiB so the 32-bit
+// response field covers ~4 TiB before saturating.
+enum class VmStatField : uint8_t {
+  kSwitched = 0,
+  kDropped = 1,
+  kThrottled = 2,
+  kBytesKiB = 3,
+  kDeferred = 4,
 };
 
 struct CeMessage {
@@ -70,11 +106,22 @@ struct CoreEngineConfig {
   // DRR quantum: NQEs a weight-1 VM may switch per round. 0 means "use
   // batch", so tuning batch (the ablation knob) scales both sides.
   int quantum = 0;
-  // Deliveries parked per destination device before backpressure reaches the
-  // source rings (routing defers, NQEs stay queued guest-side). Deliveries
-  // already planned when the bound trips are dropped with error completions
-  // back to the guest. Must be >= 1.
+  // Deliveries parked per destination device (per shard) before backpressure
+  // reaches the source rings (routing defers, NQEs stay queued guest-side).
+  // Deliveries already planned when the bound trips are dropped with error
+  // completions back to the guest. Must be >= 1.
   size_t pending_bound = 1024;
+  // Number of switching shards (dedicated CE cores). Host reads this to size
+  // its CE core pool; when constructing CoreEngine directly, the number of
+  // cores passed to the constructor wins.
+  int shards = 1;
+  // Work-stealing rebalance: at a round boundary, a shard whose owned VM
+  // queue sets hold >= steal_backlog queued NQEs sheds its most backlogged
+  // queue set to a shard with no VM backlog at all. steal_cooldown_rounds
+  // throttles how often one shard may shed.
+  bool work_stealing = true;
+  uint64_t steal_backlog = 64;
+  uint64_t steal_cooldown_rounds = 8;
   tcp::NetkernelCosts costs;
 };
 
@@ -98,12 +145,191 @@ struct CoreEngineStats {
   uint64_t dgram_nqes_switched = 0;  // connectionless (UDP) NQEs
   uint64_t nqes_dropped = 0;         // every drop, anywhere in the switch
   uint64_t deliveries_deferred = 0;  // parked on a full destination ring
+  uint64_t qset_migrations = 0;      // queue sets handed off between shards
   std::unordered_map<uint8_t, PerVmStats> per_vm;
 };
 
+class CoreEngine;
+
+// One switching core of the N-shard CoreEngine. Owns a disjoint set of VM
+// queue sets (polled with weighted DRR against the engine-wide per-VM
+// weights) and NSM queue sets, the conn/dgram table entries routed through
+// them, and per-destination parked-delivery FIFOs. All datapath state here is
+// single-writer: only this shard touches it, except during an explicit
+// queue-set handoff executed at this shard's round boundary.
+class CoreEngineShard {
+ public:
+  CoreEngineShard(CoreEngine* engine, int index, sim::CpuCore* core);
+
+  sim::CpuCore* core() { return core_; }
+  int index() const { return index_; }
+  // This shard's slice of the switch counters (aggregate via CoreEngine).
+  const CoreEngineStats& stats() const { return stats_; }
+  size_t ParkedDeliveries() const { return parked_total_; }
+
+ private:
+  friend class CoreEngine;
+
+  struct ConnEntry {
+    uint8_t nsm_id = 0;
+    uint8_t nsm_qset = 0;
+    uint64_t nsm_sock = 0;  // filled by the NSM's response (Fig 6 step 4)
+    uint8_t vm_qset = 0;
+    bool complete = false;
+  };
+  // Connectionless sockets route by socket key alone: no NSM-socket-id
+  // completion handshake, so the entry is final at kSocketUdp time.
+  // vm_qset records which VM queue set the socket lives on, so the entry
+  // migrates with its queue set on a shard handoff.
+  struct DgramEntry {
+    uint8_t nsm_id = 0;
+    uint8_t nsm_qset = 0;
+    uint8_t vm_qset = 0;
+  };
+  // Per-VM deficit-round-robin state over the queue sets this shard owns.
+  struct VmSched {
+    std::vector<uint8_t> qsets;  // owned queue sets of this VM
+    // Deficit accrues quantum * weight per round and is spent one NQE at a
+    // time, so service converges on the weight ratio no matter the
+    // registration order.
+    uint64_t deficit = 0;
+    // Rotates per polling chunk so a backlogged queue set cannot consume
+    // the whole deficit and starve the VM's other owned queue sets.
+    int cursor = 0;
+  };
+  struct Delivery {
+    shm::NkDevice* dst = nullptr;
+    int qset = 0;
+    shm::RingKind ring = shm::RingKind::kJob;
+    bool toward_vm = false;  // NSM->VM (or CE-synthesized completion)
+    shm::Nqe nqe;
+  };
+
+  void AddVmQset(uint8_t vm_id, uint8_t qset);
+  void RemoveVmQset(uint8_t vm_id, uint8_t qset);
+  void AddNsmQset(uint8_t nsm_id, uint8_t qset);
+  // Deregistration teardown of everything this shard holds for the device.
+  void RemoveVm(uint8_t vm_id, shm::NkDevice* dev);
+  void RemoveNsm(uint8_t nsm_id, shm::NkDevice* dev);
+  // Executes queue-set handoffs that were requested while a delivery plan
+  // was in flight (runs at the round boundary, when in_flight_total_ == 0).
+  void ExecutePendingHandoffs();
+  // Queued NQEs in this shard's owned VM queue sets (the overload signal).
+  uint64_t VmBacklog() const;
+  uint64_t VmQsetBacklog(uint8_t vm_id, uint8_t qset) const;
+  bool OwnedVmHasOutbound(uint8_t vm_id, const VmSched& vs) const;
+
+  void ScheduleRound();
+  void ProcessRound();
+  // Routes up to `limit` NQEs from `vm`'s owned queue sets (send ring before
+  // job ring per set). A throttled/backpressured ring sets the matching
+  // blocked flag so later passes of the same round skip it.
+  uint64_t PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit, std::vector<Delivery>& plan,
+                  Cycles& cost, SimTime* retry_at, bool* send_blocked, bool* job_blocked);
+  // Routes one VM->NSM NQE; returns false if it must stay queued (throttled).
+  bool RouteVmNqe(const shm::Nqe& nqe, bool from_send_ring, std::vector<Delivery>& plan,
+                  Cycles& cost, SimTime* retry_at);
+  // Connectionless-NQE routing via the datagram socket table.
+  enum class DgramRoute {
+    kNotDgram,   // not a datagram op; fall through to connection routing
+    kClaimed,    // routed (or failed with an error completion): consume it
+    kDeferred,   // destination backpressured: leave it in the guest ring
+  };
+  DgramRoute RouteDgramNqe(const shm::Nqe& nqe, bool from_send_ring,
+                           std::vector<Delivery>& plan, Cycles& cost);
+  // Routes one NSM->VM NQE; returns false if it must stay queued (the VM
+  // device's pending queue is at the bound — backpressure toward the NSM).
+  bool RouteNsmNqe(const shm::Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
+                   Cycles& cost);
+
+  // Picks the NSM queue set for a new socket: prefer a queue set of that NSM
+  // owned by *this* shard, so the response path stays single-writer; fall
+  // back to a global hash when this shard owns none (the completion then
+  // crosses shards through the facade handshake).
+  uint8_t ChooseNsmQset(uint8_t nsm_id, const shm::NkDevice* ndev, uint64_t key) const;
+
+  // The switch could not route `orig`: count the drop and, for ops whose
+  // guest holds state (a waiting control op, a send credit, a hugepage
+  // chunk), append the error completion to `plan`. Always returns true so
+  // routing callers can `return FailVmNqe(...)` to consume the NQE.
+  bool FailVmNqe(const shm::Nqe& orig, std::vector<Delivery>& plan);
+  // True when `dev`'s outstanding deliveries (parked + planned-but-not-yet-
+  // delivered) are at this shard's bound: routing toward it must defer at
+  // the source ring (backpressure) instead of planning a delivery that would
+  // be dropped.
+  bool Backpressured(shm::NkDevice* dev) const;
+  // Appends `d` to the round's plan, counting it outstanding for its
+  // destination until the delivery phase processes it.
+  void PlanDelivery(const Delivery& d, std::vector<Delivery>& plan);
+  // Builds the guest-facing error completion for `orig`; false if the op
+  // needs none (kClose/kAccept/kRecvFrom carry no reclaimable guest state).
+  bool BuildErrorCompletion(const shm::Nqe& orig, Delivery* out);
+
+  // Delivery phase: parked deliveries retry first (per-device FIFO drained
+  // through the facade so contended destinations are shared by weight),
+  // then the round's plan. Returns how many NQEs landed in rings.
+  size_t DeliverPlan(const std::vector<Delivery>& plan);
+  bool TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>& to_wake);
+  void ParkOrDrop(const Delivery& d, std::vector<Delivery>& errors);
+  void DropDelivery(const Delivery& d, std::vector<Delivery>& errors);
+  // Facade hooks for the cross-shard weighted park drain.
+  bool HasParkedFor(shm::NkDevice* dev) const;
+  bool PeekParkedVm(shm::NkDevice* dev, uint8_t* vm_id) const;
+  bool TryDeliverParkedFront(shm::NkDevice* dev, std::vector<shm::NkDevice*>& to_wake);
+  // Discards parked deliveries destined for a deregistering device.
+  void PurgePark(shm::NkDevice* dev, bool synthesize_errors);
+  void ArmParkRetry();
+
+  CoreEngine* engine_;
+  int index_;
+  sim::CpuCore* core_;
+
+  std::vector<uint8_t> vm_rr_order_;  // VMs with owned queue sets, DRR order
+  std::unordered_map<uint8_t, VmSched> sched_;
+  std::vector<uint8_t> nsm_rr_order_;
+  std::unordered_map<uint8_t, std::vector<uint8_t>> nsm_qsets_;  // owned sets
+  size_t vm_rr_cursor_ = 0;  // rotated every round: who gets polled first
+  size_t nsm_rr_cursor_ = 0;
+
+  std::unordered_map<uint64_t, ConnEntry> conn_table_;
+  std::unordered_map<uint64_t, DgramEntry> dgram_table_;
+
+  bool round_scheduled_ = false;
+  sim::EventHandle retry_timer_;
+  sim::EventHandle park_timer_;
+  // Backpressure: deliveries that found their destination ring full, FIFO
+  // per device, bounded by config.pending_bound (a per-shard quota; the
+  // facade drains competing shards' FIFOs for one device by VM weight).
+  std::unordered_map<shm::NkDevice*, std::deque<Delivery>> parked_;
+  size_t parked_total_ = 0;
+  // Deliveries planned this/earlier rounds whose delivery phase has not run
+  // yet; counted against the pending bound so a round cannot overshoot it.
+  std::unordered_map<shm::NkDevice*, size_t> in_flight_;
+  size_t in_flight_total_ = 0;
+  uint64_t rounds_since_rebalance_ = 0;
+  // Explicit handoffs (AssignQueueSetToShard) requested mid-round; executed
+  // at the next round boundary so in-flight deliveries land first.
+  struct PendingHandoff {
+    uint8_t vm_id = 0;
+    uint8_t qset = 0;
+    int to = 0;
+  };
+  std::vector<PendingHandoff> pending_handoffs_;
+  CoreEngineStats stats_;
+};
+
+// The N-shard switch facade. Owns the shards, the registries shared across
+// them (devices, VM->NSM assignment, weights, token buckets), the queue-set
+// placement maps, and the control plane. The public surface is unchanged
+// from the single-core switch; with one shard the datapath is byte-for-byte
+// the old single-core behavior.
 class CoreEngine {
  public:
+  // Single-core construction (one shard regardless of config.shards).
   CoreEngine(sim::EventLoop* loop, sim::CpuCore* core, CoreEngineConfig config = {});
+  // One shard per core; cores.size() wins over config.shards.
+  CoreEngine(sim::EventLoop* loop, std::vector<sim::CpuCore*> cores,
+             CoreEngineConfig config = {});
 
   // ---- Control plane ----
   CeMessage HandleControlMessage(CeMessage req);
@@ -115,6 +341,14 @@ class CoreEngine {
   // established connections stay on their old NSM via the connection table;
   // new sockets go to the new NSM.
   void AssignVmToNsm(uint8_t vm_id, uint8_t nsm_id);
+  // Pins a VM queue set to a shard (overrides hash placement). The handoff
+  // is conservation-safe: table entries and parked deliveries move with the
+  // queue set, deferred to the owning shard's round boundary if a delivery
+  // plan is in flight. Returns false for an unknown VM/queue set/shard.
+  bool AssignQueueSetToShard(uint8_t vm_id, uint8_t qset, int shard);
+  // Reads one per-VM counter over the 8-byte control channel (ROADMAP: the
+  // PerVmStats query op). Unknown VMs read as zero, like VmStats().
+  uint64_t QueryVmStat(uint8_t vm_id, VmStatField field) const;
 
   // ---- Isolation (per-VM egress policing, §4.4/§7.6) ----
   void SetVmByteRate(uint8_t vm_id, double bytes_per_sec, double burst_bytes);
@@ -122,154 +356,142 @@ class CoreEngine {
   // DRR weight: a weight-w VM receives w/sum(weights) of the switch's NQE
   // service under contention. Default 1; must be >= 1.
   void SetVmWeight(uint8_t vm_id, uint32_t weight);
+  uint32_t VmWeight(uint8_t vm_id) const;
 
   // ---- Datapath notifications (producers ring the doorbell) ----
-  void NotifyVmOutbound(uint8_t vm_id);
-  void NotifyNsmOutbound(uint8_t nsm_id);
+  // qset >= 0 wakes only the shard owning that queue set; -1 wakes every
+  // shard owning any of the device's queue sets.
+  void NotifyVmOutbound(uint8_t vm_id, int qset = -1);
+  void NotifyNsmOutbound(uint8_t nsm_id, int qset = -1);
 
-  const CoreEngineStats& stats() const { return stats_; }
+  // Aggregated across shards (a fresh snapshot per call).
+  CoreEngineStats stats() const;
   // Per-VM slice; zero-initialized if the VM never moved an NQE.
-  PerVmStats VmStats(uint8_t vm_id) const {
-    auto it = stats_.per_vm.find(vm_id);
-    return it == stats_.per_vm.end() ? PerVmStats{} : it->second;
-  }
-  size_t ConnectionTableSize() const { return conn_table_.size(); }
-  size_t DgramTableSize() const { return dgram_table_.size(); }
-  size_t ParkedDeliveries() const { return parked_total_; }
-  sim::CpuCore* core() { return core_; }
+  PerVmStats VmStats(uint8_t vm_id) const;
+  size_t ConnectionTableSize() const;
+  size_t DgramTableSize() const;
+  size_t ParkedDeliveries() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  CoreEngineShard& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  const CoreEngineShard& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
+  // Shard currently owning a queue set (-1 if unknown).
+  int ShardOfVmQset(uint8_t vm_id, uint8_t qset) const;
+  int ShardOfNsmQset(uint8_t nsm_id, uint8_t qset) const;
+  sim::CpuCore* core() { return shards_[0]->core(); }
 
  private:
-  struct ConnEntry {
-    uint8_t nsm_id = 0;
-    uint8_t nsm_qset = 0;
-    uint64_t nsm_sock = 0;  // filled by the NSM's response (Fig 6 step 4)
-    uint8_t vm_qset = 0;
-    bool complete = false;
-  };
-  // Connectionless sockets route by socket key alone: no NSM-socket-id
-  // completion handshake, so the entry is final at kSocketUdp time.
-  struct DgramEntry {
-    uint8_t nsm_id = 0;
-    uint8_t nsm_qset = 0;
-  };
-  struct VmState {
+  friend class CoreEngineShard;
+
+  // Engine-wide per-VM registry, shared by all shards (read-mostly; the
+  // token buckets are the one piece of cross-shard mutable state, matching
+  // the per-VM policers a real multi-core switch shares via atomics).
+  struct VmReg {
     shm::NkDevice* dev = nullptr;
     uint8_t nsm_id = 0;
     bool has_nsm = false;
     TokenBucket byte_bucket;
     TokenBucket op_bucket;
-    // Deficit round-robin state: deficit accrues quantum * weight per round
-    // and is spent one NQE at a time, so service converges on the weight
-    // ratio no matter the registration order.
     uint32_t weight = 1;
-    uint64_t deficit = 0;
-    // Rotates per polling chunk so a backlogged queue set 0 cannot consume
-    // the whole deficit and starve the VM's other queue sets.
-    int qset_cursor = 0;
   };
-  struct Delivery {
-    shm::NkDevice* dst = nullptr;
-    int qset = 0;
-    shm::RingKind ring = shm::RingKind::kJob;
-    bool toward_vm = false;  // NSM->VM (or CE-synthesized completion)
-    shm::Nqe nqe;
+  // Weighted cross-shard park drain: continuation state per destination, so
+  // the delivery stream interleaves shards exactly by VM weight no matter
+  // where a sweep was cut off by a full ring.
+  struct ParkCursor {
+    size_t shard = 0;     // global shard index being visited
+    uint64_t spent = 0;   // deliveries taken from it in the current visit
   };
 
   static uint64_t ConnKey(uint8_t vm_id, uint32_t vm_sock) {
     return (static_cast<uint64_t>(vm_id) << 32) | vm_sock;
   }
-  // Golden-ratio spread of a socket key over an NSM's queue sets.
-  static uint8_t HashQset(uint64_t key, const shm::NkDevice* ndev) {
-    return static_cast<uint8_t>((key * 0x9e3779b97f4a7c15ULL >> 32) %
-                                static_cast<uint64_t>(ndev->num_queue_sets()));
+  static uint16_t QsetKey(uint8_t id, uint8_t qset) {
+    return static_cast<uint16_t>((static_cast<uint16_t>(id) << 8) | qset);
+  }
+  // Golden-ratio spread of a key over `n` buckets.
+  static size_t HashSpread(uint64_t key, size_t n) {
+    return static_cast<size_t>((key * 0x9e3779b97f4a7c15ULL >> 32) % n);
+  }
+
+  VmReg* FindVm(uint8_t vm_id) {
+    auto it = vms_.find(vm_id);
+    return it == vms_.end() ? nullptr : &it->second;
   }
   shm::NkDevice* FindNsm(uint8_t nsm_id) {
     auto it = nsms_.find(nsm_id);
     return it == nsms_.end() ? nullptr : it->second;
   }
-
-  void ScheduleRound();
-  void ProcessRound();
-  // Routes up to `limit` NQEs from `vm`'s queue sets (send ring before job
-  // ring per set). A throttled/backpressured ring sets the matching blocked
-  // flag so later passes of the same round skip it.
-  uint64_t PollVm(VmState& vm, uint64_t limit, std::vector<Delivery>& plan, Cycles& cost,
-                  SimTime* retry_at, bool* send_blocked, bool* job_blocked);
-  // Routes one VM->NSM NQE; returns false if it must stay queued (throttled).
-  bool RouteVmNqe(const shm::Nqe& nqe, bool from_send_ring, VmState& vm,
-                  std::vector<Delivery>& plan, Cycles& cost, SimTime* retry_at);
-  // Connectionless-NQE routing via the datagram socket table.
-  enum class DgramRoute {
-    kNotDgram,   // not a datagram op; fall through to connection routing
-    kClaimed,    // routed (or failed with an error completion): consume it
-    kDeferred,   // destination backpressured: leave it in the guest ring
-  };
-  DgramRoute RouteDgramNqe(const shm::Nqe& nqe, bool from_send_ring, VmState& vm,
-                           std::vector<Delivery>& plan, Cycles& cost);
-  // Routes one NSM->VM NQE; returns false if it must stay queued (the VM
-  // device's pending queue is at the bound — backpressure toward the NSM).
-  bool RouteNsmNqe(const shm::Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
-                   Cycles& cost);
-
-  // The switch could not route `orig`: count the drop and, for ops whose
-  // guest holds state (a waiting control op, a send credit, a hugepage
-  // chunk), append the error completion to `plan`. Always returns true so
-  // routing callers can `return FailVmNqe(...)` to consume the NQE.
-  bool FailVmNqe(const shm::Nqe& orig, std::vector<Delivery>& plan);
-  // True when `dev`'s outstanding deliveries (parked + planned-but-not-yet-
-  // delivered) are at the bound: routing toward it must defer at the source
-  // ring (backpressure) instead of planning a delivery that would be dropped.
-  bool Backpressured(shm::NkDevice* dev) const {
-    size_t outstanding = 0;
-    auto pit = parked_.find(dev);
-    if (pit != parked_.end()) outstanding += pit->second.size();
-    auto fit = in_flight_.find(dev);
-    if (fit != in_flight_.end()) outstanding += fit->second;
-    return outstanding >= config_.pending_bound;
+  uint32_t VmWeightOrDefault(uint8_t vm_id) const {
+    auto it = vms_.find(vm_id);
+    return it == vms_.end() ? 1 : it->second.weight;
   }
-  // Appends `d` to the round's plan, counting it outstanding for its
-  // destination until the delivery phase processes it.
-  void PlanDelivery(const Delivery& d, std::vector<Delivery>& plan) {
-    ++in_flight_[d.dst];
-    plan.push_back(d);
-  }
-  // Builds the guest-facing error completion for `orig`; false if the op
-  // needs none (kClose/kAccept/kRecvFrom carry no reclaimable guest state).
-  bool BuildErrorCompletion(const shm::Nqe& orig, Delivery* out);
 
-  // Delivery phase: parked deliveries retry first (per-device FIFO, so a
-  // ring's NQE order is never reordered around a stall), then the round's
-  // plan. Returns how many NQEs landed in destination rings.
-  size_t DeliverPlan(const std::vector<Delivery>& plan);
-  bool TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>& to_wake);
-  void ParkOrDrop(const Delivery& d, std::vector<Delivery>& errors);
-  void DropDelivery(const Delivery& d, std::vector<Delivery>& errors);
-  // Discards parked deliveries destined for a deregistering device.
-  void PurgePark(shm::NkDevice* dev, bool synthesize_errors);
-  void ArmParkRetry();
+  // Fig 6 step 4 across shards: an NSM's kSocket result may be polled by a
+  // shard other than the one owning the connection's VM queue set; complete
+  // the entry in the owning shard's table (an explicit cross-shard handoff).
+  void CompleteConnHandshake(const shm::Nqe& nqe, Cycles& cost);
+
+  // Drains every shard's parked FIFO for `dev`. With one holder this is the
+  // plain FIFO retry; with several, entries are taken in weighted round-robin
+  // by the front NQE's VM so DRR weights hold across shards.
+  size_t DrainParked(shm::NkDevice* dev, std::vector<shm::NkDevice*>& to_wake);
+
+  // Work-stealing rebalance, called by `victim` at its round boundary (its
+  // delivery plan has just landed, so the handoff is conservation-safe).
+  void MaybeRebalance(CoreEngineShard* victim);
+  // Moves one VM queue set between shards: ownership, conn/dgram entries,
+  // and parked deliveries travel together, preserving per-device FIFO order.
+  void MigrateVmQset(uint8_t vm_id, uint8_t qset, CoreEngineShard* from, CoreEngineShard* to);
 
   sim::EventLoop* loop_;
-  sim::CpuCore* core_;
   CoreEngineConfig config_;
-  std::unordered_map<uint8_t, VmState> vms_;
+  std::vector<std::unique_ptr<CoreEngineShard>> shards_;
+  std::unordered_map<uint8_t, VmReg> vms_;
   std::unordered_map<uint8_t, shm::NkDevice*> nsms_;
-  std::unordered_map<uint64_t, ConnEntry> conn_table_;
-  std::unordered_map<uint64_t, DgramEntry> dgram_table_;
-  std::vector<uint8_t> vm_rr_order_;   // deficit-round-robin polling order
-  std::vector<uint8_t> nsm_rr_order_;
-  size_t vm_rr_cursor_ = 0;   // rotated every round: who gets polled first
-  size_t nsm_rr_cursor_ = 0;
-  bool round_scheduled_ = false;
-  sim::EventHandle retry_timer_;
-  sim::EventHandle park_timer_;
-  // Backpressure: deliveries that found their destination ring full, FIFO
-  // per device, bounded by config_.pending_bound.
-  std::unordered_map<shm::NkDevice*, std::deque<Delivery>> parked_;
-  size_t parked_total_ = 0;
-  // Deliveries planned this/earlier rounds whose delivery phase has not run
-  // yet; counted against the pending bound so a round cannot overshoot it.
-  std::unordered_map<shm::NkDevice*, size_t> in_flight_;
-  CoreEngineStats stats_;
+  // Queue-set placement: QsetKey(vm/nsm, qset) -> shard index.
+  std::unordered_map<uint16_t, int> vm_qset_shard_;
+  std::unordered_map<uint16_t, int> nsm_qset_shard_;
+  std::unordered_map<shm::NkDevice*, ParkCursor> park_cursors_;
+};
+
+// Coalesces an NSM's CoreEngine doorbells: all NQEs an NSM-side library
+// enqueues within one event-loop instant — a batched dispatch round, across
+// queue sets and across the VMs multiplexed onto the NSM — ride a single
+// NotifyNsmOutbound instead of one per NQE (ROADMAP item 2, Fig 8/Table 4).
+// Shared by ServiceLib and ShmServiceLib.
+class DoorbellCoalescer {
+ public:
+  DoorbellCoalescer(sim::EventLoop* loop, CoreEngine* ce, uint8_t nsm_id, bool coalesce)
+      : loop_(loop), ce_(ce), nsm_id_(nsm_id), coalesce_(coalesce) {}
+
+  void Ring() {
+    if (!coalesce_) {
+      ++doorbells_;
+      ce_->NotifyNsmOutbound(nsm_id_);
+      return;
+    }
+    if (pending_) {
+      ++coalesced_;
+      return;
+    }
+    pending_ = true;
+    loop_->ScheduleAfter(0, [this] {
+      pending_ = false;
+      ++doorbells_;
+      ce_->NotifyNsmOutbound(nsm_id_);
+    });
+  }
+
+  uint64_t doorbells() const { return doorbells_; }
+  uint64_t coalesced() const { return coalesced_; }
+
+ private:
+  sim::EventLoop* loop_;
+  CoreEngine* ce_;
+  uint8_t nsm_id_;
+  bool coalesce_;
+  bool pending_ = false;
+  uint64_t doorbells_ = 0;
+  uint64_t coalesced_ = 0;
 };
 
 }  // namespace netkernel::core

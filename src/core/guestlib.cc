@@ -101,7 +101,7 @@ void GuestLib::EnqueueRing(bool send_ring, int qset, Nqe nqe) {
   // Preserve FIFO: once anything is parked, everything goes through the park.
   if (ov.nqes.empty() && ring.TryEnqueue(nqe)) {
     ++nqes_sent_;
-    ce_->NotifyVmOutbound(vm_id_);
+    ce_->NotifyVmOutbound(vm_id_, qset);  // wake only the owning shard
     return;
   }
   ov.nqes.emplace_back(send_ring, nqe);
@@ -124,7 +124,7 @@ void GuestLib::FlushOverflow(int qset) {
     progressed = true;
     ov.nqes.pop_front();
   }
-  if (progressed) ce_->NotifyVmOutbound(vm_id_);
+  if (progressed) ce_->NotifyVmOutbound(vm_id_, qset);
   if (!ov.nqes.empty() && !ov.flush_scheduled) {
     ov.flush_scheduled = true;
     loop_->ScheduleAfter(20 * kMicrosecond, [this, qset] { FlushOverflow(qset); });

@@ -10,8 +10,15 @@ uint32_t Host::next_ip_suffix_ = 1;
 
 Host::Host(sim::EventLoop* loop, netsim::Fabric* fabric, std::string name, Options options)
     : loop_(loop), fabric_(fabric), name_(std::move(name)), options_(options) {
-  ce_core_ = std::make_unique<sim::CpuCore>(loop_, name_ + ".ce");
-  ce_ = std::make_unique<CoreEngine>(loop_, ce_core_.get(), options_.ce);
+  const int shards = options_.ce.shards > 1 ? options_.ce.shards : 1;
+  for (int i = 0; i < shards; ++i) {
+    ce_cores_.push_back(
+        std::make_unique<sim::CpuCore>(loop_, name_ + ".ce" + std::to_string(i)));
+  }
+  std::vector<sim::CpuCore*> core_ptrs;
+  core_ptrs.reserve(ce_cores_.size());
+  for (auto& c : ce_cores_) core_ptrs.push_back(c.get());
+  ce_ = std::make_unique<CoreEngine>(loop_, std::move(core_ptrs), options_.ce);
 }
 
 netsim::IpAddr Host::AllocIp() {

@@ -150,7 +150,11 @@ class Host {
   Host(sim::EventLoop* loop, netsim::Fabric* fabric, std::string name, Options options = {});
 
   CoreEngine& ce() { return *ce_; }
-  sim::CpuCore* ce_core() { return ce_core_.get(); }
+  // CE switching cores: one per shard (Options::ce.shards), named
+  // "<host>.ce0", "<host>.ce1", ... ce_core() is shard 0 for compatibility.
+  sim::CpuCore* ce_core() { return ce_cores_[0].get(); }
+  sim::CpuCore* ce_core(int shard) { return ce_cores_[static_cast<size_t>(shard)].get(); }
+  int num_ce_cores() const { return static_cast<int>(ce_cores_.size()); }
   sim::EventLoop* loop() { return loop_; }
   netsim::Fabric* fabric() { return fabric_; }
 
@@ -189,7 +193,7 @@ class Host {
   netsim::Fabric* fabric_;
   std::string name_;
   Options options_;
-  std::unique_ptr<sim::CpuCore> ce_core_;
+  std::vector<std::unique_ptr<sim::CpuCore>> ce_cores_;
   std::unique_ptr<CoreEngine> ce_;
   std::vector<std::unique_ptr<Nsm>> nsms_;
   std::vector<std::unique_ptr<Vm>> vms_;

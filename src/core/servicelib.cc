@@ -22,7 +22,8 @@ ServiceLib::ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm
       stack_(stack),
       udp_stack_(udp_stack),
       config_(config),
-      drain_scheduled_(static_cast<size_t>(dev->num_queue_sets()), false) {
+      drain_scheduled_(static_cast<size_t>(dev->num_queue_sets()), false),
+      doorbell_(loop, ce, nsm_id, config.coalesce_wakeups) {
   dev_->SetWakeCallback([this] { OnDeviceWake(); });
 }
 
@@ -88,7 +89,7 @@ bool ServiceLib::EnqueueToVm(const Conn& c, Nqe nqe, bool receive_ring) {
     ++nqes_dropped_;
     return false;
   }
-  ce_->NotifyNsmOutbound(nsm_id_);
+  doorbell_.Ring();
   return true;
 }
 

@@ -33,6 +33,11 @@ class ServiceLib {
     tcp::NetkernelCosts costs;
     // Per-connection cap on bytes shipped to the VM but not yet consumed.
     uint64_t rx_outstanding_cap = 1 * kMiB;
+    // Coalesce CoreEngine doorbells: ring notifications for NSM->VM NQEs
+    // produced within one dispatch round — across queue sets and across all
+    // VMs multiplexed onto this NSM — collapse into a single wakeup instead
+    // of one per NQE (ROADMAP item 2, paper Fig 8/Table 4).
+    bool coalesce_wakeups = true;
   };
 
   // `udp_stack` may be null: SOCK_DGRAM NQEs then fail with an error result.
@@ -59,6 +64,10 @@ class ServiceLib {
   uint64_t nqes_processed() const { return nqes_processed_; }
   // NSM->VM NQEs lost to a full NSM-side ring (severe overload).
   uint64_t nqes_dropped() const { return nqes_dropped_; }
+  // Wakeup coalescing: CoreEngine doorbells actually rung, and enqueues that
+  // piggybacked on an already-pending doorbell (the saved wakeups).
+  uint64_t doorbells() const { return doorbell_.doorbells(); }
+  uint64_t doorbells_coalesced() const { return doorbell_.coalesced(); }
 
  private:
   struct VmInfo {
@@ -153,6 +162,7 @@ class ServiceLib {
   // kSend NQEs that arrived before their connection's accept-link NQE.
   std::unordered_map<uint64_t, std::vector<shm::Nqe>> orphan_sends_;
   std::vector<bool> drain_scheduled_;
+  DoorbellCoalescer doorbell_;
   uint64_t nqes_processed_ = 0;
   uint64_t nqes_dropped_ = 0;
 };

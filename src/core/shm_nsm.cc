@@ -22,7 +22,8 @@ ShmServiceLib::ShmServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* c
       dev_(dev),
       cores_(std::move(cores)),
       config_(config),
-      drain_scheduled_(static_cast<size_t>(dev->num_queue_sets()), false) {
+      drain_scheduled_(static_cast<size_t>(dev->num_queue_sets()), false),
+      doorbell_(loop, ce, nsm_id, config.coalesce_wakeups) {
   NK_CHECK(!cores_.empty());
   dev_->SetWakeCallback([this] { OnDeviceWake(); });
 }
@@ -54,7 +55,7 @@ void ShmServiceLib::EnqueueToVm(const Endpoint& ep, Nqe nqe, bool receive_ring) 
   if (!(receive_ring ? q.receive : q.completion).TryEnqueue(nqe)) {
     ++nqes_dropped_;  // severe overload; never lose an NQE without counting
   }
-  ce_->NotifyNsmOutbound(nsm_id_);
+  doorbell_.Ring();
 }
 
 void ShmServiceLib::Respond(const Endpoint& ep, NqeOp op, NqeOp orig, int32_t result,

@@ -26,6 +26,9 @@ class ShmServiceLib {
   struct Config {
     tcp::NetkernelCosts costs;
     uint64_t rx_outstanding_cap = 1 * kMiB;
+    // Coalesce CoreEngine doorbells into one wakeup per dispatch round
+    // (mirrors ServiceLib::Config::coalesce_wakeups).
+    bool coalesce_wakeups = true;
   };
 
   ShmServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
@@ -39,6 +42,9 @@ class ShmServiceLib {
   uint64_t bytes_copied() const { return bytes_copied_; }
   // NSM->VM NQEs lost to a full NSM-side ring (severe overload).
   uint64_t nqes_dropped() const { return nqes_dropped_; }
+  // Wakeup coalescing counters (see ServiceLib).
+  uint64_t doorbells() const { return doorbell_.doorbells(); }
+  uint64_t doorbells_coalesced() const { return doorbell_.coalesced(); }
 
  private:
   struct PendingChunk {
@@ -101,6 +107,7 @@ class ShmServiceLib {
   uint64_t next_ep_ = 1;
   uint64_t bytes_copied_ = 0;
   uint64_t nqes_dropped_ = 0;
+  DoorbellCoalescer doorbell_;
 };
 
 }  // namespace netkernel::core
