@@ -61,7 +61,8 @@ sim::Task<void> ReplayTrace(core::Vm* client, netsim::IpAddr ip, uint16_t port,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Fig 8: per-core RPS, Baseline (12 cores) vs NetKernel (9 cores)",
                      "paper Fig 8 (+33% per-core RPS from multiplexing)");
   auto fleet = apps::GenerateAgFleet(64, 2018);
@@ -126,5 +127,7 @@ int main() {
   }
   std::printf("\nper-core RPS improvement: %.0f%% (paper: ~33%%)\n",
               100.0 * (per_core_rps[1] / per_core_rps[0] - 1.0));
-  return 0;
+  bench::GlobalJson().Add("fig08_multiplexing", "mode=base", "rps_per_core", per_core_rps[0]);
+  bench::GlobalJson().Add("fig08_multiplexing", "mode=nk", "rps_per_core", per_core_rps[1]);
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

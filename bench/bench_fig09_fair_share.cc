@@ -104,7 +104,8 @@ ShareResult RunShare(bool netkernel, int b_conns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader(
       "Fig 9: bandwidth share of well-behaved VM A (8 conns) vs selfish VM B",
       "paper Fig 9 (Baseline: B grows with flows; NetKernel: 50/50)");
@@ -121,6 +122,10 @@ int main() {
                 static_cast<unsigned long long>(nk.ce_b_switched),
                 static_cast<unsigned long long>(nk.ce_a_throttled),
                 static_cast<unsigned long long>(nk.ce_b_throttled));
+    const std::string cfg = "b_conns=" + std::to_string(b_conns);
+    bench::GlobalJson().Add("fig09_fair_share", cfg + " mode=base", "a_share_pct",
+                            base.a_share);
+    bench::GlobalJson().Add("fig09_fair_share", cfg + " mode=nk", "a_share_pct", nk.a_share);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

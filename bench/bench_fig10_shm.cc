@@ -61,7 +61,8 @@ double RunBaseline(uint32_t msg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Fig 10: colocated-VM throughput, shared-memory NSM vs TCP",
                      "paper Fig 10 (shm NSM ~100G, ~2x Baseline Cubic)");
   std::printf("%8s %12s %16s %8s\n", "msg(B)", "Baseline", "NetKernel(shm)", "ratio");
@@ -69,6 +70,9 @@ int main() {
     double base = RunBaseline(msg);
     double shm = RunShm(msg);
     std::printf("%8u %12.1f %16.1f %7.2fx\n", msg, base, shm, shm / (base + 1e-9));
+    const std::string cfg = "msg=" + std::to_string(msg);
+    bench::GlobalJson().Add("fig10_shm", cfg + " mode=base", "gbps", base);
+    bench::GlobalJson().Add("fig10_shm", cfg + " mode=shm", "gbps", shm);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

@@ -12,7 +12,8 @@ using namespace netkernel;
 using bench::PrintHeader;
 using bench::RunStreamExperiment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   const uint32_t sizes[] = {64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
 
   PrintHeader("Fig 13: single-stream SEND throughput (Gbps), 1 vCPU",
@@ -22,6 +23,9 @@ int main() {
     double base = RunStreamExperiment(false, true, 1, 1, msg).gbps;
     double nk = RunStreamExperiment(true, true, 1, 1, msg).gbps;
     std::printf("%8u %12.1f %12.1f\n", msg, base, nk);
+    const std::string cfg = "msg=" + std::to_string(msg);
+    bench::GlobalJson().Add("fig13_send", cfg + " mode=base", "gbps", base);
+    bench::GlobalJson().Add("fig13_send", cfg + " mode=nk", "gbps", nk);
   }
 
   PrintHeader("Fig 14: single-stream RECEIVE throughput (Gbps), 1 vCPU",
@@ -31,6 +35,9 @@ int main() {
     double base = RunStreamExperiment(false, false, 1, 1, msg).gbps;
     double nk = RunStreamExperiment(true, false, 1, 1, msg).gbps;
     std::printf("%8u %12.1f %12.1f\n", msg, base, nk);
+    const std::string cfg = "msg=" + std::to_string(msg);
+    bench::GlobalJson().Add("fig14_recv", cfg + " mode=base", "gbps", base);
+    bench::GlobalJson().Add("fig14_recv", cfg + " mode=nk", "gbps", nk);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

@@ -10,7 +10,8 @@ using namespace netkernel;
 using bench::PrintHeader;
 using bench::RunRpsExperiment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintHeader("Fig 17: RPS + goodput vs message size (conc 1000, 1 vCPU)",
               "paper Fig 17 (~70 Krps small msgs, both systems equal)");
   std::printf("%8s %14s %14s %14s %14s\n", "msg(B)", "Base Krps", "NK Krps", "Base Gbps",
@@ -22,6 +23,9 @@ int main() {
     double nk_gbps = nk.krps * 1e3 * msg * 8 / 1e9;
     std::printf("%8u %14.1f %14.1f %14.2f %14.2f\n", msg, base.krps, nk.krps, base_gbps,
                 nk_gbps);
+    const std::string cfg = "msg=" + std::to_string(msg);
+    bench::GlobalJson().Add("fig17_short_conns", cfg + " mode=base", "krps", base.krps);
+    bench::GlobalJson().Add("fig17_short_conns", cfg + " mode=nk", "krps", nk.krps);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

@@ -10,7 +10,8 @@ using namespace netkernel;
 using bench::PrintHeader;
 using bench::RunRpsExperiment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintHeader("Fig 20: RPS vs #vCPUs (64B messages, conc 1000)",
               "paper Fig 20 (kernel ~70K->400K; mTCP 190K->1.1M)");
   std::printf("%6s %14s %14s %16s\n", "vCPUs", "Baseline", "NetKernel", "NetKernel+mTCP");
@@ -20,6 +21,10 @@ int main() {
     auto nk = RunRpsExperiment(true, core::NsmKind::kKernel, c, budget, 1000, 64);
     auto mtcp = RunRpsExperiment(true, core::NsmKind::kMtcp, c, 2 * budget, 1000, 64);
     std::printf("%6d %13.1fK %13.1fK %15.1fK\n", c, base.krps, nk.krps, mtcp.krps);
+    const std::string cfg = "vcpus=" + std::to_string(c);
+    bench::GlobalJson().Add("fig20_rps_scaling", cfg + " mode=base", "krps", base.krps);
+    bench::GlobalJson().Add("fig20_rps_scaling", cfg + " mode=nk", "krps", nk.krps);
+    bench::GlobalJson().Add("fig20_rps_scaling", cfg + " mode=mtcp", "krps", mtcp.krps);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

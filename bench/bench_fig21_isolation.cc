@@ -16,7 +16,8 @@ constexpr SimTime kBin = 100 * kMillisecond;
 constexpr SimTime kEnd = 30 * kSecond;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Fig 21: per-VM throughput under CoreEngine rate caps (10G NSM)",
                      "paper Fig 21 (caps enforced; VM3 work-conserving)");
   sim::EventLoop loop;
@@ -87,6 +88,11 @@ int main() {
                 static_cast<unsigned long long>(s.throttled),
                 static_cast<unsigned long long>(s.deferred),
                 static_cast<unsigned long long>(s.dropped));
+    const std::string cfg = "vm=" + vm->name();
+    bench::GlobalJson().Add("fig21_isolation", cfg, "switched",
+                            static_cast<double>(s.switched));
+    bench::GlobalJson().Add("fig21_isolation", cfg, "throttled",
+                            static_cast<double>(s.throttled));
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

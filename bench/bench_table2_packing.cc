@@ -29,7 +29,8 @@ constexpr int kCeCores = 1;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Table 2: AGs per 32-core machine, Baseline vs NetKernel",
                      "paper Table 2 (16 -> 29 AGs, >40% core saving)");
   const int kFleet = 2900;  // large sample for the 97th-percentile claim
@@ -87,5 +88,7 @@ int main() {
               worst_util.Mean(), worst_util.Percentile(95), nsm_capacity_rps);
   std::printf("AGs with NSM util under 60%% in the worst minute: %.1f%% (paper: ~97%%)\n",
               100.0 * ags_ok / ags_total);
-  return 0;
+  bench::GlobalJson().Add("table2_packing", "mode=base", "ags", baseline_ags);
+  bench::GlobalJson().Add("table2_packing", "mode=nk", "ags", nk_ags);
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

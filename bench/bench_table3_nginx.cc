@@ -18,7 +18,8 @@ namespace {
 constexpr Cycles kNginxCycles = 12000;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintHeader("Table 3: nginx RPS via NetKernel (ab, 64B, concurrency 100)",
               "paper Table 3 (mTCP NSM 1.4-1.9x over kernel NSM)");
   std::printf("%6s %18s %18s %8s\n", "vCPUs", "kernel-stack NSM", "mTCP NSM", "ratio");
@@ -30,6 +31,9 @@ int main() {
                                  kNginxCycles);
     std::printf("%6d %17.1fK %17.1fK %7.2fx\n", c, kern.krps, mtcp.krps,
                 mtcp.krps / kern.krps);
+    const std::string cfg = "vcpus=" + std::to_string(c);
+    bench::GlobalJson().Add("table3_nginx", cfg + " mode=kernel", "krps", kern.krps);
+    bench::GlobalJson().Add("table3_nginx", cfg + " mode=mtcp", "krps", mtcp.krps);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

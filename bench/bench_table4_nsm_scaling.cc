@@ -120,7 +120,8 @@ double RunRps(int num_nsms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintHeader("Table 4: one VM scaled across N two-vCPU kernel NSMs",
               "paper Table 4 (send 85->94G; recv 33.6->91G; 131.6K->520.1K rps)");
   std::printf("%8s %12s %12s %12s\n", "#NSMs", "send Gbps", "recv Gbps", "Krps");
@@ -130,6 +131,10 @@ int main() {
     r.recv_gbps = RunRecv(n);
     r.krps = RunRps(n);
     std::printf("%8d %12.1f %12.1f %12.1f\n", n, r.send_gbps, r.recv_gbps, r.krps);
+    const std::string cfg = "nsms=" + std::to_string(n);
+    bench::GlobalJson().Add("table4_nsm_scaling", cfg, "send_gbps", r.send_gbps);
+    bench::GlobalJson().Add("table4_nsm_scaling", cfg, "recv_gbps", r.recv_gbps);
+    bench::GlobalJson().Add("table4_nsm_scaling", cfg, "krps", r.krps);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

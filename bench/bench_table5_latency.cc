@@ -14,7 +14,8 @@ using namespace netkernel;
 using bench::PrintHeader;
 using bench::RunRpsExperiment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintHeader("Table 5: response-time distribution, 64B, concurrency 1000",
               "paper Table 5 (NetKernel == Baseline; mTCP tight)");
   std::printf("%-22s %10s %10s %10s %10s %10s\n", "system", "min(ms)", "mean(ms)",
@@ -34,6 +35,9 @@ int main() {
     auto r = RunRpsExperiment(row.nk, row.kind, 1, row.requests, 1000, 64);
     std::printf("%-22s %s   (%.1f Krps)\n", row.name, r.latency_us.Row(1000.0).c_str(),
                 r.krps);
+    const std::string cfg = std::string("system=") + row.name;
+    bench::GlobalJson().Add("table5_latency", cfg, "p50_us", r.latency_us.Percentile(50));
+    bench::GlobalJson().Add("table5_latency", cfg, "krps", r.krps);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

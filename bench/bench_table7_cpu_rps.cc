@@ -48,7 +48,8 @@ double MeasureCyclesPerRequest(bool netkernel, double target_rps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Table 7: normalized CPU usage vs RPS (64B short connections)",
                      "paper Table 7 (1.05-1.09x, 100K-500K rps)");
   std::printf("%12s %16s %16s %12s\n", "target rps", "Base cyc/req", "NK cyc/req",
@@ -57,6 +58,9 @@ int main() {
     double base = MeasureCyclesPerRequest(false, rps);
     double nk = MeasureCyclesPerRequest(true, rps);
     std::printf("%12.0f %16.0f %16.0f %11.2fx\n", rps, base, nk, nk / base);
+    const std::string cfg = "target_krps=" + std::to_string(static_cast<int>(rps / 1e3));
+    bench::GlobalJson().Add("table7_cpu_rps", cfg + " mode=base", "cycles_per_req", base);
+    bench::GlobalJson().Add("table7_cpu_rps", cfg + " mode=nk", "cycles_per_req", nk);
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

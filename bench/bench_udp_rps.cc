@@ -75,8 +75,9 @@ Row RunOne(bool netkernel_server, double offered_rps) {
 }  // namespace
 }  // namespace netkernel::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netkernel;
+  bench::ParseBenchFlags(argc, argv);
   const double kLoadPoints[] = {50e3, 150e3, 300e3, 600e3};
 
   std::printf("# UDP KV RPS: open-loop Poisson load, 100 B values, 1 server core\n");
@@ -87,7 +88,11 @@ int main() {
       bench::Row r = bench::RunOne(nk, rps);
       std::printf("%-10s %12.0f %14.1f %10.1f %10.1f %9.2f\n", nk ? "netkernel" : "baseline",
                   r.offered_krps, r.achieved_krps, r.p50_us, r.p99_us, r.loss_pct);
+      const std::string cfg = "offered_krps=" + std::to_string(static_cast<int>(rps / 1e3)) +
+                              (nk ? " mode=nk" : " mode=base");
+      bench::GlobalJson().Add("udp_kv_rps", cfg, "achieved_krps", r.achieved_krps);
+      bench::GlobalJson().Add("udp_kv_rps", cfg, "p99_us", r.p99_us);
     }
   }
-  return 0;
+  return bench::GlobalJson().Write() ? 0 : 2;
 }

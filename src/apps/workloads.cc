@@ -175,7 +175,7 @@ sim::Task<void> OpenLoopArrivals(core::Vm* vm, std::shared_ptr<LoadGenShared> sh
 }
 
 sim::Task<void> StreamSinkThread(core::Vm* vm, int thread_idx, uint16_t port,
-                                 StreamStats* stats) {
+                                 StreamStats* stats, bool zerocopy) {
   SocketApi& api = vm->api();
   sim::CpuCore* core = vm->vcpu(thread_idx % vm->num_vcpus());
   sim::EventLoop* loop = api.loop();
@@ -204,7 +204,16 @@ sim::Task<void> StreamSinkThread(core::Vm* vm, int thread_idx, uint16_t port,
       }
       auto it = conn_index.find(ev.fd);
       if (it == conn_index.end()) continue;
-      int64_t n = co_await api.Recv(core, ev.fd, buf.data(), buf.size());
+      int64_t n;
+      if (zerocopy) {
+        // Drain through a loan: the chunk never gets copied into an app
+        // buffer; releasing it rings the receive-credit channel.
+        core::NkBuf loan;
+        n = co_await api.RecvBuf(core, ev.fd, &loan);
+        if (n > 0) co_await api.ReleaseBuf(core, ev.fd, loan);
+      } else {
+        n = co_await api.Recv(core, ev.fd, buf.data(), buf.size());
+      }
       if (n <= 0) {
         co_await api.Close(core, ev.fd);
         conn_index.erase(ev.fd);
@@ -231,7 +240,19 @@ sim::Task<void> StreamSenderConn(core::Vm* vm, sim::CpuCore* core, StreamConfig 
   double per_conn_gbps = cfg.paced_gbps > 0 ? cfg.paced_gbps / cfg.connections : 0;
   for (;;) {
     if (cfg.bytes_limit > 0 && stats->bytes_sent >= cfg.bytes_limit) break;
-    int64_t n = co_await api.Send(core, fd, msg.data(), msg.size());
+    int64_t n;
+    if (cfg.zerocopy) {
+      // Fill the loaned buffer in place — the message is generated straight
+      // into the registered region, so no userspace->hugepage copy happens.
+      core::NkBuf loan;
+      int r = co_await api.AcquireTxBuf(core, fd, cfg.message_size, &loan);
+      if (r != 0) break;
+      loan.size = std::min(loan.capacity, cfg.message_size);
+      std::memset(loan.data, 0xc3, loan.size);
+      n = co_await api.SendBuf(core, fd, loan);
+    } else {
+      n = co_await api.Send(core, fd, msg.data(), msg.size());
+    }
     if (n <= 0) break;
     stats->bytes_sent += static_cast<uint64_t>(n);
     ++stats->messages;
@@ -434,10 +455,10 @@ void StartLoadGen(core::Vm* vm, LoadGenConfig config, LoadGenStats* stats) {
 }
 
 void StartStreamSink(core::Vm* vm, uint16_t port, StreamStats* stats, int threads,
-                     int first_thread) {
+                     int first_thread, bool zerocopy) {
   int n = ResolveThreads(vm, threads);
   for (int t = 0; t < n; ++t) {
-    sim::Spawn(StreamSinkThread(vm, first_thread + t, port, stats));
+    sim::Spawn(StreamSinkThread(vm, first_thread + t, port, stats, zerocopy));
   }
 }
 

@@ -109,6 +109,11 @@ struct StreamConfig {
   int threads = 0;  // 0 = one per vCPU; connections round-robin over threads
   uint64_t bytes_limit = 0;  // 0 = unbounded
   double paced_gbps = 0;     // >0: pace the aggregate offered load
+  // Use the zero-copy loaning datapath (AcquireTxBuf/SendBuf) instead of
+  // Send: the app fills loaned buffers in place, eliminating the
+  // userspace->hugepage copy, and the NSM stack transmits from the chunk
+  // (Table 6's zerocopy ablation, made real).
+  bool zerocopy = false;
 };
 
 struct StreamStats {
@@ -120,9 +125,11 @@ struct StreamStats {
   std::vector<uint64_t> per_conn_bytes;
 };
 
-// Sink: accepts connections on `port` and drains them forever.
+// Sink: accepts connections on `port` and drains them forever. With
+// `zerocopy` the sink drains through RecvBuf/ReleaseBuf loans (no
+// hugepage->app copy) instead of Recv.
 void StartStreamSink(core::Vm* vm, uint16_t port, StreamStats* stats, int threads = 0,
-                     int first_thread = 0);
+                     int first_thread = 0, bool zerocopy = false);
 
 // Senders: open `connections` streams to the sink and send continuously.
 void StartStreamSenders(core::Vm* vm, StreamConfig config, StreamStats* stats);

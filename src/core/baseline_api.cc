@@ -152,38 +152,160 @@ sim::Task<int> BaselineSocketApi::Accept(sim::CpuCore* core, int fd) {
   }
 }
 
+// Legacy copy shims: one gather/scatter element through the vectored path.
 sim::Task<int64_t> BaselineSocketApi::Send(sim::CpuCore* core, int fd, const uint8_t* data,
                                            uint64_t len) {
-  const tcp::CostProfile& p = stack_->config().profile;
-  co_await core->Work(p.syscall);
-  uint64_t sent = 0;
-  while (sent < len) {
-    Fd* f = FindFd(fd);
-    if (f == nullptr) co_return tcp::kNotConnected;
-    if (f->error) co_return f->err;
-    uint64_t queued = stack_->Send(f->sid, data + sent, len - sent);
-    if (queued > 0) {
-      // Copy from userspace into kernel socket buffer.
-      co_await core->Work(static_cast<Cycles>(p.copy_per_byte * queued));
-      sent += queued;
-      continue;
-    }
-    if (!stack_->Exists(f->sid)) co_return tcp::kConnReset;
-    co_await f->ev->Wait();
-  }
-  co_return static_cast<int64_t>(sent);
+  NkConstIoVec iov{data, len};
+  co_return co_await Sendv(core, fd, &iov, 1);
 }
 
 sim::Task<int64_t> BaselineSocketApi::Recv(sim::CpuCore* core, int fd, uint8_t* out,
                                            uint64_t max) {
+  NkIoVec iov{out, max};
+  co_return co_await Recvv(core, fd, &iov, 1);
+}
+
+sim::Task<int64_t> BaselineSocketApi::Sendv(sim::CpuCore* core, int fd, const NkConstIoVec* iov,
+                                            int iovcnt) {
   const tcp::CostProfile& p = stack_->config().profile;
   co_await core->Work(p.syscall);
+  int64_t total_sent = 0;
+  for (int i = 0; i < iovcnt; ++i) {
+    uint64_t sent = 0;
+    while (sent < iov[i].len) {
+      Fd* f = FindFd(fd);
+      if (f == nullptr) co_return tcp::kNotConnected;
+      if (f->error) co_return f->err;
+      uint64_t queued = stack_->Send(f->sid, iov[i].data + sent, iov[i].len - sent);
+      if (queued > 0) {
+        // Copy from userspace into kernel socket buffer.
+        co_await core->Work(static_cast<Cycles>(p.copy_per_byte * queued));
+        sent += queued;
+        total_sent += static_cast<int64_t>(queued);
+        continue;
+      }
+      if (!stack_->Exists(f->sid)) co_return tcp::kConnReset;
+      co_await f->ev->Wait();
+    }
+  }
+  co_return total_sent;
+}
+
+sim::Task<int64_t> BaselineSocketApi::Recvv(sim::CpuCore* core, int fd, const NkIoVec* iov,
+                                            int iovcnt) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  uint64_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) total += iov[i].len;
+  if (total == 0) co_return 0;  // zero-capacity read never blocks
   for (;;) {
     Fd* f = FindFd(fd);
     if (f == nullptr) co_return tcp::kNotConnected;
-    uint64_t n = stack_->Recv(f->sid, out, max);
-    if (n > 0) {
+    uint64_t copied = 0;
+    for (int i = 0; i < iovcnt; ++i) {
+      if (iov[i].len == 0) continue;
+      uint64_t n = stack_->Recv(f->sid, iov[i].data, iov[i].len);
+      copied += n;
+      if (n < iov[i].len) break;  // drained the receive buffer
+    }
+    if (copied > 0) {
+      co_await core->Work(static_cast<Cycles>(p.copy_per_byte * copied));
+      co_return static_cast<int64_t>(copied);
+    }
+    if (stack_->FinReceived(f->sid)) co_return 0;
+    if (f->error) co_return f->err;
+    if (!stack_->Exists(f->sid)) co_return 0;
+    co_await f->ev->Wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy loaning surface (heap arena)
+// ---------------------------------------------------------------------------
+
+sim::Task<int> BaselineSocketApi::AcquireTxBuf(sim::CpuCore* core, int fd, uint32_t len,
+                                               NkBuf* out) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  Fd* f = FindFd(fd);
+  if (f == nullptr || f->dgram) co_return tcp::kNotConnected;
+  if (f->error) co_return f->err;
+  // The arena is plain heap: acquisition never blocks (backpressure is
+  // applied at SendBuf, where stack send-buffer space gates admission).
+  // The loan is capped at the stack's send-buffer size as well as the TSO
+  // chunk size, so an all-or-nothing SendBuf can always eventually fit.
+  constexpr uint32_t kMaxLoan = 64 * 1024;  // one TSO chunk, like GuestLib
+  const uint32_t want = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::min<uint64_t>(
+             {len, kMaxLoan, stack_->config().sndbuf_bytes})));
+  uint64_t id = arena_->Alloc(want);
+  out->handle = id;
+  out->data = arena_->Find(id)->mem.get();
+  out->capacity = want;
+  out->size = 0;
+  co_return 0;
+}
+
+sim::Task<int64_t> BaselineSocketApi::SendBuf(sim::CpuCore* core, int fd, NkBuf buf) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  Arena::Block* b = arena_->Find(buf.handle);
+  if (b == nullptr) co_return tcp::kInvalidArg;
+  const uint32_t n = std::min(buf.size, b->size);
+  if (n == 0) {
+    arena_->Free(buf.handle);
+    co_return 0;
+  }
+  const uint8_t* data = b->mem.get();
+  for (;;) {
+    Fd* f = FindFd(fd);
+    if (f == nullptr || f->dgram) {
+      arena_->Free(buf.handle);
+      co_return tcp::kNotConnected;
+    }
+    if (f->error) {
+      int err = f->err;
+      arena_->Free(buf.handle);
+      co_return err;
+    }
+    // MSG_ZEROCOPY-style: the stack transmits (and retransmits) from the
+    // loaned block; no user->kernel copy is charged. The block frees on ACK.
+    if (stack_->SendZc(f->sid, data, n,
+                       [arena = arena_, id = buf.handle] { arena->Free(id); })) {
+      co_return static_cast<int64_t>(n);
+    }
+    if (!stack_->Exists(f->sid)) {
+      arena_->Free(buf.handle);
+      co_return tcp::kConnReset;
+    }
+    co_await f->ev->Wait();  // send-buffer space frees on ACK
+  }
+}
+
+sim::Task<int64_t> BaselineSocketApi::RecvBuf(sim::CpuCore* core, int fd, NkBuf* out) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  constexpr uint32_t kMaxLoan = 64 * 1024;
+  for (;;) {
+    Fd* f = FindFd(fd);
+    if (f == nullptr || f->dgram) co_return tcp::kNotConnected;
+    uint64_t avail = stack_->RecvAvailable(f->sid);
+    if (avail > 0) {
+      const uint32_t want = static_cast<uint32_t>(std::min<uint64_t>(avail, kMaxLoan));
+      uint64_t id = arena_->Alloc(want);
+      uint8_t* data = arena_->Find(id)->mem.get();
+      uint64_t n = stack_->Recv(f->sid, data, want);
+      if (n == 0) {
+        arena_->Free(id);
+        continue;
+      }
+      // The kernel->buffer copy stays: with the stack inside the guest there
+      // is no shared region to loan the bytes from.
       co_await core->Work(static_cast<Cycles>(p.copy_per_byte * n));
+      out->handle = id;
+      out->data = data;
+      out->capacity = want;
+      out->size = static_cast<uint32_t>(n);
       co_return static_cast<int64_t>(n);
     }
     if (stack_->FinReceived(f->sid)) co_return 0;
@@ -191,6 +313,15 @@ sim::Task<int64_t> BaselineSocketApi::Recv(sim::CpuCore* core, int fd, uint8_t* 
     if (!stack_->Exists(f->sid)) co_return 0;
     co_await f->ev->Wait();
   }
+}
+
+sim::Task<int> BaselineSocketApi::ReleaseBuf(sim::CpuCore* core, int fd, NkBuf buf) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  (void)fd;
+  if (arena_->Find(buf.handle) == nullptr) co_return tcp::kInvalidArg;
+  arena_->Free(buf.handle);
+  co_return 0;
 }
 
 sim::Task<int> BaselineSocketApi::Close(sim::CpuCore* core, int fd) {

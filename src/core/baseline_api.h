@@ -38,6 +38,21 @@ class BaselineSocketApi : public SocketApi {
   sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) override;
   sim::Task<int> Close(sim::CpuCore* core, int fd) override;
 
+  // Zero-copy loaning surface over a heap arena (API transparency: the same
+  // zc application runs unmodified against Baseline and NetKernel). TX loans
+  // are heap blocks the stack transmits from directly (MSG_ZEROCOPY-style —
+  // no user->kernel copy charged); the block frees once the bytes are ACKed.
+  // RX loans still pay the kernel->buffer copy: with the stack inside the
+  // guest there is no shared region to loan from, which is exactly the
+  // architectural difference the paper's Table 6 quantifies.
+  sim::Task<int> AcquireTxBuf(sim::CpuCore* core, int fd, uint32_t len, NkBuf* out) override;
+  sim::Task<int64_t> SendBuf(sim::CpuCore* core, int fd, NkBuf buf) override;
+  sim::Task<int64_t> RecvBuf(sim::CpuCore* core, int fd, NkBuf* out) override;
+  sim::Task<int> ReleaseBuf(sim::CpuCore* core, int fd, NkBuf buf) override;
+  sim::Task<int64_t> Sendv(sim::CpuCore* core, int fd, const NkConstIoVec* iov,
+                           int iovcnt) override;
+  sim::Task<int64_t> Recvv(sim::CpuCore* core, int fd, const NkIoVec* iov, int iovcnt) override;
+
   sim::Task<int> SocketDgram(sim::CpuCore* core) override;
   sim::Task<int64_t> SendTo(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip, uint16_t dst_port,
                             const uint8_t* data, uint64_t len) override;
@@ -46,6 +61,7 @@ class BaselineSocketApi : public SocketApi {
 
   int EpollCreate() override { return epolls_.Create(); }
   int EpollCtl(int epfd, int fd, uint32_t mask) override { return epolls_.Ctl(epfd, fd, mask); }
+  int EpollClose(int epfd) override { return epolls_.Destroy(epfd); }
   sim::Task<std::vector<EpollEvent>> EpollWait(sim::CpuCore* core, int epfd, size_t max_events,
                                                SimTime timeout) override;
 
@@ -64,6 +80,32 @@ class BaselineSocketApi : public SocketApi {
     int err = 0;
   };
 
+  // Heap arena backing the zero-copy loans. Held by shared_ptr because a TX
+  // block's free callback lives inside the stack's send buffer and can fire
+  // after this API object is gone (stack teardown order in Vm).
+  struct Arena {
+    struct Block {
+      std::unique_ptr<uint8_t[]> mem;
+      uint32_t size = 0;
+    };
+    std::unordered_map<uint64_t, Block> blocks;
+    uint64_t next = 1;
+
+    uint64_t Alloc(uint32_t size) {
+      uint64_t id = next++;
+      Block b;
+      b.mem = std::make_unique<uint8_t[]>(size);
+      b.size = size;
+      blocks.emplace(id, std::move(b));
+      return id;
+    }
+    Block* Find(uint64_t id) {
+      auto it = blocks.find(id);
+      return it == blocks.end() ? nullptr : &it->second;
+    }
+    void Free(uint64_t id) { blocks.erase(id); }
+  };
+
   int WrapSocket(tcp::SocketId sid);
   int WrapDgramSocket(udp::SocketId usid);
   void InstallCallbacks(int fd);
@@ -76,6 +118,7 @@ class BaselineSocketApi : public SocketApi {
   std::unordered_map<int, Fd> fds_;
   int next_fd_ = 3;
   EpollRegistry epolls_;
+  std::shared_ptr<Arena> arena_ = std::make_shared<Arena>();
 };
 
 }  // namespace netkernel::core

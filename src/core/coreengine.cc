@@ -868,6 +868,13 @@ bool CoreEngineShard::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
       completion_op = NqeOp::kSendResult;
       carries_chunk = true;
       break;
+    case NqeOp::kSendZc:
+      // Zero-copy send that died inside the switch: the guest still owns the
+      // chunk and the reserved credit; both unwind via kSendZcComplete with
+      // the unconsumed flag.
+      completion_op = NqeOp::kSendZcComplete;
+      carries_chunk = true;
+      break;
     case NqeOp::kSendTo:
       completion_op = NqeOp::kSendToResult;
       carries_chunk = true;
@@ -1084,8 +1091,8 @@ bool CoreEngineShard::TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>&
   // receive ring but encodes a negative errno in `size`, which would add
   // ~4 GB of phantom bytes per error FIN.
   NqeOp op = d.nqe.Op();
-  if (op == NqeOp::kSend || op == NqeOp::kSendTo || op == NqeOp::kRecvData ||
-      op == NqeOp::kDgramRecv) {
+  if (op == NqeOp::kSend || op == NqeOp::kSendZc || op == NqeOp::kSendTo ||
+      op == NqeOp::kRecvData || op == NqeOp::kDgramRecv) {
     pv.bytes += d.nqe.size;
   }
   if (std::find(to_wake.begin(), to_wake.end(), d.dst) == to_wake.end()) {

@@ -24,7 +24,7 @@ class EpollRegistry {
 
   int Create() {
     int epfd = next_epfd_++;
-    eps_[epfd] = std::make_unique<Ep>(loop_);
+    eps_[epfd] = std::make_shared<Ep>(loop_);
     return epfd;
   }
 
@@ -33,9 +33,25 @@ class EpollRegistry {
     if (it == eps_.end()) return -1;
     if (mask == 0) {
       it->second->interest.erase(fd);
+      // A blocked waiter must re-evaluate: the fd it was watching may be the
+      // only one, in which case it now waits for the timeout alone.
+      it->second->ev.NotifyAll();
     } else {
       it->second->interest[fd] = mask;
+      it->second->ev.NotifyAll();
     }
+    return 0;
+  }
+
+  // Destroys the instance and its interest set. Blocked waiters wake with an
+  // empty result (the instance is kept alive by their shared_ptr until every
+  // waiter has resumed, so no dangling state).
+  int Destroy(int epfd) {
+    auto it = eps_.find(epfd);
+    if (it == eps_.end()) return -1;
+    it->second->closed = true;
+    it->second->ev.NotifyAll();
+    eps_.erase(it);
     return 0;
   }
 
@@ -44,9 +60,10 @@ class EpollRegistry {
   sim::Task<std::vector<EpollEvent>> Wait(int epfd, size_t max_events, SimTime timeout) {
     auto it = eps_.find(epfd);
     if (it == eps_.end()) co_return {};
-    Ep* ep = it->second.get();
+    std::shared_ptr<Ep> ep = it->second;  // keeps Ep alive across Destroy()
     SimTime deadline = timeout < 0 ? kSimTimeNever : loop_->Now() + timeout;
     for (;;) {
+      if (ep->closed) co_return {};
       std::vector<EpollEvent> ready;
       for (const auto& [fd, mask] : ep->interest) {
         uint32_t r = readiness_(fd) & (mask | kEpollErr | kEpollHup);
@@ -83,11 +100,12 @@ class EpollRegistry {
     explicit Ep(sim::EventLoop* loop) : ev(loop) {}
     std::unordered_map<int, uint32_t> interest;
     sim::SimEvent ev;
+    bool closed = false;
   };
 
   sim::EventLoop* loop_;
   std::function<uint32_t(int fd)> readiness_;
-  std::unordered_map<int, std::unique_ptr<Ep>> eps_;
+  std::unordered_map<int, std::shared_ptr<Ep>> eps_;
   int next_epfd_ = 1000000;  // distinct from socket fds
 };
 

@@ -215,23 +215,34 @@ sim::Task<int> GuestLib::Accept(sim::CpuCore* core, int fd) {
   }
 }
 
+// Legacy copy shim: one gather element through the vectored path.
 sim::Task<int64_t> GuestLib::Send(sim::CpuCore* core, int fd, const uint8_t* data,
                                   uint64_t len) {
+  NkConstIoVec iov{data, len};
+  co_return co_await Sendv(core, fd, &iov, 1);
+}
+
+sim::Task<int64_t> GuestLib::Sendv(sim::CpuCore* core, int fd, const NkConstIoVec* iov,
+                                   int iovcnt) {
   co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
+  uint64_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) total += iov[i].len;
   uint64_t sent = 0;
+  int vi = 0;
+  uint64_t voff = 0;
   uint32_t handle;
   {
     GSock* g = FindByFd(fd);
     if (g == nullptr) co_return tcp::kNotConnected;
     handle = g->handle;
   }
-  while (sent < len) {
+  while (sent < total) {
     GSock* g = FindByHandle(handle);
     if (g == nullptr) co_return tcp::kConnReset;
     if (g->error) co_return g->err;
     if (!g->connected) co_return tcp::kNotConnected;
     uint32_t chunk = static_cast<uint32_t>(
-        std::min<uint64_t>(shm::HugepagePool::kMaxChunk, len - sent));
+        std::min<uint64_t>(shm::HugepagePool::kMaxChunk, total - sent));
     if (g->send_usage + chunk > g->send_limit) {
       co_await g->ev->Wait();  // kSendResult returns credits
       continue;
@@ -246,7 +257,9 @@ sim::Task<int64_t> GuestLib::Send(sim::CpuCore* core, int fd, const uint8_t* dat
       }
       continue;
     }
-    // Copy payload from userspace into the shared hugepages (§4.5).
+    // Copy payload from userspace into the shared hugepages (§4.5), gathering
+    // across the iovecs. This is the copy the zero-copy path (AcquireTxBuf +
+    // SendBuf) eliminates by having the app fill the chunk in place.
     co_await core->Work(
         static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * chunk));
     g = FindByHandle(handle);
@@ -254,12 +267,155 @@ sim::Task<int64_t> GuestLib::Send(sim::CpuCore* core, int fd, const uint8_t* dat
       pool_->Free(off);
       co_return tcp::kConnReset;
     }
-    std::memcpy(pool_->Data(off), data + sent, chunk);
+    uint8_t* dst = pool_->Data(off);
+    uint32_t filled = 0;
+    while (filled < chunk) {
+      while (voff >= iov[vi].len) {
+        ++vi;
+        voff = 0;
+      }
+      uint32_t take = static_cast<uint32_t>(
+          std::min<uint64_t>(chunk - filled, iov[vi].len - voff));
+      std::memcpy(dst + filled, iov[vi].data + voff, take);
+      filled += take;
+      voff += take;
+    }
     g->send_usage += chunk;
     EnqueueSend(*g, MakeNqe(NqeOp::kSend, vm_id_, 0, handle, 0, off, chunk));
     sent += chunk;
   }
   co_return static_cast<int64_t>(sent);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy registered-buffer datapath
+// ---------------------------------------------------------------------------
+
+sim::Task<int> GuestLib::AcquireTxBuf(sim::CpuCore* core, int fd, uint32_t len, NkBuf* out) {
+  co_await core->Work(config_.syscall);
+  uint32_t handle;
+  {
+    GSock* g = FindByFd(fd);
+    if (g == nullptr || g->dgram) co_return tcp::kNotConnected;
+    handle = g->handle;
+  }
+  const uint32_t want =
+      std::max<uint32_t>(1, std::min<uint32_t>(len, shm::HugepagePool::kMaxChunk));
+  for (;;) {
+    GSock* g = FindByHandle(handle);
+    if (g == nullptr) co_return tcp::kConnReset;
+    if (g->error) co_return g->err;
+    if (!g->connected) co_return tcp::kNotConnected;
+    // The credit is reserved at acquire time: an application sitting on a
+    // loan holds send-buffer space, exactly like bytes it had written.
+    if (g->send_usage + want > g->send_limit) {
+      co_await g->ev->Wait();
+      continue;
+    }
+    uint64_t off = pool_->Alloc(want);
+    if (off == shm::HugepagePool::kInvalidOffset) {
+      if (g->send_usage > 0) {
+        co_await g->ev->Wait();
+      } else {
+        co_await sim::Delay(loop_, 50 * kMicrosecond);
+      }
+      continue;
+    }
+    g->send_usage += want;
+    g->tx_loans[off] = want;
+    out->handle = off;
+    out->data = pool_->Data(off);
+    out->capacity = want;
+    out->size = 0;
+    co_return 0;
+  }
+}
+
+sim::Task<int64_t> GuestLib::SendBuf(sim::CpuCore* core, int fd, NkBuf buf) {
+  co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
+  GSock* g = FindByFd(fd);
+  if (g == nullptr) co_return tcp::kNotConnected;  // Close() revoked the loan
+  auto it = g->tx_loans.find(buf.handle);
+  if (it == g->tx_loans.end()) co_return tcp::kInvalidArg;
+  const uint32_t reserved = it->second;
+  const uint32_t n = std::min(buf.size, reserved);
+  g->tx_loans.erase(it);
+  auto release_credit = [this, g](uint32_t bytes) {
+    g->send_usage = g->send_usage > bytes ? g->send_usage - bytes : 0;
+    g->ev->NotifyAll();
+    epolls_.NotifyFd(g->fd);
+  };
+  if (g->error || !g->connected || n == 0) {
+    pool_->Free(buf.handle);
+    release_credit(reserved);
+    if (g->error) co_return g->err;
+    if (!g->connected) co_return tcp::kNotConnected;
+    co_return 0;
+  }
+  // No copy: ownership of the filled chunk transfers as-is. The reserved
+  // credit for unfilled capacity returns now; the rest returns only when the
+  // byte range is ACKed (kSendZcComplete).
+  if (n < reserved) release_credit(reserved - n);
+  ++zc_sends_;
+  EnqueueSend(*g, MakeNqe(NqeOp::kSendZc, vm_id_, 0, g->handle, 0, buf.handle, n));
+  co_return static_cast<int64_t>(n);
+}
+
+sim::Task<int64_t> GuestLib::RecvBuf(sim::CpuCore* core, int fd, NkBuf* out) {
+  co_await core->Work(config_.syscall);
+  uint32_t handle;
+  {
+    GSock* g = FindByFd(fd);
+    if (g == nullptr || g->dgram) co_return tcp::kNotConnected;
+    handle = g->handle;
+  }
+  for (;;) {
+    GSock* g = FindByHandle(handle);
+    if (g == nullptr) co_return 0;
+    if (g->rx_bytes > 0) {
+      // Loan the front chunk to the application as-is — no hugepage->app
+      // copy. The receive credit (the full chunk) returns at ReleaseBuf.
+      RxChunk c = g->rx.front();
+      g->rx.pop_front();
+      const uint32_t avail = c.size - c.consumed;
+      g->rx_bytes -= avail;
+      g->rx_loans[c.ptr] = c.size;
+      out->handle = c.ptr;
+      out->data = pool_->Data(c.ptr + c.consumed);
+      out->capacity = avail;
+      out->size = avail;
+      co_return static_cast<int64_t>(avail);
+    }
+    if (g->fin) co_return 0;
+    if (g->error) co_return g->err;
+    co_await g->ev->Wait();
+  }
+}
+
+sim::Task<int> GuestLib::ReleaseBuf(sim::CpuCore* core, int fd, NkBuf buf) {
+  co_await core->Work(config_.syscall);
+  GSock* g = FindByFd(fd);
+  if (g == nullptr) co_return tcp::kNotConnected;  // Close() revoked the loan
+  auto rit = g->rx_loans.find(buf.handle);
+  if (rit != g->rx_loans.end()) {
+    const uint32_t sz = rit->second;
+    g->rx_loans.erase(rit);
+    pool_->Free(buf.handle);
+    // Ring the receive-credit channel so the NSM resumes shipping.
+    if (recv_credit_cb_) recv_credit_cb_(g->handle, sz);
+    co_return 0;
+  }
+  auto tit = g->tx_loans.find(buf.handle);
+  if (tit != g->tx_loans.end()) {
+    const uint32_t reserved = tit->second;
+    g->tx_loans.erase(tit);
+    pool_->Free(buf.handle);
+    g->send_usage = g->send_usage > reserved ? g->send_usage - reserved : 0;
+    g->ev->NotifyAll();
+    epolls_.NotifyFd(g->fd);
+    co_return 0;
+  }
+  co_return tcp::kInvalidArg;
 }
 
 sim::Task<int> GuestLib::SocketDgram(sim::CpuCore* core) {
@@ -364,8 +520,18 @@ sim::Task<int64_t> GuestLib::RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, 
   }
 }
 
+// Legacy copy shim: one scatter element through the vectored path.
 sim::Task<int64_t> GuestLib::Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) {
+  NkIoVec iov{out, max};
+  co_return co_await Recvv(core, fd, &iov, 1);
+}
+
+sim::Task<int64_t> GuestLib::Recvv(sim::CpuCore* core, int fd, const NkIoVec* iov,
+                                   int iovcnt) {
   co_await core->Work(config_.syscall);
+  uint64_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) total += iov[i].len;
+  if (total == 0) co_return 0;  // zero-capacity read never blocks
   uint32_t handle;
   {
     GSock* g = FindByFd(fd);
@@ -376,26 +542,42 @@ sim::Task<int64_t> GuestLib::Recv(sim::CpuCore* core, int fd, uint8_t* out, uint
     GSock* g = FindByHandle(handle);
     if (g == nullptr) co_return 0;
     if (g->rx_bytes > 0) {
-      RxChunk& c = g->rx.front();
-      uint32_t avail = c.size - c.consumed;
-      uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(avail, max));
-      // Copy from hugepages to the application buffer (§4.5).
-      co_await core->Work(static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * n));
+      uint64_t target = std::min(g->rx_bytes, total);
+      // Copy from hugepages to the application buffers (§4.5) — the copy the
+      // zero-copy path (RecvBuf/ReleaseBuf) eliminates by loaning the chunk.
+      co_await core->Work(static_cast<Cycles>(config_.costs.hugepage_copy_per_byte * target));
       g = FindByHandle(handle);
-      if (g == nullptr || g->rx.empty()) co_return 0;
-      RxChunk& c2 = g->rx.front();
-      std::memcpy(out, pool_->Data(c2.ptr + c2.consumed), n);
-      c2.consumed += n;
-      g->rx_bytes -= n;
-      if (c2.consumed == c2.size) {
-        pool_->Free(c2.ptr);
-        uint32_t sz = c2.size;
-        g->rx.pop_front();
-        // Return receive credit through shared memory (the NSM observes the
-        // freed chunk and resumes shipping).
-        if (recv_credit_cb_) recv_credit_cb_(handle, sz);
+      if (g == nullptr) co_return 0;
+      target = std::min(target, g->rx_bytes);  // consumed concurrently?
+      uint64_t copied = 0;
+      int vi = 0;
+      uint64_t voff = 0;
+      while (copied < target && !g->rx.empty()) {
+        RxChunk& c = g->rx.front();
+        while (voff >= iov[vi].len) {
+          ++vi;
+          voff = 0;
+        }
+        uint32_t take = static_cast<uint32_t>(std::min<uint64_t>(
+            {static_cast<uint64_t>(c.size - c.consumed), iov[vi].len - voff,
+             target - copied}));
+        std::memcpy(iov[vi].data + voff, pool_->Data(c.ptr + c.consumed), take);
+        c.consumed += take;
+        voff += take;
+        copied += take;
+        g->rx_bytes -= take;
+        if (c.consumed == c.size) {
+          pool_->Free(c.ptr);
+          uint32_t sz = c.size;
+          g->rx.pop_front();
+          // Return receive credit through shared memory (the NSM observes the
+          // freed chunk and resumes shipping).
+          if (recv_credit_cb_) recv_credit_cb_(handle, sz);
+          g = FindByHandle(handle);  // the credit callback may close sockets
+          if (g == nullptr) co_return static_cast<int64_t>(copied);
+        }
       }
-      co_return static_cast<int64_t>(n);
+      if (copied > 0) co_return static_cast<int64_t>(copied);
     }
     if (g->fin) co_return 0;
     if (g->error) co_return g->err;
@@ -407,12 +589,29 @@ sim::Task<int> GuestLib::Close(sim::CpuCore* core, int fd) {
   co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
   GSock* g = FindByFd(fd);
   if (g == nullptr) co_return tcp::kNotConnected;
+  // A listening socket may hold accepted-but-unclaimed connections: link each
+  // one to a throwaway guest handle, then close it, so the NSM side tears the
+  // established connection down (FIN to the peer) instead of leaking it. The
+  // job-ring FIFO guarantees the link lands before its close.
+  if (g->listening) {
+    for (uint64_t nsm_sock : g->pending_conns) {
+      uint32_t h = next_handle_++;
+      EnqueueJob(*g, MakeNqe(NqeOp::kAccept, vm_id_, 0, h, nsm_sock));
+      EnqueueJob(*g, MakeNqe(NqeOp::kClose, vm_id_, 0, h));
+    }
+    g->pending_conns.clear();
+  }
   // Pipelined close (§4.6): fire the NQE and return without waiting.
   EnqueueJob(*g, MakeNqe(NqeOp::kClose, vm_id_, 0, g->handle));
   for (RxChunk& c : g->rx) pool_->Free(c.ptr);
   g->rx.clear();
   for (DgramChunk& c : g->drx) pool_->Free(c.ptr);
   g->drx.clear();
+  // Revoke outstanding zero-copy loans: the app's pointers die with the fd.
+  for (const auto& [off, sz] : g->tx_loans) pool_->Free(off);
+  g->tx_loans.clear();
+  for (const auto& [off, sz] : g->rx_loans) pool_->Free(off);
+  g->rx_loans.clear();
   epolls_.RemoveFd(fd);
   fd_to_handle_.erase(fd);
   socks_.erase(g->handle);
@@ -481,11 +680,13 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
     }
     // CoreEngine-rejected send whose socket closed meanwhile: the payload
     // chunk was never consumed and still belongs to this guest.
-    if ((nqe.Op() == NqeOp::kSendResult || nqe.Op() == NqeOp::kSendToResult) &&
+    if ((nqe.Op() == NqeOp::kSendResult || nqe.Op() == NqeOp::kSendToResult ||
+         nqe.Op() == NqeOp::kSendZcComplete) &&
         nqe.reserved[1] == shm::kNqeFlagChunkUnconsumed) {
       pool_->Free(nqe.data_ptr);
       ++send_credit_reclaims_;
     }
+    if (nqe.Op() == NqeOp::kSendZcComplete) ++zc_completions_;
     return;
   }
   switch (nqe.Op()) {
@@ -516,6 +717,25 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
           g->error = true;
           g->err = static_cast<int32_t>(nqe.size);
         }
+      }
+      break;
+    }
+    case NqeOp::kSendZcComplete: {
+      // Zero-copy send retired: the byte range was ACKed (the NSM freed the
+      // chunk into the shared pool) — or the switch failed it before any
+      // consumer saw it, in which case the untouched chunk is still ours.
+      uint64_t bytes = nqe.op_data;
+      g->send_usage = g->send_usage > bytes ? g->send_usage - bytes : 0;
+      ++zc_completions_;
+      if (nqe.reserved[1] == shm::kNqeFlagChunkUnconsumed) {
+        pool_->Free(nqe.data_ptr);
+        ++send_credit_reclaims_;
+        // A lost zero-copy stream write breaks the byte stream.
+        g->error = true;
+        g->err = static_cast<int32_t>(nqe.size);
+      } else if (static_cast<int32_t>(nqe.size) != 0) {
+        g->error = true;
+        g->err = static_cast<int32_t>(nqe.size);
       }
       break;
     }

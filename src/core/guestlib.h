@@ -73,6 +73,21 @@ class GuestLib : public SocketApi {
   sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) override;
   sim::Task<int> Close(sim::CpuCore* core, int fd) override;
 
+  // Zero-copy registered-buffer datapath: TX loans are carved straight from
+  // the shared hugepage pool (the app fills them in place — no
+  // userspace->hugepage copy), travel as kSendZc NQEs the NSM stack transmits
+  // from directly, and free on kSendZcComplete once ACKed; RX loans hand the
+  // inbound hugepage chunk to the app and return receive credit on release.
+  // The legacy Send/Recv above are thin copy shims over the same machinery
+  // (Send gathers through Sendv; Recv scatters through Recvv).
+  sim::Task<int> AcquireTxBuf(sim::CpuCore* core, int fd, uint32_t len, NkBuf* out) override;
+  sim::Task<int64_t> SendBuf(sim::CpuCore* core, int fd, NkBuf buf) override;
+  sim::Task<int64_t> RecvBuf(sim::CpuCore* core, int fd, NkBuf* out) override;
+  sim::Task<int> ReleaseBuf(sim::CpuCore* core, int fd, NkBuf buf) override;
+  sim::Task<int64_t> Sendv(sim::CpuCore* core, int fd, const NkConstIoVec* iov,
+                           int iovcnt) override;
+  sim::Task<int64_t> Recvv(sim::CpuCore* core, int fd, const NkIoVec* iov, int iovcnt) override;
+
   // SOCK_DGRAM redirection: the same NQE channel carries datagram verbs
   // (kSocketUdp/kBindUdp/kSendTo/kRecvFrom) — the NQE protocol is transport
   // agnostic, which is the point of adding UDP without touching apps.
@@ -84,6 +99,7 @@ class GuestLib : public SocketApi {
 
   int EpollCreate() override { return epolls_.Create(); }
   int EpollCtl(int epfd, int fd, uint32_t mask) override { return epolls_.Ctl(epfd, fd, mask); }
+  int EpollClose(int epfd) override { return epolls_.Destroy(epfd); }
   sim::Task<std::vector<EpollEvent>> EpollWait(sim::CpuCore* core, int epfd, size_t max_events,
                                                SimTime timeout) override;
 
@@ -93,6 +109,11 @@ class GuestLib : public SocketApi {
   // Sends CoreEngine rejected with an error completion; each one had its
   // hugepage chunk freed and its send credit returned here.
   uint64_t send_credit_reclaims() const { return send_credit_reclaims_; }
+  // Zero-copy datapath counters: kSendZc NQEs issued and kSendZcComplete
+  // completions applied (credit conservation: after traffic drains, every
+  // issued zc send has exactly one completion).
+  uint64_t zc_sends() const { return zc_sends_; }
+  uint64_t zc_completions() const { return zc_completions_; }
 
  private:
   struct RxChunk {
@@ -130,6 +151,11 @@ class GuestLib : public SocketApi {
     // Send credits.
     uint64_t send_usage = 0;
     uint64_t send_limit = 0;
+    // Zero-copy loans keyed by pool offset. TX: acquired buffers whose credit
+    // is reserved (value = reserved bytes). RX: chunks loaned to the app
+    // (value = full chunk size, credited back on release).
+    std::unordered_map<uint64_t, uint32_t> tx_loans;
+    std::unordered_map<uint64_t, uint32_t> rx_loans;
     // Listener.
     bool listening = false;
     std::deque<uint64_t> pending_conns;  // NSM socket ids awaiting accept()
@@ -180,6 +206,8 @@ class GuestLib : public SocketApi {
   uint64_t nqes_sent_ = 0;
   uint64_t nqes_received_ = 0;
   uint64_t send_credit_reclaims_ = 0;
+  uint64_t zc_sends_ = 0;
+  uint64_t zc_completions_ = 0;
 };
 
 }  // namespace netkernel::core

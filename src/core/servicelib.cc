@@ -31,6 +31,8 @@ ServiceLib::ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm
                        tcp::TcpStack* stack, udp::UdpStack* udp_stack)
     : ServiceLib(loop, nsm_id, ce, dev, stack, udp_stack, Config()) {}
 
+ServiceLib::~ServiceLib() { *alive_ = false; }
+
 void ServiceLib::AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr vm_ip) {
   VmInfo info;
   info.pool = pool;
@@ -159,7 +161,7 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
   if (c == nullptr) {
     // A send can overtake its socket's accept-link NQE (they travel on
     // different rings); park it until the link arrives.
-    if (nqe.Op() == NqeOp::kSend) {
+    if (nqe.Op() == NqeOp::kSend || nqe.Op() == NqeOp::kSendZc) {
       orphan_sends_[VmKey(nqe.vm_id, nqe.vm_sock)].push_back(nqe);
     }
     // A kSendTo whose socket already closed (a kClose overtook it through the
@@ -186,6 +188,9 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
       break;
     case NqeOp::kSend:
       DoSend(nqe, *c);
+      break;
+    case NqeOp::kSendZc:
+      DoSendZc(nqe, *c);
       break;
     case NqeOp::kSendTo:
       DoSendTo(nqe, *c);
@@ -321,7 +326,13 @@ void ServiceLib::DoAcceptLink(const Nqe& nqe) {
   if (oit != orphan_sends_.end()) {
     std::vector<Nqe> orphans = std::move(oit->second);
     orphan_sends_.erase(oit);
-    for (const Nqe& send_nqe : orphans) DoSend(send_nqe, *c);
+    for (const Nqe& send_nqe : orphans) {
+      if (send_nqe.Op() == NqeOp::kSendZc) {
+        DoSendZc(send_nqe, *c);
+      } else {
+        DoSend(send_nqe, *c);
+      }
+    }
   }
   ShipRecv(sid);  // data may have arrived before the link
 }
@@ -378,6 +389,77 @@ void ServiceLib::DoSend(const Nqe& nqe, Conn& c) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy send path: the stack transmits straight from the hugepage chunk
+// ---------------------------------------------------------------------------
+
+std::function<void()> ServiceLib::MakeZcFreeCallback(const Conn& c, uint64_t ptr,
+                                                     uint32_t size) {
+  // The callback lives inside the TcpStack send buffer and can fire on ACK,
+  // on connection teardown, or during stack destruction — potentially after
+  // this ServiceLib, the Conn, or the VM's pool are gone. It therefore
+  // carries the liveness token and re-resolves the pool through vms_.
+  const uint8_t vm_id = c.vm_id;
+  const uint8_t vm_qset = c.vm_qset;
+  const uint8_t nsm_qset = c.nsm_qset;
+  const uint32_t vm_sock = c.vm_sock;
+  return [this, alive = alive_, vm_id, vm_qset, nsm_qset, vm_sock, ptr, size] {
+    if (!*alive) return;
+    auto vit = vms_.find(vm_id);
+    if (vit == vms_.end()) return;  // VM detached; its pool may be gone too
+    vit->second.pool->Free(ptr);
+    // Return the send credit. Status 0 covers both outcomes — on a teardown
+    // with unacked bytes the guest also receives the error FIN, which is
+    // what reports the broken stream.
+    Conn tmp;
+    tmp.vm_id = vm_id;
+    tmp.vm_qset = vm_qset;
+    tmp.nsm_qset = nsm_qset;
+    tmp.vm_sock = vm_sock;
+    Nqe nqe = MakeNqe(NqeOp::kSendZcComplete, vm_id, vm_qset, vm_sock, size);
+    nqe.reserved[0] = static_cast<uint8_t>(NqeOp::kSendZc);
+    EnqueueToVm(tmp, nqe, false);
+  };
+}
+
+void ServiceLib::FailZcTx(const Conn& c, uint64_t ptr, uint32_t size) {
+  auto vit = vms_.find(c.vm_id);
+  if (vit != vms_.end()) vit->second.pool->Free(ptr);
+  Nqe nqe = MakeNqe(NqeOp::kSendZcComplete, c.vm_id, c.vm_qset, c.vm_sock, size, 0,
+                    static_cast<uint32_t>(tcp::kConnReset));
+  nqe.reserved[0] = static_cast<uint8_t>(NqeOp::kSendZc);
+  EnqueueToVm(c, nqe, false);
+}
+
+void ServiceLib::DoSendZc(const Nqe& nqe, Conn& c) {
+  // No hugepage->stack copy (the Table 6 overhead DoSend pays): only the
+  // zero-cycle trip through the socket's core, which preserves FIFO ordering
+  // with any legacy kSend copies still in flight on that core.
+  auto vit = vms_.find(c.vm_id);
+  if (vit == vms_.end()) return;
+  shm::HugepagePool* pool = vit->second.pool;
+  tcp::SocketId sid = c.sid;
+  uint64_t ptr = nqe.data_ptr;
+  uint32_t size = nqe.size;
+  ++c.sends_in_flight;
+  stack_->ChargeOnSocketCore(sid, 0, [this, sid, ptr, size, pool] {
+    Conn* c2 = FindBySid(sid);
+    if (c2 == nullptr) {
+      // Conn gone (guest already closed): the chunk goes back to the pool.
+      pool->Free(ptr);
+      return;
+    }
+    --c2->sends_in_flight;
+    if (!stack_->Exists(sid)) {
+      FailZcTx(*c2, ptr, size);
+      MaybeFinishClose(sid);
+      return;
+    }
+    c2->pending_tx.push_back(PendingTx{ptr, size, 0, true});
+    DrainPendingTx(*c2);
+  });
+}
+
 void ServiceLib::DrainPendingTx(Conn& c) {
   auto vit = vms_.find(c.vm_id);
   if (vit == vms_.end()) return;
@@ -385,7 +467,30 @@ void ServiceLib::DrainPendingTx(Conn& c) {
   while (!c.pending_tx.empty()) {
     PendingTx& tx = c.pending_tx.front();
     if (!stack_->Exists(c.sid)) {
-      pool->Free(tx.ptr);
+      if (tx.zc) {
+        FailZcTx(c, tx.ptr, tx.size);
+      } else {
+        pool->Free(tx.ptr);
+      }
+      c.pending_tx.pop_front();
+      continue;
+    }
+    if (tx.zc) {
+      // A chunk the stack's send buffer can never hold would wedge the
+      // connection (on_writable cannot fire with nothing queued): fail it
+      // back to the guest instead of waiting forever.
+      if (tx.size > stack_->config().sndbuf_bytes) {
+        FailZcTx(c, tx.ptr, tx.size);
+        c.pending_tx.pop_front();
+        continue;
+      }
+      // Zero-copy: append the chunk to the send buffer by reference
+      // (all-or-nothing). The chunk frees — and the guest's send credit
+      // returns — only when the byte range is ACKed.
+      if (!stack_->SendZc(c.sid, pool->Data(tx.ptr), tx.size,
+                          MakeZcFreeCallback(c, tx.ptr, tx.size))) {
+        break;  // stack sndbuf full; resume on writable
+      }
       c.pending_tx.pop_front();
       continue;
     }

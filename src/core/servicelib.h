@@ -45,6 +45,7 @@ class ServiceLib {
              tcp::TcpStack* stack, udp::UdpStack* udp_stack, Config config);
   ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm::NkDevice* dev,
              tcp::TcpStack* stack, udp::UdpStack* udp_stack = nullptr);
+  ~ServiceLib();
 
   // Registers a VM served by this NSM. `pool` is the hugepage region shared
   // with that VM; `vm_ip` is the address its connections use.
@@ -79,6 +80,9 @@ class ServiceLib {
     uint64_t ptr = 0;
     uint32_t size = 0;
     uint32_t consumed = 0;
+    // Zero-copy chunk: handed to the stack by reference (all-or-nothing) and
+    // freed only when the byte range is ACKed (kSendZcComplete).
+    bool zc = false;
   };
   struct Conn {
     tcp::SocketId sid = tcp::kInvalidSocket;
@@ -120,9 +124,17 @@ class ServiceLib {
   void DoConnect(const shm::Nqe& nqe, Conn& c);
   void DoAcceptLink(const shm::Nqe& nqe);
   void DoSend(const shm::Nqe& nqe, Conn& c);
+  void DoSendZc(const shm::Nqe& nqe, Conn& c);
   void DoClose(Conn& c);
   void MaybeFinishClose(tcp::SocketId sid);
   void DrainPendingTx(Conn& c);
+  // Builds the on-ACK free callback for a zero-copy chunk: frees it into the
+  // VM's pool and returns the send credit via kSendZcComplete. Safe to fire
+  // from TcpStack teardown after this ServiceLib or the VM is gone.
+  std::function<void()> MakeZcFreeCallback(const Conn& c, uint64_t ptr, uint32_t size);
+  // A zero-copy chunk that can no longer reach the stack: free it and return
+  // the credit with an error status.
+  void FailZcTx(const Conn& c, uint64_t ptr, uint32_t size);
 
   // Datagram (SOCK_DGRAM) handlers.
   void DoSocketUdp(const shm::Nqe& nqe);
@@ -165,6 +177,10 @@ class ServiceLib {
   DoorbellCoalescer doorbell_;
   uint64_t nqes_processed_ = 0;
   uint64_t nqes_dropped_ = 0;
+  // Liveness token captured by zero-copy free callbacks held inside TcpStack
+  // send buffers: the stack outlives this ServiceLib in the owning Nsm, so a
+  // callback firing during stack teardown must become a no-op.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace netkernel::core

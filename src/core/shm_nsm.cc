@@ -138,7 +138,8 @@ void ShmServiceLib::Dispatch(const Nqe& nqe) {
       auto oit = orphan_sends_.find(VmKey(child->vm_id, child->vm_sock));
       if (oit != orphan_sends_.end()) {
         for (const Nqe& send_nqe : oit->second) {
-          child->pending.push_back(PendingChunk{send_nqe.data_ptr, send_nqe.size});
+          child->pending.push_back(PendingChunk{send_nqe.data_ptr, send_nqe.size,
+                                                send_nqe.Op() == NqeOp::kSendZc});
         }
         orphan_sends_.erase(oit);
         PumpCopy(child->ep_id);
@@ -153,7 +154,7 @@ void ShmServiceLib::Dispatch(const Nqe& nqe) {
 
   Endpoint* ep = FindByVm(nqe.vm_id, nqe.vm_sock);
   if (ep == nullptr) {
-    if (nqe.Op() == NqeOp::kSend) {
+    if (nqe.Op() == NqeOp::kSend || nqe.Op() == NqeOp::kSendZc) {
       orphan_sends_[VmKey(nqe.vm_id, nqe.vm_sock)].push_back(nqe);
     }
     return;
@@ -177,8 +178,10 @@ void ShmServiceLib::Dispatch(const Nqe& nqe) {
       TryConnect(ep->ep_id, nqe.op_data, 0);
       return;
     }
-    case NqeOp::kSend: {
-      ep->pending.push_back(PendingChunk{nqe.data_ptr, nqe.size});
+    case NqeOp::kSend:
+    case NqeOp::kSendZc: {
+      ep->pending.push_back(
+          PendingChunk{nqe.data_ptr, nqe.size, nqe.Op() == NqeOp::kSendZc});
       PumpCopy(ep->ep_id);
       return;
     }
@@ -269,7 +272,13 @@ void ShmServiceLib::PumpCopy(uint64_t src_ep_id) {
     std::memcpy(dpool->Data(doff), spool->Data(chunk.ptr), chunk.size);
     bytes_copied_ += chunk.size;
     spool->Free(chunk.ptr);
-    Respond(*src2, NqeOp::kSendResult, NqeOp::kSend, 0, chunk.size);
+    if (chunk.zc) {
+      // Zero-copy credit return: op_data carries the freed bytes; the status
+      // rides in `size` (0 here — the chunk was delivered).
+      Respond(*src2, NqeOp::kSendZcComplete, NqeOp::kSendZc, 0, chunk.size);
+    } else {
+      Respond(*src2, NqeOp::kSendResult, NqeOp::kSend, 0, chunk.size);
+    }
     Nqe rx = MakeNqe(NqeOp::kRecvData, dst2->vm_id, dst2->vm_qset, dst2->vm_sock, 0, doff,
                      chunk.size);
     EnqueueToVm(*dst2, rx, true);

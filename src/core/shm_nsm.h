@@ -50,6 +50,10 @@ class ShmServiceLib {
   struct PendingChunk {
     uint64_t ptr = 0;   // in the sender's pool
     uint32_t size = 0;
+    // Arrived as kSendZc: answer with kSendZcComplete when the chunk frees
+    // (for this NSM that is when the pool-to-pool copy lands — its transport
+    // IS the copy, so "transmit complete" and "delivered" coincide).
+    bool zc = false;
   };
   struct Endpoint {
     uint64_t ep_id = 0;

@@ -34,6 +34,40 @@ struct EpollEvent {
   uint32_t events = 0;
 };
 
+// A loaned buffer on the zero-copy registered-buffer datapath (io_uring-style
+// ownership transfer; paper §7.8's planned zerocopy optimization).
+//
+// Ownership state machine:
+//   TX: acquired (AcquireTxBuf; the app fills data[0..capacity) in place and
+//       sets size) -> in-flight (SendBuf transfers ownership to the stack,
+//       which transmits and retransmits directly from the buffer) ->
+//       acked (the byte range is acknowledged; the buffer is freed and the
+//       send credit returns). An acquired-but-unsent buffer is returned with
+//       ReleaseBuf.
+//   RX: loaned (RecvBuf hands the app the inbound chunk; data[0..size) is
+//       valid) -> released (ReleaseBuf frees the chunk and rings the
+//       receive-credit channel so the stack resumes shipping).
+//
+// `handle` is an implementation-owned token (hugepage offset, arena id);
+// treat it as opaque. Closing the fd revokes every outstanding loan.
+struct NkBuf {
+  uint64_t handle = 0;
+  uint8_t* data = nullptr;
+  uint32_t capacity = 0;  // writable bytes of a TX loan
+  uint32_t size = 0;      // valid bytes (app-set before SendBuf; set by RecvBuf)
+  bool valid() const { return data != nullptr; }
+};
+
+// Gather/scatter element for the vectored surface.
+struct NkConstIoVec {
+  const uint8_t* data = nullptr;
+  uint64_t len = 0;
+};
+struct NkIoVec {
+  uint8_t* data = nullptr;
+  uint64_t len = 0;
+};
+
 class SocketApi {
  public:
   virtual ~SocketApi() = default;
@@ -57,6 +91,37 @@ class SocketApi {
   virtual sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) = 0;
   virtual sim::Task<int> Close(sim::CpuCore* core, int fd) = 0;
 
+  // ---- Zero-copy registered-buffer datapath (stream sockets) ----
+  // Loans a TX buffer of up to `len` bytes (implementations may cap the
+  // capacity at their chunk size; check out->capacity). Blocks until send
+  // credit and buffer space are available. Returns 0 or a negative TcpError.
+  virtual sim::Task<int> AcquireTxBuf(sim::CpuCore* core, int fd, uint32_t len, NkBuf* out) = 0;
+  // Transfers ownership of an acquired buffer (buf.size bytes, filled in
+  // place) to the stack, which transmits without copying; the buffer is freed
+  // and its send credit returns only once the bytes are acknowledged. Returns
+  // buf.size or a negative TcpError (ownership transfers either way — on
+  // error the buffer is reclaimed by the implementation).
+  virtual sim::Task<int64_t> SendBuf(sim::CpuCore* core, int fd, NkBuf buf) = 0;
+  // Blocks until data is available, then loans the inbound chunk to the app
+  // without copying: out->data[0..out->size) stays valid until ReleaseBuf.
+  // Returns bytes loaned, 0 on EOF, or a negative TcpError.
+  virtual sim::Task<int64_t> RecvBuf(sim::CpuCore* core, int fd, NkBuf* out) = 0;
+  // Returns a loan: frees an RX chunk (ringing the receive-credit channel) or
+  // an acquired-but-unsent TX buffer (returning its send credit). Returns 0
+  // or a negative TcpError for an unknown handle.
+  virtual sim::Task<int> ReleaseBuf(sim::CpuCore* core, int fd, NkBuf buf) = 0;
+
+  // ---- Vectored surface ----
+  // Gathers the iovecs into the socket's send path (one buffer copy at most,
+  // into the registered region). Blocks until all bytes are queued; returns
+  // the total or a negative TcpError.
+  virtual sim::Task<int64_t> Sendv(sim::CpuCore* core, int fd, const NkConstIoVec* iov,
+                                   int iovcnt) = 0;
+  // Blocks until >= 1 byte is available, then scatters the buffered data into
+  // the iovecs in order. Returns bytes filled, 0 on EOF, negative TcpError.
+  virtual sim::Task<int64_t> Recvv(sim::CpuCore* core, int fd, const NkIoVec* iov,
+                                   int iovcnt) = 0;
+
   // ---- Datagram (SOCK_DGRAM) surface ----
   // Creates a UDP socket; returns fd >= 0 (negative UdpError on failure).
   // Bind/Close/epoll work on datagram fds exactly as on stream fds.
@@ -76,6 +141,8 @@ class SocketApi {
   virtual int EpollCreate() = 0;
   // mask == 0 removes fd from the interest set.
   virtual int EpollCtl(int epfd, int fd, uint32_t mask) = 0;
+  // Destroys the epoll instance; blocked waiters wake with an empty result.
+  virtual int EpollClose(int epfd) = 0;
   virtual sim::Task<std::vector<EpollEvent>> EpollWait(sim::CpuCore* core, int epfd,
                                                        size_t max_events, SimTime timeout) = 0;
 };

@@ -18,6 +18,8 @@ std::string NqeOpName(NqeOp op) {
     case NqeOp::kShutdown: return "shutdown";
     case NqeOp::kClose: return "close";
     case NqeOp::kSend: return "send";
+    case NqeOp::kSendZc: return "send_zc";
+    case NqeOp::kSendZcComplete: return "send_zc_complete";
     case NqeOp::kSocketUdp: return "socket_udp";
     case NqeOp::kBindUdp: return "bind_udp";
     case NqeOp::kSendTo: return "sendto";

@@ -42,6 +42,11 @@ enum class NqeOp : uint8_t {
   kBindUdp = 13,    // job: bind ip:port carried in op_data
   kSendTo = 14,     // send queue: op_data = packed destination, payload in hugepages
   kRecvFrom = 15,   // job: datagram receive credit return (op_data = bytes freed)
+  // Zero-copy send (registered-buffer datapath): the guest filled the chunk
+  // in place and transfers ownership. The NSM's stack transmits (and
+  // retransmits) directly from the chunk and frees it into the shared pool
+  // only once the byte range is ACKed, answering with kSendZcComplete.
+  kSendZc = 16,  // send queue: data_ptr/size reference the loaned chunk
   // NSM -> VM results and events.
   kOpResult = 32,       // completion queue: result of a control op
   kConnectResult = 33,  // completion queue
@@ -51,6 +56,12 @@ enum class NqeOp : uint8_t {
   kFinReceived = 37,    // receive queue: peer closed
   kSendToResult = 38,   // completion queue: datagram sent, send credit returned
   kDgramRecv = 39,      // receive queue: datagram payload; op_data = packed source
+  // Zero-copy send completion: the kSendZc byte range was ACKed (or failed).
+  // op_data = send-credit bytes to return; size = status (0 or negative
+  // errno). The chunk was freed into the shared pool by the NSM — unless
+  // reserved[1] carries kNqeFlagChunkUnconsumed (a CoreEngine-synthesized
+  // error), in which case the guest still owns it and must free it.
+  kSendZcComplete = 40,  // completion queue
   // Control plane (CoreEngine registration channel, §5).
   kRegisterDevice = 64,
   kDeregisterDevice = 65,

@@ -2,6 +2,13 @@
 // Chunked byte FIFO used for socket send/receive buffers. Supports random
 // access reads relative to the front (needed for TCP retransmission) and
 // amortized O(1) append/drop.
+//
+// Chunks are either owned (the classic copy-in path) or external: a borrowed
+// byte range appended by reference for the zero-copy datapath. An external
+// chunk carries a free callback that fires exactly once, when the buffer is
+// done with the bytes — fully dropped from the front (i.e. ACKed, for a TCP
+// send buffer), cleared, or destroyed with the buffer. Until then the bytes
+// must stay valid: retransmissions read them in place via CopyOut.
 
 #ifndef SRC_TCPSTACK_BYTE_BUFFER_H_
 #define SRC_TCPSTACK_BYTE_BUFFER_H_
@@ -9,6 +16,8 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
@@ -17,19 +26,41 @@ namespace netkernel::tcp {
 
 class ByteBuffer {
  public:
+  ByteBuffer() = default;
+  ByteBuffer(const ByteBuffer&) = delete;
+  ByteBuffer& operator=(const ByteBuffer&) = delete;
+  ~ByteBuffer() { Clear(); }
+
   uint64_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
   void Append(const uint8_t* data, uint64_t n) {
     if (n == 0) return;
-    chunks_.emplace_back(data, data + n);
+    Chunk c;
+    c.owned.assign(data, data + n);
+    chunks_.push_back(std::move(c));
     size_ += n;
   }
 
   void Append(std::vector<uint8_t> chunk) {
     if (chunk.empty()) return;
     size_ += chunk.size();
-    chunks_.push_back(std::move(chunk));
+    Chunk c;
+    c.owned = std::move(chunk);
+    chunks_.push_back(std::move(c));
+  }
+
+  // Appends `n` bytes by reference (zero-copy). `on_free` fires exactly once,
+  // when the range is fully consumed (dropped past), cleared, or the buffer
+  // is destroyed; the bytes must remain valid until then.
+  void AppendExternal(const uint8_t* data, uint64_t n, std::function<void()> on_free) {
+    NK_CHECK(n > 0);
+    Chunk c;
+    c.ext = data;
+    c.ext_len = n;
+    c.on_free = std::move(on_free);
+    chunks_.push_back(std::move(c));
+    size_ += n;
   }
 
   // Copies `n` bytes starting `offset` bytes from the front into `out`.
@@ -44,7 +75,7 @@ class ByteBuffer {
     }
     uint64_t copied = 0;
     while (copied < n) {
-      const auto& c = chunks_[ci];
+      const Chunk& c = chunks_[ci];
       uint64_t avail = c.size() - skip;
       uint64_t take = n - copied < avail ? n - copied : avail;
       std::memcpy(out + copied, c.data() + skip, take);
@@ -54,14 +85,17 @@ class ByteBuffer {
     }
   }
 
-  // Removes `n` bytes from the front.
+  // Removes `n` bytes from the front, firing free callbacks of external
+  // chunks that are fully passed.
   void Drop(uint64_t n) {
     NK_CHECK(n <= size_);
     size_ -= n;
     head_offset_ += n;
     while (!chunks_.empty() && head_offset_ >= chunks_.front().size()) {
       head_offset_ -= chunks_.front().size();
+      Chunk c = std::move(chunks_.front());
       chunks_.pop_front();
+      c.Release();  // may run arbitrary code; chunk already detached
     }
   }
 
@@ -76,13 +110,48 @@ class ByteBuffer {
   }
 
   void Clear() {
-    chunks_.clear();
+    std::deque<Chunk> doomed;
+    doomed.swap(chunks_);
     size_ = 0;
     head_offset_ = 0;
+    for (Chunk& c : doomed) c.Release();
   }
 
  private:
-  std::deque<std::vector<uint8_t>> chunks_;
+  struct Chunk {
+    std::vector<uint8_t> owned;
+    const uint8_t* ext = nullptr;  // external range (owned is empty then)
+    uint64_t ext_len = 0;
+    std::function<void()> on_free;
+
+    Chunk() = default;
+    Chunk(Chunk&& o) noexcept
+        : owned(std::move(o.owned)),
+          ext(std::exchange(o.ext, nullptr)),
+          ext_len(std::exchange(o.ext_len, 0)),
+          on_free(std::exchange(o.on_free, nullptr)) {}
+    Chunk& operator=(Chunk&& o) noexcept {
+      if (this != &o) {
+        Release();
+        owned = std::move(o.owned);
+        ext = std::exchange(o.ext, nullptr);
+        ext_len = std::exchange(o.ext_len, 0);
+        on_free = std::exchange(o.on_free, nullptr);
+      }
+      return *this;
+    }
+    Chunk(const Chunk&) = delete;
+    Chunk& operator=(const Chunk&) = delete;
+    ~Chunk() { Release(); }
+
+    void Release() {
+      if (on_free) std::exchange(on_free, nullptr)();
+    }
+    const uint8_t* data() const { return ext != nullptr ? ext : owned.data(); }
+    uint64_t size() const { return ext != nullptr ? ext_len : owned.size(); }
+  };
+
+  std::deque<Chunk> chunks_;
   uint64_t size_ = 0;
   uint64_t head_offset_ = 0;  // bytes of chunks_.front() already consumed
 };

@@ -180,6 +180,18 @@ uint64_t TcpStack::Send(SocketId id, const uint8_t* data, uint64_t n) {
   return take;
 }
 
+bool TcpStack::SendZc(SocketId id, const uint8_t* data, uint32_t n,
+                      std::function<void()> on_freed) {
+  Sock* s = Find(id);
+  if (s == nullptr || n == 0) return false;
+  if (s->state != TcpState::kEstablished && s->state != TcpState::kCloseWait) return false;
+  uint64_t space = s->sndbuf_limit > s->sndbuf.size() ? s->sndbuf_limit - s->sndbuf.size() : 0;
+  if (space < n) return false;
+  s->sndbuf.AppendExternal(data, n, std::move(on_freed));
+  PumpTx(id);
+  return true;
+}
+
 uint64_t TcpStack::Recv(SocketId id, uint8_t* out, uint64_t max) {
   Sock* s = Find(id);
   if (s == nullptr) return 0;

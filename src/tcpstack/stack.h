@@ -106,6 +106,13 @@ class TcpStack {
   SocketId Accept(SocketId listener);
   // Queues up to `n` bytes (bounded by send-buffer space). Returns queued.
   uint64_t Send(SocketId id, const uint8_t* data, uint64_t n);
+  // Queues `n` bytes by reference (zero-copy): the stack transmits — and
+  // retransmits — directly from `data`, which must stay valid until
+  // `on_freed` fires. It fires exactly once: when the range is ACKed and
+  // drops off the send buffer, or when the socket is torn down with it still
+  // queued. All-or-nothing: returns false (ownership stays with the caller)
+  // when the socket cannot send or send-buffer space is short.
+  bool SendZc(SocketId id, const uint8_t* data, uint32_t n, std::function<void()> on_freed);
   // Reads up to `max` bytes of in-order data. Returns bytes read.
   uint64_t Recv(SocketId id, uint8_t* out, uint64_t max);
   void Close(SocketId id);

@@ -109,6 +109,7 @@ enum TcpError : int {
   kAddrInUse = -98,
   kNotConnected = -107,
   kWouldBlock = -11,
+  kInvalidArg = -22,  // e.g. an unknown zero-copy loan handle
 };
 
 }  // namespace netkernel::tcp

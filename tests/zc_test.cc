@@ -1,0 +1,518 @@
+// Copyright (c) NetKernel reproduction authors.
+// Zero-copy registered-buffer datapath tests: ByteBuffer external chunks with
+// free callbacks, the NkBuf loaning surface on GuestLib and
+// BaselineSocketApi (API transparency), the vectored Sendv/Recvv surface,
+// and send-credit conservation across connection teardown mid-flight.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/netkernel.h"
+#include "src/tcpstack/byte_buffer.h"
+
+namespace netkernel {
+namespace {
+
+using core::Host;
+using core::NkBuf;
+using core::NkConstIoVec;
+using core::NkIoVec;
+using core::Nsm;
+using core::NsmKind;
+using core::SocketApi;
+using core::Vm;
+
+// ---------------------------------------------------------------------------
+// ByteBuffer: external (borrowed) chunks with free callbacks
+// ---------------------------------------------------------------------------
+
+TEST(ByteBufferZc, ExternalChunkFreesOnlyWhenFullyDropped) {
+  tcp::ByteBuffer buf;
+  std::vector<uint8_t> ext(100);
+  for (size_t i = 0; i < ext.size(); ++i) ext[i] = static_cast<uint8_t>(i);
+  int freed = 0;
+  buf.AppendExternal(ext.data(), ext.size(), [&] { ++freed; });
+  EXPECT_EQ(buf.size(), 100u);
+
+  uint8_t out[100];
+  buf.CopyOut(0, 100, out);  // retransmission-style read in place
+  EXPECT_EQ(0, std::memcmp(out, ext.data(), 100));
+
+  buf.Drop(40);
+  EXPECT_EQ(freed, 0);  // partially consumed: bytes must stay valid
+  buf.CopyOut(0, 60, out);
+  EXPECT_EQ(out[0], 40);
+  buf.Drop(60);
+  EXPECT_EQ(freed, 1);  // fully passed: freed exactly once
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(ByteBufferZc, MixedOwnedAndExternalFifo) {
+  tcp::ByteBuffer buf;
+  std::vector<uint8_t> a(10, 0xaa), b(10, 0xbb), c(10, 0xcc);
+  int freed = 0;
+  buf.Append(a.data(), a.size());
+  buf.AppendExternal(b.data(), b.size(), [&] { ++freed; });
+  buf.Append(c.data(), c.size());
+  uint8_t out[30];
+  buf.CopyOut(0, 30, out);
+  EXPECT_EQ(out[5], 0xaa);
+  EXPECT_EQ(out[15], 0xbb);
+  EXPECT_EQ(out[25], 0xcc);
+  uint8_t r[30];
+  EXPECT_EQ(buf.ReadInto(r, 15), 15u);
+  EXPECT_EQ(freed, 0);
+  EXPECT_EQ(buf.ReadInto(r, 10), 10u);
+  EXPECT_EQ(freed, 1);
+  EXPECT_EQ(buf.size(), 5u);
+}
+
+TEST(ByteBufferZc, ClearAndDestructionFireCallbacks) {
+  std::vector<uint8_t> ext(64, 0x7e);
+  int freed = 0;
+  {
+    tcp::ByteBuffer buf;
+    buf.AppendExternal(ext.data(), 64, [&] { ++freed; });
+    buf.Clear();
+    EXPECT_EQ(freed, 1);
+    buf.AppendExternal(ext.data(), 64, [&] { ++freed; });
+    // Buffer destroyed with the chunk still queued (socket teardown path).
+  }
+  EXPECT_EQ(freed, 2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over the simulated datapath
+// ---------------------------------------------------------------------------
+
+class ZcTest : public ::testing::Test {
+ protected:
+  ZcTest() : fabric_(&loop_) { Host::ResetIpAllocator(); }
+
+  Host& HostA() {
+    if (!host_a_) host_a_ = std::make_unique<Host>(&loop_, &fabric_, "hostA");
+    return *host_a_;
+  }
+  Host& HostB() {
+    if (!host_b_) host_b_ = std::make_unique<Host>(&loop_, &fabric_, "hostB");
+    return *host_b_;
+  }
+
+  void Run(SimTime d = 2 * kSecond) { loop_.Run(loop_.Now() + d); }
+
+  sim::EventLoop loop_;
+  netsim::Fabric fabric_;
+  std::unique_ptr<Host> host_a_, host_b_;
+};
+
+// Receives `total` bytes on `port` with plain Recv and checks the rolling
+// pattern the zc sender wrote into its loans.
+sim::Task<void> PatternSink(Vm* vm, uint16_t port, uint64_t total, uint64_t* got, bool* ok) {
+  SocketApi& api = vm->api();
+  sim::CpuCore* cpu = vm->vcpu(0);
+  int lfd = co_await api.Socket(cpu);
+  co_await api.Bind(cpu, lfd, 0, port);
+  co_await api.Listen(cpu, lfd, 16, false);
+  int fd = co_await api.Accept(cpu, lfd);
+  if (fd < 0) co_return;
+  std::vector<uint8_t> buf(64 * 1024);
+  *ok = true;
+  while (*got < total) {
+    int64_t n = co_await api.Recv(cpu, fd, buf.data(), buf.size());
+    if (n <= 0) break;
+    for (int64_t i = 0; i < n; ++i) {
+      if (buf[static_cast<size_t>(i)] != static_cast<uint8_t>((*got + static_cast<uint64_t>(i)) & 0xff)) {
+        *ok = false;
+      }
+    }
+    *got += static_cast<uint64_t>(n);
+  }
+  co_await api.Close(cpu, fd);
+}
+
+// Sends `total` bytes of a rolling pattern through AcquireTxBuf/SendBuf.
+sim::Task<void> ZcPatternSender(Vm* vm, netsim::IpAddr ip, uint16_t port, uint64_t total,
+                                uint32_t msg, bool* sent_ok) {
+  SocketApi& api = vm->api();
+  sim::CpuCore* cpu = vm->vcpu(0);
+  int fd = co_await api.Socket(cpu);
+  if (fd < 0) co_return;
+  if (0 != co_await api.Connect(cpu, fd, ip, port)) co_return;
+  uint64_t sent = 0;
+  *sent_ok = true;
+  while (sent < total) {
+    NkBuf loan;
+    int r = co_await api.AcquireTxBuf(cpu, fd, msg, &loan);
+    if (r != 0) {
+      *sent_ok = false;
+      break;
+    }
+    loan.size = static_cast<uint32_t>(
+        std::min<uint64_t>({loan.capacity, static_cast<uint64_t>(msg), total - sent}));
+    for (uint32_t i = 0; i < loan.size; ++i) {
+      loan.data[i] = static_cast<uint8_t>((sent + i) & 0xff);  // filled in place
+    }
+    int64_t n = co_await api.SendBuf(cpu, fd, loan);
+    if (n != static_cast<int64_t>(loan.size)) {
+      *sent_ok = false;
+      break;
+    }
+    sent += static_cast<uint64_t>(n);
+  }
+  co_await api.Close(cpu, fd);
+}
+
+TEST_F(ZcTest, NetkernelZcSendDeliversBytesIntactAndConservesCredit) {
+  Nsm* nsm = HostA().CreateNsm("nsm", 2, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 2, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 4);
+
+  const uint64_t kTotal = 4 * kMiB;
+  uint64_t got = 0;
+  bool recv_ok = false, sent_ok = false;
+  sim::Spawn(PatternSink(peer, 9000, kTotal, &got, &recv_ok));
+  sim::Spawn(ZcPatternSender(nk, peer->ip(), 9000, kTotal, 8192, &sent_ok));
+  Run(3 * kSecond);
+
+  EXPECT_TRUE(sent_ok);
+  EXPECT_TRUE(recv_ok);
+  EXPECT_EQ(got, kTotal);
+  // Credit conservation: every zc send completed, and every hugepage chunk
+  // went back to the pool (nothing in flight, nothing leaked).
+  EXPECT_GT(nk->guestlib()->zc_sends(), 0u);
+  EXPECT_EQ(nk->guestlib()->zc_sends(), nk->guestlib()->zc_completions());
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(ZcTest, BaselineZcTransparency) {
+  // The identical zc application logic runs unmodified on the Baseline API
+  // (heap-arena loans): the abstraction boundary holds.
+  Vm* base = HostA().CreateBaselineVm("base", 2);
+  Vm* peer = HostB().CreateBaselineVm("peer", 4);
+
+  const uint64_t kTotal = 2 * kMiB;
+  uint64_t got = 0;
+  bool recv_ok = false, sent_ok = false;
+  sim::Spawn(PatternSink(peer, 9000, kTotal, &got, &recv_ok));
+  sim::Spawn(ZcPatternSender(base, peer->ip(), 9000, kTotal, 8192, &sent_ok));
+  Run(3 * kSecond);
+
+  EXPECT_TRUE(sent_ok);
+  EXPECT_TRUE(recv_ok);
+  EXPECT_EQ(got, kTotal);
+}
+
+TEST_F(ZcTest, NetkernelRecvBufLoansAndReleasesChunks) {
+  Nsm* nsm = HostA().CreateNsm("nsm", 2, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 2, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 4);
+
+  const uint64_t kTotal = 2 * kMiB;
+  uint64_t got = 0;
+  bool ok = true;
+  bool done = false;
+  auto server = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int lfd = co_await api.Socket(cpu);
+    co_await api.Bind(cpu, lfd, 0, 9000);
+    co_await api.Listen(cpu, lfd, 16, false);
+    int fd = co_await api.Accept(cpu, lfd);
+    while (got < kTotal) {
+      NkBuf loan;
+      int64_t n = co_await api.RecvBuf(cpu, fd, &loan);
+      if (n <= 0) break;
+      for (int64_t i = 0; i < n; ++i) {
+        if (loan.data[i] != static_cast<uint8_t>((got + static_cast<uint64_t>(i)) & 0xff)) {
+          ok = false;
+        }
+      }
+      got += static_cast<uint64_t>(n);
+      int r = co_await api.ReleaseBuf(cpu, fd, loan);
+      if (r != 0) ok = false;
+    }
+    co_await api.Close(cpu, fd);
+    done = true;
+  };
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = peer->api();
+    sim::CpuCore* cpu = peer->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, nk->ip(), 9000)) co_return;
+    std::vector<uint8_t> msg(16384);
+    uint64_t sent = 0;
+    while (sent < kTotal) {
+      uint64_t chunk = std::min<uint64_t>(msg.size(), kTotal - sent);
+      for (uint64_t i = 0; i < chunk; ++i) msg[i] = static_cast<uint8_t>((sent + i) & 0xff);
+      int64_t n = co_await api.Send(cpu, fd, msg.data(), chunk);
+      if (n <= 0) break;
+      sent += static_cast<uint64_t>(n);
+    }
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(server());
+  sim::Spawn(client());
+  Run(3 * kSecond);
+
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, kTotal);
+  // Every loaned RX chunk was released back to the pool.
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(ZcTest, VectoredSendvRecvvGatherScatter) {
+  Nsm* nsm = HostA().CreateNsm("nsm", 2, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 2, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 4);
+
+  // 3-element gather on the NetKernel sender, 2-element scatter on the
+  // Baseline receiver: bytes must arrive in order across both shims.
+  std::vector<uint8_t> part_a(1000), part_b(5000), part_c(70000);
+  Rng rng(7);
+  for (auto* v : {&part_a, &part_b, &part_c}) {
+    for (auto& b : *v) b = static_cast<uint8_t>(rng.Next());
+  }
+  const uint64_t kTotal = part_a.size() + part_b.size() + part_c.size();
+  std::vector<uint8_t> rx_a(30000), rx_b(kTotal);
+  uint64_t got = 0;
+  int64_t sendv_result = -1;
+  auto server = [&]() -> sim::Task<void> {
+    SocketApi& api = peer->api();
+    sim::CpuCore* cpu = peer->vcpu(0);
+    int lfd = co_await api.Socket(cpu);
+    co_await api.Bind(cpu, lfd, 0, 9000);
+    co_await api.Listen(cpu, lfd, 16, false);
+    int fd = co_await api.Accept(cpu, lfd);
+    while (got < kTotal) {
+      NkIoVec iov[2] = {{rx_a.data() + (got < rx_a.size() ? got : rx_a.size()), 0},
+                        {nullptr, 0}};
+      // Scatter: fill what remains of rx_a first, then rx_b.
+      uint64_t a_left = got < rx_a.size() ? rx_a.size() - got : 0;
+      iov[0] = {rx_a.data() + (rx_a.size() - a_left), a_left};
+      uint64_t b_off = got > rx_a.size() ? got - rx_a.size() : 0;
+      iov[1] = {rx_b.data() + b_off, rx_b.size() - b_off};
+      int64_t n = co_await api.Recvv(cpu, fd, iov, 2);
+      if (n <= 0) break;
+      got += static_cast<uint64_t>(n);
+    }
+    co_await api.Close(cpu, fd);
+  };
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, peer->ip(), 9000)) co_return;
+    NkConstIoVec iov[3] = {{part_a.data(), part_a.size()},
+                           {part_b.data(), part_b.size()},
+                           {part_c.data(), part_c.size()}};
+    sendv_result = co_await api.Sendv(cpu, fd, iov, 3);
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(server());
+  sim::Spawn(client());
+  Run(3 * kSecond);
+
+  EXPECT_EQ(sendv_result, static_cast<int64_t>(kTotal));
+  ASSERT_EQ(got, kTotal);
+  std::vector<uint8_t> expect;
+  expect.insert(expect.end(), part_a.begin(), part_a.end());
+  expect.insert(expect.end(), part_b.begin(), part_b.end());
+  expect.insert(expect.end(), part_c.begin(), part_c.end());
+  std::vector<uint8_t> received(rx_a.begin(), rx_a.end());
+  received.insert(received.end(), rx_b.begin(), rx_b.begin() + (kTotal - rx_a.size()));
+  EXPECT_EQ(0, std::memcmp(expect.data(), received.data(), kTotal));
+}
+
+TEST_F(ZcTest, CreditConservedAcrossTeardownMidFlight) {
+  // The NSM-side connection is aborted (RST) while zc chunks sit unACKed in
+  // the stack's send buffer. Teardown must fire every chunk's free callback:
+  // chunks return to the pool and every zc send gets its completion (ACK,
+  // teardown free, or FailZcTx for chunks that arrive after the abort).
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 1);
+
+  bool sender_done = false;
+  apps::StreamStats sink;
+  apps::StartStreamSink(peer, 9000, &sink, 1);
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, peer->ip(), 9000)) co_return;
+    for (int i = 0; i < 2000; ++i) {
+      NkBuf loan;
+      int r = co_await api.AcquireTxBuf(cpu, fd, 32768, &loan);
+      if (r != 0) break;
+      loan.size = loan.capacity;
+      std::memset(loan.data, 0x5a, loan.size);
+      int64_t n = co_await api.SendBuf(cpu, fd, loan);
+      if (n <= 0) break;
+    }
+    co_await api.Close(cpu, fd);
+    sender_done = true;
+  };
+  sim::Spawn(client());
+  // Mid-flight, with the send pipeline full, RST every NSM-side socket.
+  loop_.Schedule(30 * kMillisecond, [&] {
+    for (tcp::SocketId sid = 1; sid <= 8; ++sid) {
+      if (nsm->stack()->Exists(sid)) nsm->stack()->Abort(sid);
+    }
+  });
+  Run(5 * kSecond);
+
+  EXPECT_TRUE(sender_done);
+  EXPECT_GT(nk->guestlib()->zc_sends(), 0u);
+  // Conservation: every chunk freed (pool drained), every send completed —
+  // whether by ACK, by the teardown firing its free callback, or by an
+  // error completion reclaiming guest-held state.
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+  EXPECT_EQ(nk->guestlib()->zc_sends(),
+            nk->guestlib()->zc_completions() + nk->guestlib()->send_credit_reclaims());
+}
+
+TEST_F(ZcTest, PoolDrainsAfterNsmDeathMidFlight) {
+  // Harsher teardown: the NSM is deregistered from CoreEngine mid-stream.
+  // Queued kSendZc NQEs get flagged error completions (guest frees + credit
+  // reclaim); chunks already inside the NSM drain through ACKs. Either way
+  // the shared pool must end empty — no chunk leaks across the death.
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 1);
+
+  apps::StreamStats sink;
+  apps::StartStreamSink(peer, 9000, &sink, 1);
+  bool sender_done = false;
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, peer->ip(), 9000)) co_return;
+    for (int i = 0; i < 2000; ++i) {
+      NkBuf loan;
+      int r = co_await api.AcquireTxBuf(cpu, fd, 32768, &loan);
+      if (r != 0) break;
+      loan.size = loan.capacity;
+      std::memset(loan.data, 0x5a, loan.size);
+      int64_t n = co_await api.SendBuf(cpu, fd, loan);
+      if (n <= 0) break;
+    }
+    co_await api.Close(cpu, fd);
+    sender_done = true;
+  };
+  sim::Spawn(client());
+  loop_.Schedule(30 * kMillisecond, [&] { HostA().ce().DeregisterNsmDevice(nsm->id()); });
+  Run(5 * kSecond);
+
+  EXPECT_TRUE(sender_done);
+  EXPECT_GT(nk->guestlib()->zc_sends(), 0u);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(ZcTest, ShmNsmCarriesZcSends) {
+  // The shared-memory NSM speaks the same NQE protocol: kSendZc rides it and
+  // completes with kSendZcComplete when the pool-to-pool copy lands.
+  Nsm* nsm = HostA().CreateNsm("shm", 2, NsmKind::kShm);
+  Vm* a = HostA().CreateNetkernelVm("vmA", 1, nsm);
+  Vm* b = HostA().CreateNetkernelVm("vmB", 1, nsm);
+
+  const uint64_t kTotal = 1 * kMiB;
+  uint64_t got = 0;
+  bool recv_ok = false, sent_ok = false;
+  sim::Spawn(PatternSink(b, 9000, kTotal, &got, &recv_ok));
+  sim::Spawn(ZcPatternSender(a, b->ip(), 9000, kTotal, 8192, &sent_ok));
+  Run(3 * kSecond);
+
+  EXPECT_TRUE(sent_ok);
+  EXPECT_TRUE(recv_ok);
+  EXPECT_EQ(got, kTotal);
+  EXPECT_EQ(a->guestlib()->zc_sends(), a->guestlib()->zc_completions());
+  EXPECT_EQ(a->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(ZcTest, ReleaseUnsentTxLoanReturnsCredit) {
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 1);
+
+  bool ok = false;
+  auto server = [&]() -> sim::Task<void> {
+    SocketApi& api = peer->api();
+    sim::CpuCore* cpu = peer->vcpu(0);
+    int lfd = co_await api.Socket(cpu);
+    co_await api.Bind(cpu, lfd, 0, 9000);
+    co_await api.Listen(cpu, lfd, 16, false);
+    co_await api.Accept(cpu, lfd);
+  };
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, peer->ip(), 9000)) co_return;
+    NkBuf loan;
+    if (0 != co_await api.AcquireTxBuf(cpu, fd, 4096, &loan)) co_return;
+    // Changed our mind: release without sending. Credit and chunk return.
+    if (0 != co_await api.ReleaseBuf(cpu, fd, loan)) co_return;
+    // Double release of the same handle must fail.
+    if (tcp::kInvalidArg != co_await api.ReleaseBuf(cpu, fd, loan)) co_return;
+    ok = true;
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(server());
+  sim::Spawn(client());
+  Run();
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(ZcTest, ListenerCloseClosesPendingAcceptedConnections) {
+  // Accepted-but-unclaimed NSM connections must be torn down when the guest
+  // closes the listener: the peer sees EOF/reset instead of a half-open
+  // connection leaking in the NSM forever.
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 1);
+
+  int listener_closed = -1;
+  auto server = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int lfd = co_await api.Socket(cpu);
+    co_await api.Bind(cpu, lfd, 0, 9000);
+    co_await api.Listen(cpu, lfd, 16, false);
+    // Never accept; close after the client has established.
+    co_await sim::Delay(api.loop(), 100 * kMillisecond);
+    listener_closed = co_await api.Close(cpu, lfd);
+  };
+  int64_t peer_read = -2;
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = peer->api();
+    sim::CpuCore* cpu = peer->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, nk->ip(), 9000)) co_return;
+    // Blocks until the NSM-side socket is closed by the listener teardown.
+    std::vector<uint8_t> buf(256);
+    peer_read = co_await api.Recv(cpu, fd, buf.data(), buf.size());
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(server());
+  sim::Spawn(client());
+  Run(5 * kSecond);
+
+  EXPECT_EQ(listener_closed, 0);
+  // EOF (0) or reset (negative): either proves the connection was torn down
+  // rather than leaked half-open.
+  EXPECT_LE(peer_read, 0);
+  EXPECT_NE(peer_read, -2);
+  // The NSM holds no connection state for the dead listener's children.
+  EXPECT_EQ(HostA().ce().ConnectionTableSize(), 0u);
+}
+
+}  // namespace
+}  // namespace netkernel
