@@ -24,9 +24,16 @@ namespace {
 
 enum class Mode { kBaseline, kNetkernel, kNetkernelZc };
 
-// Returns cycles consumed by the measured side per delivered byte.
-double MeasureCycles(Mode mode, double target_gbps) {
-  bench::Testbed tb;
+// Returns cycles consumed by the measured side per delivered byte. With
+// `measure_rx` the measured VM is the *receiver* (the peer sends paced
+// streams at it); zc mode then drains through RecvBuf/ReleaseBuf loans while
+// the NSM ships detached pool chunks (the RX zero-copy datapath).
+double MeasureCycles(Mode mode, double target_gbps, bool measure_rx = false) {
+  core::Host::Options opts;
+  // The RX copy baseline is the pre-zc receive path: inbound bytes stage in
+  // the stack's own rcvbuf and ShipRecv pays the rcvbuf->hugepage copy.
+  if (measure_rx && mode == Mode::kNetkernel) opts.servicelib.rx_zerocopy = false;
+  bench::Testbed tb(opts);
   core::Vm* vm;
   if (mode == Mode::kBaseline) {
     vm = tb.MakeBaselineVm(4);
@@ -35,15 +42,18 @@ double MeasureCycles(Mode mode, double target_gbps) {
   }
   core::Vm* peer = tb.MakePeer();
   apps::StreamStats sink, tx;
-  apps::StartStreamSink(peer, 9000, &sink);
+  core::Vm* sender = measure_rx ? peer : vm;
+  core::Vm* receiver = measure_rx ? vm : peer;
+  const bool zc = mode == Mode::kNetkernelZc;
+  apps::StartStreamSink(receiver, 9000, &sink, 0, 0, measure_rx && zc);
   apps::StreamConfig cfg;
-  cfg.dst_ip = peer->ip();
+  cfg.dst_ip = receiver->ip();
   cfg.port = 9000;
   cfg.connections = 8;
   cfg.message_size = 8192;
   cfg.paced_gbps = target_gbps;
-  cfg.zerocopy = mode == Mode::kNetkernelZc;
-  apps::StartStreamSenders(vm, cfg, &tx);
+  cfg.zerocopy = !measure_rx && zc;
+  apps::StartStreamSenders(sender, cfg, &tx);
 
   tb.Run(30 * kMillisecond);
   vm->ResetCycleAccounting();
@@ -71,28 +81,42 @@ int main(int argc, char** argv) {
 
   if (smoke) {
     // CI gate: the zero-copy datapath must eliminate measurable per-byte CPU
-    // vs the copy path at a mid-table rate. Deterministic DES — cannot flake.
+    // vs the copy path at a mid-table rate, in BOTH directions (TX since
+    // PR 4; RX since PR 5's detach-and-forward ship). Deterministic DES —
+    // cannot flake.
     const double g = 40.0;
+    const double kMaxRatio = 0.9;  // zc must save >= 10% cycles/byte
     double nk = MeasureCycles(Mode::kNetkernel, g);
     double zc = MeasureCycles(Mode::kNetkernelZc, g);
-    std::printf("NetKernel @%.0fG: copy %.3f cyc/B, zerocopy %.3f cyc/B (%.2fx)\n", g, nk, zc,
-                zc / nk);
+    std::printf("NetKernel TX @%.0fG: copy %.3f cyc/B, zerocopy %.3f cyc/B (%.2fx)\n", g, nk,
+                zc, zc / nk);
     bench::GlobalJson().Add("table6_cpu", "target=40g mode=nk", "cycles_per_byte", nk);
     bench::GlobalJson().Add("table6_cpu", "target=40g mode=nk_zc", "cycles_per_byte", zc);
-    const double kMaxRatio = 0.9;  // zc must save >= 10% cycles/byte
     if (zc >= nk * kMaxRatio) {
-      std::printf("SMOKE FAIL: zerocopy %.3f cyc/B not < %.2fx of copy path %.3f\n", zc,
+      std::printf("SMOKE FAIL: TX zerocopy %.3f cyc/B not < %.2fx of copy path %.3f\n", zc,
                   kMaxRatio, nk);
       rc = 1;
-    } else {
-      std::printf("SMOKE PASS (zerocopy < %.2fx of copy path)\n", kMaxRatio);
     }
+    double nk_rx = MeasureCycles(Mode::kNetkernel, g, /*measure_rx=*/true);
+    double zc_rx = MeasureCycles(Mode::kNetkernelZc, g, /*measure_rx=*/true);
+    std::printf("NetKernel RX @%.0fG: copy %.3f cyc/B, zerocopy %.3f cyc/B (%.2fx)\n", g,
+                nk_rx, zc_rx, zc_rx / nk_rx);
+    bench::GlobalJson().Add("table6_cpu", "target=40g mode=nk_rx", "cycles_per_byte", nk_rx);
+    bench::GlobalJson().Add("table6_cpu", "target=40g mode=nk_rx_zc", "cycles_per_byte",
+                            zc_rx);
+    if (zc_rx >= nk_rx * kMaxRatio) {
+      std::printf("SMOKE FAIL: RX zerocopy %.3f cyc/B not < %.2fx of copy path %.3f\n", zc_rx,
+                  kMaxRatio, nk_rx);
+      rc = 1;
+    }
+    if (rc == 0) std::printf("SMOKE PASS (TX and RX zerocopy < %.2fx of copy path)\n", kMaxRatio);
     if (!bench::GlobalJson().Write()) rc = rc == 0 ? 2 : rc;
     return rc;
   }
 
   bench::PrintHeader("Table 6: normalized CPU usage vs throughput (8KB, 8 streams)",
                      "paper Table 6 (1.14x @20G ... 1.70x @100G); zc = NkBuf loaning path");
+  std::printf("TX (measured VM sends)\n");
   std::printf("%12s %12s %12s %9s %12s %9s\n", "target Gbps", "Base cyc/B", "NK cyc/B",
               "NK/Base", "NKzc cyc/B", "NKzc/Base");
   for (double g : {20.0, 40.0, 60.0, 80.0, 94.0}) {
@@ -106,10 +130,26 @@ int main(int argc, char** argv) {
     bench::GlobalJson().Add("table6_cpu", cfg + " mode=nk", "cycles_per_byte", nk);
     bench::GlobalJson().Add("table6_cpu", cfg + " mode=nk_zc", "cycles_per_byte", zc);
   }
+  std::printf("\nRX (measured VM receives; NK copy = staging rcvbuf ship, zc = detached"
+              " pool chunks + RecvBuf loans)\n");
+  std::printf("%12s %12s %12s %9s %12s %9s\n", "target Gbps", "Base cyc/B", "NK cyc/B",
+              "NK/Base", "NKzc cyc/B", "NKzc/Base");
+  for (double g : {20.0, 40.0, 60.0, 80.0, 94.0}) {
+    double base = MeasureCycles(Mode::kBaseline, g, true);
+    double nk = MeasureCycles(Mode::kNetkernel, g, true);
+    double zc = MeasureCycles(Mode::kNetkernelZc, g, true);
+    std::printf("%12.0f %12.3f %12.3f %8.2fx %12.3f %8.2fx\n", g, base, nk, nk / base, zc,
+                zc / base);
+    const std::string cfg = "target=" + std::to_string(static_cast<int>(g)) + "g";
+    bench::GlobalJson().Add("table6_cpu", cfg + " mode=base_rx", "cycles_per_byte", base);
+    bench::GlobalJson().Add("table6_cpu", cfg + " mode=nk_rx", "cycles_per_byte", nk);
+    bench::GlobalJson().Add("table6_cpu", cfg + " mode=nk_rx_zc", "cycles_per_byte", zc);
+  }
   std::printf(
       "\nNote: the copy-path overhead is dominated by the hugepage<->stack\n"
-      "copy (§7.8); the zc column shows it eliminated by the NkBuf loaning\n"
-      "datapath (send credits return on ACK via kSendZcComplete).\n");
+      "copy (§7.8); the zc columns show it eliminated in both directions by\n"
+      "the NkBuf loaning datapath (TX credits return on ACK via\n"
+      "kSendZcComplete; RX segments land in pool chunks ShipRecv detaches).\n");
   if (!bench::GlobalJson().Write()) rc = 2;
   return rc;
 }

@@ -194,9 +194,14 @@ inline CeShardResult RunCeShardExperiment(int shards, SimTime window = 10 * kMil
 class Testbed {
  public:
   explicit Testbed(netsim::Link::Config port = {})
+      : Testbed(core::Host::Options{port, {}, {}, {}}) {}
+  // Full control over the measured host's plumbing (CE shards, GuestLib /
+  // ServiceLib ablation knobs such as rx_zerocopy). The peer host keeps the
+  // same link config but default plumbing.
+  explicit Testbed(core::Host::Options a_options)
       : fabric_(&loop_),
-        host_a_(&loop_, &fabric_, "hostA", core::Host::Options{port, {}}),
-        host_b_(&loop_, &fabric_, "hostB", core::Host::Options{port, {}}) {}
+        host_a_(&loop_, &fabric_, "hostA", a_options),
+        host_b_(&loop_, &fabric_, "hostB", core::Host::Options{a_options.port, {}, {}, {}}) {}
 
   sim::EventLoop& loop() { return loop_; }
   netsim::Fabric& fabric() { return fabric_; }

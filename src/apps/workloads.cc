@@ -295,37 +295,73 @@ sim::Task<void> UdpKvServerThread(core::Vm* vm, int thread_idx, uint16_t port,
   for (;;) {
     netsim::IpAddr src_ip = 0;
     uint16_t src_port = 0;
-    int64_t n = co_await api.RecvFrom(core, fd, req.data(), req.size(), &src_ip, &src_port);
-    if (n < static_cast<int64_t>(kUdpKvHeader)) continue;  // malformed
+    int64_t n;
+    core::NkBuf req_loan;
+    const uint8_t* req_data;
+    if (cfg.zerocopy) {
+      // Request arrives as a loaned chunk: parse it in place.
+      n = co_await api.RecvFromBuf(core, fd, &req_loan, &src_ip, &src_port);
+      req_data = req_loan.data;
+    } else {
+      n = co_await api.RecvFrom(core, fd, req.data(), req.size(), &src_ip, &src_port);
+      req_data = req.data();
+    }
+    if (n < static_cast<int64_t>(kUdpKvHeader)) {  // malformed
+      if (cfg.zerocopy && n >= 0) co_await api.ReleaseBuf(core, fd, req_loan);
+      continue;
+    }
     stats->bytes_in += static_cast<uint64_t>(n);
-    uint8_t op = req[0];
-    uint64_t req_id = GetU64(req.data() + 1);
-    uint64_t key = GetU64(req.data() + 9);
+    uint8_t op = req_data[0];
+    uint64_t req_id = GetU64(req_data + 1);
+    uint64_t key = GetU64(req_data + 9);
 
     if (cfg.app_cycles_per_request > 0) {
       co_await core->Work(cfg.app_cycles_per_request);
     }
 
     uint64_t resp_len = 9;
+    uint8_t status = 0;
+    const std::vector<uint8_t>* value = nullptr;
     if (op == 1) {  // SET
-      store[key].assign(req.begin() + kUdpKvHeader, req.begin() + n);
-      resp[0] = 0;
+      store[key].assign(req_data + kUdpKvHeader, req_data + n);
       ++stats->sets;
     } else {  // GET
       auto it = store.find(key);
       if (it == store.end()) {
-        resp[0] = 1;
+        status = 1;
         ++stats->misses;
       } else {
-        resp[0] = 0;
-        std::copy(it->second.begin(), it->second.end(), resp.begin() + 9);
+        value = &it->second;
         resp_len += it->second.size();
         ++stats->hits;
       }
       ++stats->gets;
     }
-    PutU64(resp.data() + 1, req_id);
-    int64_t sent = co_await api.SendTo(core, fd, src_ip, src_port, resp.data(), resp_len);
+    if (cfg.zerocopy) co_await api.ReleaseBuf(core, fd, req_loan);
+
+    int64_t sent = -1;
+    if (cfg.zerocopy) {
+      // Build the response straight into a loaned chunk and transfer it. An
+      // acquire failure (pool pressure) drops the response like any UDP
+      // loss, but the request still counts — same contract as the copy path.
+      core::NkBuf resp_loan;
+      int r = co_await api.AcquireTxBuf(core, fd, static_cast<uint32_t>(resp_len), &resp_loan);
+      if (r == 0) {
+        resp_loan.size =
+            static_cast<uint32_t>(std::min<uint64_t>(resp_len, resp_loan.capacity));
+        resp_loan.data[0] = status;
+        PutU64(resp_loan.data + 1, req_id);
+        if (value != nullptr && resp_loan.size >= 9 + value->size()) {
+          std::copy(value->begin(), value->end(), resp_loan.data + 9);
+        }
+        sent = co_await api.SendToBuf(core, fd, src_ip, src_port, resp_loan);
+      }
+    } else {
+      resp[0] = status;
+      PutU64(resp.data() + 1, req_id);
+      if (value != nullptr) std::copy(value->begin(), value->end(), resp.begin() + 9);
+      sent = co_await api.SendTo(core, fd, src_ip, src_port, resp.data(), resp_len);
+    }
     if (sent > 0) stats->bytes_out += static_cast<uint64_t>(sent);
     ++stats->requests;
     if (stats->rps_series != nullptr) stats->rps_series->Add(loop->Now(), 1.0);
@@ -353,16 +389,31 @@ sim::Task<void> UdpLoadGenReceiver(
   sim::EventLoop* loop = api.loop();
   std::vector<uint8_t> buf(64 * 1024);
   for (;;) {
-    int64_t n = co_await api.RecvFrom(core, fd, buf.data(), buf.size(), nullptr, nullptr);
-    if (n < 9) continue;
-    uint64_t req_id = GetU64(buf.data() + 1);
+    int64_t n;
+    uint8_t status = 0;
+    uint64_t req_id = 0;
+    if (sh->cfg.zerocopy) {
+      core::NkBuf loan;
+      n = co_await api.RecvFromBuf(core, fd, &loan, nullptr, nullptr);
+      if (n >= 9) {
+        status = loan.data[0];
+        req_id = GetU64(loan.data + 1);
+      }
+      if (n >= 0) co_await api.ReleaseBuf(core, fd, loan);
+      if (n < 9) continue;
+    } else {
+      n = co_await api.RecvFrom(core, fd, buf.data(), buf.size(), nullptr, nullptr);
+      if (n < 9) continue;
+      status = buf[0];
+      req_id = GetU64(buf.data() + 1);
+    }
     auto it = out->find(req_id);
     if (it == out->end()) continue;  // duplicate or late beyond accounting
     UdpLoadGenStats* stats = sh->stats;
     ++stats->completed;
     // Hit/miss is a GET-only notion; a SET ack's status 0 means "stored".
     if (!it->second.is_set) {
-      if (buf[0] == 0) {
+      if (status == 0) {
         ++stats->hits;
       } else {
         ++stats->misses;
@@ -401,9 +452,6 @@ sim::Task<void> UdpLoadGenSender(core::Vm* vm, sim::CpuCore* core, int thread_id
     bool is_set = rng.NextBool(cfg.set_fraction);
     uint64_t key = rng.NextBounded(cfg.key_space);
     uint64_t req_id = sh->next_req_id++;
-    req[0] = is_set ? 1 : 0;
-    PutU64(req.data() + 1, req_id);
-    PutU64(req.data() + 9, key);
     uint64_t len = is_set ? kUdpKvHeader + cfg.value_size : kUdpKvHeader;
     uint16_t port = static_cast<uint16_t>(
         cfg.port + (cfg.ports > 1 ? key % static_cast<uint64_t>(cfg.ports) : 0));
@@ -411,7 +459,31 @@ sim::Task<void> UdpLoadGenSender(core::Vm* vm, sim::CpuCore* core, int thread_id
     ++stats->issued;
     if (stats->first_issue < 0) stats->first_issue = loop->Now();
     (*outstanding)[req_id] = OutstandingReq{loop->Now(), is_set};
-    int64_t sent = co_await api.SendTo(core, fd, cfg.server_ip, port, req.data(), len);
+    int64_t sent;
+    if (cfg.zerocopy) {
+      // Fill the request straight into a loaned chunk: no user->hugepage copy.
+      core::NkBuf loan;
+      int r = co_await api.AcquireTxBuf(core, fd, static_cast<uint32_t>(len), &loan);
+      if (r != 0) {
+        sent = r;
+      } else {
+        loan.size = static_cast<uint32_t>(std::min<uint64_t>(len, loan.capacity));
+        loan.data[0] = is_set ? 1 : 0;
+        PutU64(loan.data + 1, req_id);
+        PutU64(loan.data + 9, key);
+        // Only a SET carries a value; fill just that region (the copy path
+        // likewise reuses its preinitialized request buffer).
+        if (loan.size > kUdpKvHeader) {
+          std::memset(loan.data + kUdpKvHeader, 0x6b, loan.size - kUdpKvHeader);
+        }
+        sent = co_await api.SendToBuf(core, fd, cfg.server_ip, port, loan);
+      }
+    } else {
+      req[0] = is_set ? 1 : 0;
+      PutU64(req.data() + 1, req_id);
+      PutU64(req.data() + 9, key);
+      sent = co_await api.SendTo(core, fd, cfg.server_ip, port, req.data(), len);
+    }
     if (sent < 0) {
       ++stats->errors;
       outstanding->erase(req_id);

@@ -153,6 +153,10 @@ struct UdpKvServerConfig {
   int threads = 1;
   int first_thread = 0;  // vCPU index of the first server thread
   Cycles app_cycles_per_request = 0;  // hash-table/app logic per request
+  // Serve over the zero-copy datagram surface: requests arrive as
+  // RecvFromBuf loans, responses are filled in place and sent with
+  // SendToBuf. The identical flag works on Baseline and NetKernel VMs.
+  bool zerocopy = false;
 };
 
 struct UdpKvStats {
@@ -183,6 +187,9 @@ struct UdpLoadGenConfig {
   // Latency percentiles only sample requests issued at or after this instant,
   // so a warmup phase does not skew the steady-state distribution.
   SimTime measure_from = 0;
+  // Issue requests and drain responses over the zero-copy datagram surface
+  // (AcquireTxBuf/SendToBuf + RecvFromBuf/ReleaseBuf).
+  bool zerocopy = false;
 };
 
 struct UdpLoadGenStats {

@@ -228,7 +228,7 @@ sim::Task<int> BaselineSocketApi::AcquireTxBuf(sim::CpuCore* core, int fd, uint3
   const tcp::CostProfile& p = stack_->config().profile;
   co_await core->Work(p.syscall);
   Fd* f = FindFd(fd);
-  if (f == nullptr || f->dgram) co_return tcp::kNotConnected;
+  if (f == nullptr) co_return tcp::kNotConnected;
   if (f->error) co_return f->err;
   // The arena is plain heap: acquisition never blocks (backpressure is
   // applied at SendBuf, where stack send-buffer space gates admission).
@@ -250,12 +250,17 @@ sim::Task<int64_t> BaselineSocketApi::SendBuf(sim::CpuCore* core, int fd, NkBuf 
   const tcp::CostProfile& p = stack_->config().profile;
   co_await core->Work(p.syscall);
   Arena::Block* b = arena_->Find(buf.handle);
-  if (b == nullptr) co_return tcp::kInvalidArg;
+  // A handle already handed to the stack is no longer the app's to send:
+  // without the in_flight check a second SendBuf would queue the same block
+  // twice and the first ACK's free would leave the stack transmitting from
+  // freed memory.
+  if (b == nullptr || b->in_flight) co_return tcp::kInvalidArg;
   const uint32_t n = std::min(buf.size, b->size);
   if (n == 0) {
     arena_->Free(buf.handle);
     co_return 0;
   }
+  b->in_flight = true;
   const uint8_t* data = b->mem.get();
   for (;;) {
     Fd* f = FindFd(fd);
@@ -279,6 +284,64 @@ sim::Task<int64_t> BaselineSocketApi::SendBuf(sim::CpuCore* core, int fd, NkBuf 
       co_return tcp::kConnReset;
     }
     co_await f->ev->Wait();  // send-buffer space frees on ACK
+  }
+}
+
+sim::Task<int64_t> BaselineSocketApi::SendToBuf(sim::CpuCore* core, int fd,
+                                                netsim::IpAddr dst_ip, uint16_t dst_port,
+                                                NkBuf buf) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  Arena::Block* b = arena_->Find(buf.handle);
+  if (b == nullptr || b->in_flight) co_return tcp::kInvalidArg;
+  const uint32_t n = std::min(buf.size, b->size);
+  Fd* f = FindFd(fd);
+  if (f == nullptr || !f->dgram) {
+    arena_->Free(buf.handle);
+    co_return udp::kBadSocket;
+  }
+  if (n == 0) {
+    arena_->Free(buf.handle);
+    co_return 0;
+  }
+  // MSG_ZEROCOPY-style: the skb is built straight from the block (no
+  // user->kernel copy charged); the block frees when the skb owns the bytes.
+  b->in_flight = true;
+  int r = udp_stack_->SendToZc(f->usid, dst_ip, dst_port, b->mem.get(), n,
+                               [arena = arena_, id = buf.handle] { arena->Free(id); });
+  if (r < 0) {
+    arena_->Free(buf.handle);
+    co_return r;
+  }
+  co_return static_cast<int64_t>(n);
+}
+
+sim::Task<int64_t> BaselineSocketApi::RecvFromBuf(sim::CpuCore* core, int fd, NkBuf* out,
+                                                  netsim::IpAddr* src_ip, uint16_t* src_port) {
+  const tcp::CostProfile& p = stack_->config().profile;
+  co_await core->Work(p.syscall);
+  for (;;) {
+    Fd* f = FindFd(fd);
+    if (f == nullptr || !f->dgram) co_return udp::kBadSocket;
+    uint32_t next = udp_stack_->NextDatagramSize(f->usid);
+    if (udp_stack_->RxQueuedDatagrams(f->usid) > 0) {
+      uint64_t id = arena_->Alloc(next > 0 ? next : 1);
+      uint8_t* data = arena_->Find(id)->mem.get();
+      int64_t n = udp_stack_->RecvFrom(f->usid, data, next, src_ip, src_port);
+      if (n < 0) {
+        arena_->Free(id);
+        continue;
+      }
+      // The kernel->buffer copy stays: with the stack inside the guest there
+      // is no shared region to loan the datagram from.
+      co_await core->Work(static_cast<Cycles>(p.copy_per_byte * n));
+      out->handle = id;
+      out->data = data;
+      out->capacity = next > 0 ? next : 1;
+      out->size = static_cast<uint32_t>(n);
+      co_return n;
+    }
+    co_await f->ev->Wait();
   }
 }
 
@@ -319,7 +382,11 @@ sim::Task<int> BaselineSocketApi::ReleaseBuf(sim::CpuCore* core, int fd, NkBuf b
   const tcp::CostProfile& p = stack_->config().profile;
   co_await core->Work(p.syscall);
   (void)fd;
-  if (arena_->Find(buf.handle) == nullptr) co_return tcp::kInvalidArg;
+  Arena::Block* b = arena_->Find(buf.handle);
+  // Unknown handle (double release) or a block the stack currently owns
+  // (released mid-flight): both are misuse — error out instead of freeing
+  // memory the stack may still transmit from.
+  if (b == nullptr || b->in_flight) co_return tcp::kInvalidArg;
   arena_->Free(buf.handle);
   co_return 0;
 }

@@ -58,6 +58,14 @@ class BaselineSocketApi : public SocketApi {
                             const uint8_t* data, uint64_t len) override;
   sim::Task<int64_t> RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max,
                               netsim::IpAddr* src_ip, uint16_t* src_port) override;
+  // Zero-copy datagrams over the same heap arena: SendToBuf transmits the
+  // wire datagram straight from the loaned block (no user->kernel copy
+  // charged); RecvFromBuf still pays the kernel->buffer copy, the same
+  // architectural gap as stream RecvBuf.
+  sim::Task<int64_t> SendToBuf(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip,
+                               uint16_t dst_port, NkBuf buf) override;
+  sim::Task<int64_t> RecvFromBuf(sim::CpuCore* core, int fd, NkBuf* out, netsim::IpAddr* src_ip,
+                                 uint16_t* src_port) override;
 
   int EpollCreate() override { return epolls_.Create(); }
   int EpollCtl(int epfd, int fd, uint32_t mask) override { return epolls_.Ctl(epfd, fd, mask); }
@@ -87,6 +95,10 @@ class BaselineSocketApi : public SocketApi {
     struct Block {
       std::unique_ptr<uint8_t[]> mem;
       uint32_t size = 0;
+      // Ownership already transferred to the stack (SendBuf/SendToBuf): the
+      // block frees when the stack is done with it, and a second SendBuf or
+      // a ReleaseBuf on the same handle is a misuse error, not a double free.
+      bool in_flight = false;
     };
     std::unordered_map<uint64_t, Block> blocks;
     uint64_t next = 1;

@@ -770,7 +770,8 @@ CoreEngineShard::DgramRoute CoreEngineShard::RouteDgramNqe(const Nqe& nqe,
     ++stats_.table_inserts;
   } else if (entry != nullptr) {
     cost += config.costs.ce_table_lookup;
-  } else if (op == NqeOp::kBindUdp || op == NqeOp::kSendTo || op == NqeOp::kRecvFrom) {
+  } else if (op == NqeOp::kBindUdp || op == NqeOp::kSendTo || op == NqeOp::kSendToZc ||
+             op == NqeOp::kRecvFrom) {
     // Socket not (or no longer) in the table — e.g. a kClose through the job
     // ring overtook kSendTo NQEs still queued on the send ring, or the
     // socket's NSM was deregistered. Forward statelessly to the VM's current
@@ -847,7 +848,8 @@ bool CoreEngineShard::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<De
   d.dst = reg->dev;
   d.qset = nqe.queue_set;
   if (d.qset >= reg->dev->num_queue_sets()) d.qset = 0;
-  d.ring = (op == NqeOp::kRecvData || op == NqeOp::kFinReceived || op == NqeOp::kDgramRecv)
+  d.ring = (op == NqeOp::kRecvData || op == NqeOp::kFinReceived ||
+            op == NqeOp::kDgramRecv || op == NqeOp::kDgramRecvZc)
                ? shm::RingKind::kReceive
                : shm::RingKind::kCompletion;
   d.toward_vm = true;
@@ -876,6 +878,10 @@ bool CoreEngineShard::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
       carries_chunk = true;
       break;
     case NqeOp::kSendTo:
+    case NqeOp::kSendToZc:
+      // A zero-copy datagram that died in the switch unwinds exactly like a
+      // copied one: kSendToResult with the unconsumed-chunk flag (reserved[0]
+      // tells GuestLib which op it retires).
       completion_op = NqeOp::kSendToResult;
       carries_chunk = true;
       break;
@@ -1092,7 +1098,8 @@ bool CoreEngineShard::TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>&
   // ~4 GB of phantom bytes per error FIN.
   NqeOp op = d.nqe.Op();
   if (op == NqeOp::kSend || op == NqeOp::kSendZc || op == NqeOp::kSendTo ||
-      op == NqeOp::kRecvData || op == NqeOp::kDgramRecv) {
+      op == NqeOp::kSendToZc || op == NqeOp::kRecvData || op == NqeOp::kDgramRecv ||
+      op == NqeOp::kDgramRecvZc) {
     pv.bytes += d.nqe.size;
   }
   if (std::find(to_wake.begin(), to_wake.end(), d.dst) == to_wake.end()) {

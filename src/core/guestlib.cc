@@ -296,7 +296,7 @@ sim::Task<int> GuestLib::AcquireTxBuf(sim::CpuCore* core, int fd, uint32_t len, 
   uint32_t handle;
   {
     GSock* g = FindByFd(fd);
-    if (g == nullptr || g->dgram) co_return tcp::kNotConnected;
+    if (g == nullptr) co_return tcp::kNotConnected;
     handle = g->handle;
   }
   const uint32_t want =
@@ -305,7 +305,8 @@ sim::Task<int> GuestLib::AcquireTxBuf(sim::CpuCore* core, int fd, uint32_t len, 
     GSock* g = FindByHandle(handle);
     if (g == nullptr) co_return tcp::kConnReset;
     if (g->error) co_return g->err;
-    if (!g->connected) co_return tcp::kNotConnected;
+    // A datagram loan needs no connection; a stream loan does.
+    if (!g->dgram && !g->connected) co_return tcp::kNotConnected;
     // The credit is reserved at acquire time: an application sitting on a
     // loan holds send-buffer space, exactly like bytes it had written.
     if (g->send_usage + want > g->send_limit) {
@@ -379,7 +380,7 @@ sim::Task<int64_t> GuestLib::RecvBuf(sim::CpuCore* core, int fd, NkBuf* out) {
       g->rx.pop_front();
       const uint32_t avail = c.size - c.consumed;
       g->rx_bytes -= avail;
-      g->rx_loans[c.ptr] = c.size;
+      g->rx_loans[c.ptr] = GSock::RxLoan{c.size, false};
       out->handle = c.ptr;
       out->data = pool_->Data(c.ptr + c.consumed);
       out->capacity = avail;
@@ -398,11 +399,17 @@ sim::Task<int> GuestLib::ReleaseBuf(sim::CpuCore* core, int fd, NkBuf buf) {
   if (g == nullptr) co_return tcp::kNotConnected;  // Close() revoked the loan
   auto rit = g->rx_loans.find(buf.handle);
   if (rit != g->rx_loans.end()) {
-    const uint32_t sz = rit->second;
+    const GSock::RxLoan loan = rit->second;
     g->rx_loans.erase(rit);
     pool_->Free(buf.handle);
-    // Ring the receive-credit channel so the NSM resumes shipping.
-    if (recv_credit_cb_) recv_credit_cb_(g->handle, sz);
+    if (loan.dgram) {
+      // Datagram receive credit returns through the NQE channel (kRecvFrom),
+      // exactly like the copying RecvFrom path.
+      EnqueueJob(*g, MakeNqe(NqeOp::kRecvFrom, vm_id_, 0, g->handle, loan.size));
+    } else if (recv_credit_cb_) {
+      // Ring the stream receive-credit channel so the NSM resumes shipping.
+      recv_credit_cb_(g->handle, loan.size);
+    }
     co_return 0;
   }
   auto tit = g->tx_loans.find(buf.handle);
@@ -514,6 +521,70 @@ sim::Task<int64_t> GuestLib::RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, 
         EnqueueJob(*g2, MakeNqe(NqeOp::kRecvFrom, vm_id_, 0, handle, c.size));
       }
       co_return static_cast<int64_t>(n);
+    }
+    if (g->error) co_return g->err;
+    co_await g->ev->Wait();
+  }
+}
+
+sim::Task<int64_t> GuestLib::SendToBuf(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip,
+                                       uint16_t dst_port, NkBuf buf) {
+  co_await core->Work(config_.syscall + config_.costs.guestlib_translate);
+  GSock* g = FindByFd(fd);
+  if (g == nullptr) co_return udp::kBadSocket;  // Close() revoked the loan
+  auto it = g->tx_loans.find(buf.handle);
+  if (it == g->tx_loans.end()) co_return tcp::kInvalidArg;
+  const uint32_t reserved = it->second;
+  const uint32_t n = std::min(buf.size, reserved);
+  g->tx_loans.erase(it);
+  auto release_credit = [this, g](uint32_t bytes) {
+    g->send_usage = g->send_usage > bytes ? g->send_usage - bytes : 0;
+    g->ev->NotifyAll();
+    epolls_.NotifyFd(g->fd);
+  };
+  if (!g->dgram || g->error || n == 0) {
+    pool_->Free(buf.handle);
+    release_credit(reserved);
+    if (!g->dgram) co_return udp::kBadSocket;
+    if (g->error) co_return g->err;
+    co_return 0;
+  }
+  // No copy: the filled chunk transfers as-is; the credit for unfilled
+  // capacity returns now, the rest when the NSM commits the wire datagram
+  // (kSendToResult with orig kSendToZc).
+  if (n < reserved) release_credit(reserved - n);
+  ++dgram_zc_sends_;
+  EnqueueSend(*g, MakeNqe(NqeOp::kSendToZc, vm_id_, 0, g->handle,
+                          shm::PackAddr(dst_ip, dst_port), buf.handle, n));
+  co_return static_cast<int64_t>(n);
+}
+
+sim::Task<int64_t> GuestLib::RecvFromBuf(sim::CpuCore* core, int fd, NkBuf* out,
+                                         netsim::IpAddr* src_ip, uint16_t* src_port) {
+  co_await core->Work(config_.syscall);
+  uint32_t handle;
+  {
+    GSock* g = FindByFd(fd);
+    if (g == nullptr || !g->dgram) co_return udp::kBadSocket;
+    handle = g->handle;
+  }
+  for (;;) {
+    GSock* g = FindByHandle(handle);
+    if (g == nullptr) co_return udp::kBadSocket;
+    if (!g->drx.empty()) {
+      // Loan the whole datagram chunk to the application — no hugepage->app
+      // copy; the receive credit returns at ReleaseBuf via kRecvFrom.
+      DgramChunk c = g->drx.front();
+      g->drx.pop_front();
+      g->drx_bytes -= c.size;
+      g->rx_loans[c.ptr] = GSock::RxLoan{c.size, true};
+      out->handle = c.ptr;
+      out->data = pool_->Data(c.ptr);
+      out->capacity = c.size;
+      out->size = c.size;
+      if (src_ip != nullptr) *src_ip = shm::AddrIp(c.src);
+      if (src_port != nullptr) *src_port = shm::AddrPort(c.src);
+      co_return static_cast<int64_t>(c.size);
     }
     if (g->error) co_return g->err;
     co_await g->ev->Wait();
@@ -674,7 +745,7 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
     // Socket already closed; free any referenced hugepage chunk. A datagram
     // NQE always references a chunk — even a zero-length datagram rides in a
     // minimal allocation.
-    if (nqe.Op() == NqeOp::kDgramRecv ||
+    if (nqe.Op() == NqeOp::kDgramRecv || nqe.Op() == NqeOp::kDgramRecvZc ||
         (nqe.Op() == NqeOp::kRecvData && nqe.size > 0)) {
       pool_->Free(nqe.data_ptr);
     }
@@ -687,6 +758,10 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
       ++send_credit_reclaims_;
     }
     if (nqe.Op() == NqeOp::kSendZcComplete) ++zc_completions_;
+    if (nqe.Op() == NqeOp::kSendToResult &&
+        static_cast<NqeOp>(nqe.reserved[0]) == NqeOp::kSendToZc) {
+      ++dgram_zc_completions_;
+    }
     return;
   }
   switch (nqe.Op()) {
@@ -706,6 +781,9 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
     case NqeOp::kSendToResult: {
       uint64_t bytes = nqe.op_data;
       g->send_usage = g->send_usage > bytes ? g->send_usage - bytes : 0;
+      if (static_cast<NqeOp>(nqe.reserved[0]) == NqeOp::kSendToZc) {
+        ++dgram_zc_completions_;
+      }
       if (nqe.reserved[1] == shm::kNqeFlagChunkUnconsumed) {
         // CoreEngine could not deliver the send (no NSM, or switch overload
         // beyond the pending bound): reclaim the untouched payload chunk.
@@ -739,6 +817,9 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
       }
       break;
     }
+    case NqeOp::kDgramRecvZc:
+      ++dgram_zc_recvs_;
+      [[fallthrough]];
     case NqeOp::kDgramRecv:
       g->drx.push_back(DgramChunk{nqe.data_ptr, nqe.size, nqe.op_data});
       g->drx_bytes += nqe.size;

@@ -96,6 +96,14 @@ class GuestLib : public SocketApi {
                             const uint8_t* data, uint64_t len) override;
   sim::Task<int64_t> RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max,
                               netsim::IpAddr* src_ip, uint16_t* src_port) override;
+  // Zero-copy datagrams: a TX loan travels as a kSendToZc NQE (credit returns
+  // on kSendToResult once the NSM stack commits the wire datagram); an RX
+  // loan hands the kDgramRecv[Zc] chunk to the app, credit returning through
+  // the kRecvFrom channel at ReleaseBuf.
+  sim::Task<int64_t> SendToBuf(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip,
+                               uint16_t dst_port, NkBuf buf) override;
+  sim::Task<int64_t> RecvFromBuf(sim::CpuCore* core, int fd, NkBuf* out, netsim::IpAddr* src_ip,
+                                 uint16_t* src_port) override;
 
   int EpollCreate() override { return epolls_.Create(); }
   int EpollCtl(int epfd, int fd, uint32_t mask) override { return epolls_.Ctl(epfd, fd, mask); }
@@ -114,6 +122,12 @@ class GuestLib : public SocketApi {
   // issued zc send has exactly one completion).
   uint64_t zc_sends() const { return zc_sends_; }
   uint64_t zc_completions() const { return zc_completions_; }
+  // Same conservation pair for zero-copy datagrams (kSendToZc issued vs
+  // kSendToResult completions whose original op was kSendToZc), plus the
+  // kDgramRecvZc chunks that arrived without a rcvbuf copy.
+  uint64_t dgram_zc_sends() const { return dgram_zc_sends_; }
+  uint64_t dgram_zc_completions() const { return dgram_zc_completions_; }
+  uint64_t dgram_zc_recvs() const { return dgram_zc_recvs_; }
 
  private:
   struct RxChunk {
@@ -153,9 +167,14 @@ class GuestLib : public SocketApi {
     uint64_t send_limit = 0;
     // Zero-copy loans keyed by pool offset. TX: acquired buffers whose credit
     // is reserved (value = reserved bytes). RX: chunks loaned to the app
-    // (value = full chunk size, credited back on release).
+    // (size credited back on release; dgram loans return their credit through
+    // the kRecvFrom NQE channel instead of the shared-memory channel).
+    struct RxLoan {
+      uint32_t size = 0;
+      bool dgram = false;
+    };
     std::unordered_map<uint64_t, uint32_t> tx_loans;
-    std::unordered_map<uint64_t, uint32_t> rx_loans;
+    std::unordered_map<uint64_t, RxLoan> rx_loans;
     // Listener.
     bool listening = false;
     std::deque<uint64_t> pending_conns;  // NSM socket ids awaiting accept()
@@ -208,6 +227,9 @@ class GuestLib : public SocketApi {
   uint64_t send_credit_reclaims_ = 0;
   uint64_t zc_sends_ = 0;
   uint64_t zc_completions_ = 0;
+  uint64_t dgram_zc_sends_ = 0;
+  uint64_t dgram_zc_completions_ = 0;
+  uint64_t dgram_zc_recvs_ = 0;
 };
 
 }  // namespace netkernel::core

@@ -37,6 +37,31 @@ void ServiceLib::AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr
   VmInfo info;
   info.pool = pool;
   info.ip = vm_ip;
+  // RX zero-copy: the stacks draw this VM's receive storage straight from its
+  // hugepage pool, so ShipRecv/ShipDgrams can detach and forward the chunk
+  // the stack already owns. The callbacks outlive arbitrary teardown orders
+  // (they sit inside TcpStack receive buffers), hence the liveness token and
+  // the re-resolution of the pool through vms_.
+  info.rx_allocator = std::make_shared<tcp::ChunkAllocator>();
+  info.rx_allocator->alloc = [this, alive = alive_, vm_id](uint32_t size, uint64_t* handle,
+                                                           uint8_t** data, uint32_t* cap) {
+    if (!*alive) return false;
+    auto it = vms_.find(vm_id);
+    if (it == vms_.end()) return false;
+    shm::HugepagePool* p = it->second.pool;
+    uint32_t want = std::min<uint32_t>(size > 0 ? size : 1, shm::HugepagePool::kMaxChunk);
+    uint64_t off = p->Alloc(want);
+    if (off == shm::HugepagePool::kInvalidOffset) return false;
+    *handle = off;
+    *data = p->Data(off);
+    *cap = p->ChunkCapacity(off);
+    return true;
+  };
+  info.rx_allocator->free = [this, alive = alive_, vm_id](uint64_t handle) {
+    if (!*alive) return;
+    auto it = vms_.find(vm_id);
+    if (it != vms_.end()) it->second.pool->Free(handle);
+  };
   vms_[vm_id] = std::move(info);
 }
 
@@ -107,6 +132,7 @@ void ServiceLib::Respond(const Conn& c, NqeOp op, NqeOp orig, int32_t result, ui
 // ---------------------------------------------------------------------------
 
 void ServiceLib::OnDeviceWake() {
+  if (shutdown_) return;
   for (int qs = 0; qs < dev_->num_queue_sets(); ++qs) {
     shm::QueueSet& q = dev_->queue_set(qs);
     if (!q.job.Empty() || !q.send.Empty()) ProcessQueueSet(qs);
@@ -114,7 +140,7 @@ void ServiceLib::OnDeviceWake() {
 }
 
 void ServiceLib::ProcessQueueSet(int qs) {
-  if (drain_scheduled_[qs]) return;
+  if (shutdown_ || drain_scheduled_[qs]) return;
   drain_scheduled_[qs] = true;
 
   shm::QueueSet& q = dev_->queue_set(qs);
@@ -133,6 +159,13 @@ void ServiceLib::ProcessQueueSet(int qs) {
   int core_idx = qs % stack_->num_cores();
   Cycles cost = config_.costs.servicelib_translate * static_cast<Cycles>(n);
   stack_->core(core_idx)->Charge(cost, [this, qs, nqes = std::move(nqes)]() mutable {
+    if (shutdown_) {
+      // Shutdown raced this in-flight batch: the NQEs were already pulled off
+      // the rings, so the ring drain missed them — unwind their chunks here.
+      for (const Nqe& nqe : nqes) FreeNqeChunk(nqe);
+      drain_scheduled_[qs] = false;
+      return;
+    }
     for (Nqe& nqe : nqes) {
       nqe.reserved[2] = static_cast<uint8_t>(qs);  // processing queue set
       Dispatch(nqe);
@@ -167,7 +200,7 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
     // A kSendTo whose socket already closed (a kClose overtook it through the
     // job ring): the datagram is lost — UDP loses datagrams — but its payload
     // chunk must go back to the pool.
-    if (nqe.Op() == NqeOp::kSendTo) {
+    if (nqe.Op() == NqeOp::kSendTo || nqe.Op() == NqeOp::kSendToZc) {
       auto vit = vms_.find(nqe.vm_id);
       if (vit != vms_.end()) vit->second.pool->Free(nqe.data_ptr);
     }
@@ -194,6 +227,9 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
       break;
     case NqeOp::kSendTo:
       DoSendTo(nqe, *c);
+      break;
+    case NqeOp::kSendToZc:
+      DoSendToZc(nqe, *c);
       break;
     case NqeOp::kRecvFrom:
       // Datagram receive credit: the guest consumed op_data bytes.
@@ -225,6 +261,9 @@ void ServiceLib::DoSocket(const Nqe& nqe) {
   if (vit->second.cc_factory) {
     stack_->SetCongestionControl(sid, vit->second.cc_factory());
   }
+  // RX zero-copy: inbound payload lands in the VM's pool; listeners pass the
+  // allocator on to accepted children inside the stack.
+  if (config_.rx_zerocopy) stack_->SetRxChunkAllocator(sid, vit->second.rx_allocator);
   // Connections of this VM use the VM's address (the NSM's vNIC answers for
   // every address of the VMs it serves).
   stack_->Bind(sid, vit->second.ip, 0);
@@ -519,6 +558,44 @@ void ServiceLib::ShipRecv(tcp::SocketId sid) {
 
   uint64_t avail = stack_->RecvAvailable(sid);
   if (avail > 0 && c->rx_outstanding < config_.rx_outstanding_cap) {
+    // Zero-copy ship: the front of the stack's receive buffer already IS a
+    // chunk of this VM's pool (landed there at segment arrival) — detach it
+    // and forward the handle. No rcvbuf->hugepage copy, no fresh allocation;
+    // the last per-byte touch on the RX path is gone (§7.8). The chunk may
+    // overshoot the outstanding cap by at most one chunk (64 KB).
+    if (stack_->RxDetachable(sid)) {
+      c->ship_pending = true;
+      stack_->ChargeOnSocketCore(sid, 0, [this, sid, pool] {
+        Conn* c2 = FindBySid(sid);
+        if (c2 == nullptr) return;  // rcvbuf teardown frees its own chunks
+        c2->ship_pending = false;
+        tcp::DetachedChunk chunk;
+        if (!stack_->Exists(sid) || !stack_->RecvZcDetach(sid, &chunk)) {
+          ShipRecv(sid);
+          return;
+        }
+        ++rx_zc_ships_;
+        Nqe nqe = MakeNqe(NqeOp::kRecvData, c2->vm_id, c2->vm_qset, c2->vm_sock, 0,
+                          chunk.handle, chunk.size);
+        if (EnqueueToVm(*c2, nqe, true)) {
+          c2->rx_outstanding += chunk.size;
+        } else {
+          // Ring full at the final hop: the detached bytes cannot be
+          // re-queued, so the stream is broken (same as the copy path).
+          pool->Free(chunk.handle);
+          if (!c2->fin_sent_to_vm) {
+            c2->fin_sent_to_vm = true;
+            DeliverErrorFin(sid);
+          }
+          return;
+        }
+        ShipRecv(sid);
+      });
+      return;
+    }
+    // Copy fallback: the front chunk is heap-backed (the pool was exhausted
+    // when the segment landed) or partially consumed — stage it through a
+    // fresh pool chunk with the classic per-byte copy.
     uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
         {shm::HugepagePool::kMaxChunk, avail, config_.rx_outstanding_cap - c->rx_outstanding}));
     uint64_t off = pool->Alloc(chunk);
@@ -536,6 +613,7 @@ void ServiceLib::ShipRecv(tcp::SocketId sid) {
       if (n == 0) {
         pool->Free(off);
       } else {
+        ++rx_copy_ships_;
         Nqe nqe = MakeNqe(NqeOp::kRecvData, c2->vm_id, c2->vm_qset, c2->vm_sock, 0, off,
                           static_cast<uint32_t>(n));
         if (EnqueueToVm(*c2, nqe, true)) {
@@ -638,6 +716,10 @@ void ServiceLib::DoSocketUdp(const Nqe& nqe) {
   udp::UdpSocketCallbacks cbs;
   cbs.on_readable = [this, usid] { ShipDgrams(usid); };
   udp_stack_->SetCallbacks(usid, std::move(cbs));
+  // RX zero-copy: inbound datagrams land directly in the VM's pool.
+  if (config_.rx_zerocopy) {
+    udp_stack_->SetRxChunkAllocator(usid, vit->second.rx_allocator);
+  }
   Respond(c, NqeOp::kOpResult, NqeOp::kSocketUdp, 0, usid);
 }
 
@@ -678,6 +760,79 @@ void ServiceLib::DoSendTo(const Nqe& nqe, Conn& c) {
   });
 }
 
+std::function<void()> ServiceLib::MakeDgramZcFreeCallback(const Conn& c, uint64_t ptr,
+                                                          uint32_t size) {
+  // Fires when the UDP stack commits the wire datagram (skb owns the bytes).
+  // Same teardown hazards as the stream variant: liveness token + pool
+  // re-resolution through vms_.
+  const uint8_t vm_id = c.vm_id;
+  const uint8_t vm_qset = c.vm_qset;
+  const uint8_t nsm_qset = c.nsm_qset;
+  const uint32_t vm_sock = c.vm_sock;
+  return [this, alive = alive_, vm_id, vm_qset, nsm_qset, vm_sock, ptr, size] {
+    if (!*alive) return;
+    auto vit = vms_.find(vm_id);
+    if (vit == vms_.end()) return;
+    vit->second.pool->Free(ptr);
+    Conn tmp;
+    tmp.vm_id = vm_id;
+    tmp.vm_qset = vm_qset;
+    tmp.nsm_qset = nsm_qset;
+    tmp.vm_sock = vm_sock;
+    Nqe nqe = MakeNqe(NqeOp::kSendToResult, vm_id, vm_qset, vm_sock, size);
+    nqe.reserved[0] = static_cast<uint8_t>(NqeOp::kSendToZc);
+    EnqueueToVm(tmp, nqe, false);
+  };
+}
+
+void ServiceLib::DoSendToZc(const Nqe& nqe, Conn& c) {
+  auto vit = vms_.find(c.vm_id);
+  if (vit == vms_.end() || udp_stack_ == nullptr) return;
+  shm::HugepagePool* pool = vit->second.pool;
+  udp::SocketId usid = c.usid;
+  uint64_t ptr = nqe.data_ptr;
+  uint32_t size = nqe.size;
+  uint64_t dst = nqe.op_data;
+
+  // No hugepage->stack copy (the Table 6 overhead DoSendTo pays): the UDP
+  // stack builds the wire datagram straight from the chunk. The zero-cycle
+  // trip through the socket's core preserves FIFO order with copy sends.
+  ++c.sends_in_flight;
+  udp_stack_->ChargeOnSocketCore(usid, 0, [this, usid, ptr, size, dst, pool] {
+    Conn* c2 = FindByUsid(usid);
+    if (c2 == nullptr) {
+      pool->Free(ptr);
+      return;
+    }
+    --c2->sends_in_flight;
+    bool handed = false;
+    if (udp_stack_->Exists(usid)) {
+      handed = udp_stack_->SendToZc(usid, shm::AddrIp(dst), shm::AddrPort(dst),
+                                    pool->Data(ptr), size,
+                                    MakeDgramZcFreeCallback(*c2, ptr, size)) >= 0;
+    }
+    if (!handed) {
+      // Datagram lost locally (socket closed / bad destination): ordinary
+      // UDP loss, but the chunk and the send credit must unwind.
+      pool->Free(ptr);
+      Respond(*c2, NqeOp::kSendToResult, NqeOp::kSendToZc, 0, size);
+    }
+    MaybeFinishCloseDgram(usid);
+  });
+}
+
+void ServiceLib::FreeNqeChunk(const Nqe& nqe) {
+  NqeOp op = nqe.Op();
+  if (op != NqeOp::kSend && op != NqeOp::kSendZc && op != NqeOp::kSendTo &&
+      op != NqeOp::kSendToZc) {
+    return;
+  }
+  auto vit = vms_.find(nqe.vm_id);
+  if (vit != vms_.end() && vit->second.pool->IsAllocated(nqe.data_ptr)) {
+    vit->second.pool->Free(nqe.data_ptr);
+  }
+}
+
 void ServiceLib::ShipDgrams(udp::SocketId usid) {
   Conn* c = FindByUsid(usid);
   if (c == nullptr || c->ship_pending || udp_stack_ == nullptr) return;
@@ -692,6 +847,37 @@ void ServiceLib::ShipDgrams(udp::SocketId usid) {
 
   uint32_t next = udp_stack_->NextDatagramSize(usid);
   if (udp_stack_->RxQueuedDatagrams(usid) == 0 || c->rx_outstanding >= config_.rx_outstanding_cap) {
+    return;
+  }
+  // Zero-copy ship: the front datagram already sits in a chunk of this VM's
+  // pool — detach it and forward the handle as kDgramRecvZc.
+  if (udp_stack_->FrontDgramPooled(usid)) {
+    c->ship_pending = true;
+    udp_stack_->ChargeOnSocketCore(usid, 0, [this, usid, pool] {
+      Conn* c2 = FindByUsid(usid);
+      if (c2 == nullptr) return;  // UdpStack::Close freed the queued chunks
+      c2->ship_pending = false;
+      uint64_t handle = 0;
+      uint32_t len = 0;
+      netsim::IpAddr src_ip = 0;
+      uint16_t src_port = 0;
+      if (!udp_stack_->Exists(usid) ||
+          !udp_stack_->DetachFrontDgram(usid, &handle, &len, &src_ip, &src_port)) {
+        ShipDgrams(usid);
+        return;
+      }
+      ++dgram_zc_ships_;
+      Nqe nqe = MakeNqe(NqeOp::kDgramRecvZc, c2->vm_id, c2->vm_qset, c2->vm_sock,
+                        shm::PackAddr(src_ip, src_port), handle, len);
+      if (EnqueueToVm(*c2, nqe, true)) {
+        c2->rx_outstanding += len;
+      } else {
+        // Ring full: the datagram is dropped (UDP applies no backpressure);
+        // the chunk goes straight back to the pool.
+        pool->Free(handle);
+      }
+      ShipDgrams(usid);
+    });
     return;
   }
   uint64_t off = pool->Alloc(next > 0 ? next : 1);
@@ -717,6 +903,7 @@ void ServiceLib::ShipDgrams(udp::SocketId usid) {
     int64_t n = udp_stack_->RecvFrom(usid, pool->Data(off), next, &src_ip, &src_port);
     bool shipped = false;
     if (n >= 0) {
+      ++dgram_copy_ships_;
       Nqe nqe = MakeNqe(NqeOp::kDgramRecv, c2->vm_id, c2->vm_qset, c2->vm_sock,
                         shm::PackAddr(src_ip, src_port), off, static_cast<uint32_t>(n));
       shipped = EnqueueToVm(*c2, nqe, true);
@@ -744,6 +931,84 @@ void ServiceLib::MaybeFinishCloseDgram(udp::SocketId usid) {
   by_vm_.erase(VmKey(c->vm_id, c->vm_sock));
   if (udp_stack_ != nullptr) udp_stack_->Close(usid);
   by_usid_.erase(usid);
+}
+
+// ---------------------------------------------------------------------------
+// NSM death with recoverable accounting
+// ---------------------------------------------------------------------------
+
+void ServiceLib::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+
+  // 1. Abort every connection. Abort tears the socket down synchronously:
+  //    zc chunks still queued in the send buffer fire their exactly-once free
+  //    callbacks (pool free + kSendZcComplete into the dead rings, harmless),
+  //    and pool-backed receive chunks free on rcvbuf destruction.
+  std::vector<tcp::SocketId> sids;
+  sids.reserve(by_sid_.size());
+  for (auto& [sid, conn] : by_sid_) sids.push_back(sid);
+  for (tcp::SocketId sid : sids) {
+    Conn* c = FindBySid(sid);
+    if (c == nullptr) continue;
+    // Queued-but-not-yet-admitted TX chunks never reached the stack.
+    auto vit = vms_.find(c->vm_id);
+    for (const PendingTx& tx : c->pending_tx) {
+      if (vit != vms_.end()) vit->second.pool->Free(tx.ptr);
+    }
+    c->pending_tx.clear();
+    stack_->SetCallbacks(sid, {});
+    if (stack_->Exists(sid)) {
+      // Close() unlinks a listener from the port table (and aborts its
+      // unclaimed children); Abort() RSTs a live connection.
+      if (c->listener) {
+        stack_->Close(sid);
+      } else {
+        stack_->Abort(sid);
+      }
+    }
+  }
+
+  // 2. Close every datagram socket: UdpStack frees pool-landed datagrams
+  //    still queued through the allocator.
+  std::vector<udp::SocketId> usids;
+  usids.reserve(by_usid_.size());
+  for (auto& [usid, conn] : by_usid_) usids.push_back(usid);
+  if (udp_stack_ != nullptr) {
+    for (udp::SocketId usid : usids) udp_stack_->Close(usid);
+  }
+
+  // 3. Drain the now-unreachable device rings. VM->NSM rings may hold sends
+  //    whose chunks the guest already handed over; NSM->VM rings may hold
+  //    receive data we shipped that the guest will never see. Either way the
+  //    chunk's owner of record is this NSM — return them to the pools.
+  Nqe nqe;
+  for (int qs = 0; qs < dev_->num_queue_sets(); ++qs) {
+    shm::QueueSet& q = dev_->queue_set(qs);
+    while (q.send.TryDequeue(&nqe)) FreeNqeChunk(nqe);
+    while (q.job.TryDequeue(&nqe)) FreeNqeChunk(nqe);
+    while (q.receive.TryDequeue(&nqe)) {
+      if (nqe.Op() == NqeOp::kRecvData || nqe.Op() == NqeOp::kDgramRecv ||
+          nqe.Op() == NqeOp::kDgramRecvZc) {
+        auto vit = vms_.find(nqe.vm_id);
+        if (vit != vms_.end() && vit->second.pool->IsAllocated(nqe.data_ptr)) {
+          vit->second.pool->Free(nqe.data_ptr);
+        }
+      }
+    }
+    while (q.completion.TryDequeue(&nqe)) {
+    }
+  }
+
+  // 4. Orphan sends parked for an accept-link that will never arrive.
+  for (auto& [key, orphans] : orphan_sends_) {
+    for (const Nqe& orphan : orphans) FreeNqeChunk(orphan);
+  }
+  orphan_sends_.clear();
+
+  by_vm_.clear();
+  by_sid_.clear();
+  by_usid_.clear();
 }
 
 }  // namespace netkernel::core

@@ -38,6 +38,10 @@ class ServiceLib {
     // VMs multiplexed onto this NSM — collapse into a single wakeup instead
     // of one per NQE (ROADMAP item 2, paper Fig 8/Table 4).
     bool coalesce_wakeups = true;
+    // RX zero-copy: land inbound payload directly in the VM's hugepage pool
+    // and ship detached chunks (no rcvbuf->hugepage copy). Off = the pre-zc
+    // staging-copy receive path — the Table 6 RX baseline.
+    bool rx_zerocopy = true;
   };
 
   // `udp_stack` may be null: SOCK_DGRAM NQEs then fail with an error result.
@@ -52,6 +56,16 @@ class ServiceLib {
   void AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr vm_ip);
   void DetachVm(uint8_t vm_id);
 
+  // Kills this NSM with recoverable accounting: call after the device was
+  // deregistered from CoreEngine. Every connection is aborted (firing the
+  // exactly-once free callbacks of zc chunks still queued in the stack),
+  // datagram sockets close (freeing pool-landed datagrams), queued NQEs in
+  // the now-unreachable device rings are drained and their payload chunks
+  // returned to the owning VM pools. After Shutdown, every hugepage chunk
+  // this NSM ever touched is either back in its pool or owned by the guest —
+  // nothing strands in dead rings.
+  void Shutdown();
+
   // Shared-memory receive credit: GuestLib freed `bytes` of a chunk.
   void OnRecvCredit(uint8_t vm_id, uint32_t vm_sock, uint32_t bytes);
 
@@ -65,6 +79,15 @@ class ServiceLib {
   uint64_t nqes_processed() const { return nqes_processed_; }
   // NSM->VM NQEs lost to a full NSM-side ring (severe overload).
   uint64_t nqes_dropped() const { return nqes_dropped_; }
+  // RX zero-copy accounting: kRecvData ships that detached the stack's own
+  // pool chunk (no rcvbuf->hugepage copy) vs ships that had to copy because
+  // the pool was exhausted when the segment landed (heap fallback chunk) or
+  // the front chunk was partially consumed.
+  uint64_t rx_zc_ships() const { return rx_zc_ships_; }
+  uint64_t rx_copy_ships() const { return rx_copy_ships_; }
+  // Same split for datagrams (kDgramRecvZc vs copied kDgramRecv).
+  uint64_t dgram_zc_ships() const { return dgram_zc_ships_; }
+  uint64_t dgram_copy_ships() const { return dgram_copy_ships_; }
   // Wakeup coalescing: CoreEngine doorbells actually rung, and enqueues that
   // piggybacked on an already-pending doorbell (the saved wakeups).
   uint64_t doorbells() const { return doorbell_.doorbells(); }
@@ -75,6 +98,10 @@ class ServiceLib {
     shm::HugepagePool* pool = nullptr;
     netsim::IpAddr ip = 0;
     tcp::CcFactory cc_factory;  // optional override
+    // Chunk allocator handed to the stacks so inbound bytes land directly in
+    // this VM's hugepage pool (the RX zero-copy datapath). Shared by every
+    // socket of the VM; guarded by alive_ against stack-teardown-after-death.
+    std::shared_ptr<tcp::ChunkAllocator> rx_allocator;
   };
   struct PendingTx {
     uint64_t ptr = 0;
@@ -135,15 +162,22 @@ class ServiceLib {
   // A zero-copy chunk that can no longer reach the stack: free it and return
   // the credit with an error status.
   void FailZcTx(const Conn& c, uint64_t ptr, uint32_t size);
+  // Returns the payload chunk of a data-carrying VM->NSM NQE to the owning
+  // VM's pool (shutdown unwinding).
+  void FreeNqeChunk(const shm::Nqe& nqe);
 
   // Datagram (SOCK_DGRAM) handlers.
   void DoSocketUdp(const shm::Nqe& nqe);
   void DoBindUdp(const shm::Nqe& nqe, Conn& c);
   void DoSendTo(const shm::Nqe& nqe, Conn& c);
+  void DoSendToZc(const shm::Nqe& nqe, Conn& c);
   void DoCloseDgram(Conn& c);
   void MaybeFinishCloseDgram(udp::SocketId usid);
   // Datagram receive shipping (udp stack -> hugepages -> kDgramRecv NQEs).
   void ShipDgrams(udp::SocketId usid);
+  // On-commit free callback for a zero-copy datagram chunk: frees it into the
+  // VM's pool and returns the send credit via kSendToResult (orig kSendToZc).
+  std::function<void()> MakeDgramZcFreeCallback(const Conn& c, uint64_t ptr, uint32_t size);
 
   // NSM -> VM NQEs. EnqueueToVm returns false when the destination ring is
   // full and the NQE was dropped (the caller owns any referenced chunk).
@@ -177,6 +211,11 @@ class ServiceLib {
   DoorbellCoalescer doorbell_;
   uint64_t nqes_processed_ = 0;
   uint64_t nqes_dropped_ = 0;
+  uint64_t rx_zc_ships_ = 0;
+  uint64_t rx_copy_ships_ = 0;
+  uint64_t dgram_zc_ships_ = 0;
+  uint64_t dgram_copy_ships_ = 0;
+  bool shutdown_ = false;
   // Liveness token captured by zero-copy free callbacks held inside TcpStack
   // send buffers: the stack outlives this ServiceLib in the owning Nsm, so a
   // callback firing during stack teardown must become a no-op.

@@ -91,10 +91,12 @@ class SocketApi {
   virtual sim::Task<int64_t> Recv(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max) = 0;
   virtual sim::Task<int> Close(sim::CpuCore* core, int fd) = 0;
 
-  // ---- Zero-copy registered-buffer datapath (stream sockets) ----
+  // ---- Zero-copy registered-buffer datapath ----
   // Loans a TX buffer of up to `len` bytes (implementations may cap the
   // capacity at their chunk size; check out->capacity). Blocks until send
   // credit and buffer space are available. Returns 0 or a negative TcpError.
+  // Works on stream and datagram fds: a stream loan is sent with SendBuf, a
+  // datagram loan with SendToBuf.
   virtual sim::Task<int> AcquireTxBuf(sim::CpuCore* core, int fd, uint32_t len, NkBuf* out) = 0;
   // Transfers ownership of an acquired buffer (buf.size bytes, filled in
   // place) to the stack, which transmits without copying; the buffer is freed
@@ -136,6 +138,20 @@ class SocketApi {
   // copied or a negative error.
   virtual sim::Task<int64_t> RecvFrom(sim::CpuCore* core, int fd, uint8_t* out, uint64_t max,
                                       netsim::IpAddr* src_ip, uint16_t* src_port) = 0;
+
+  // ---- Zero-copy datagram surface ----
+  // Sends one datagram of buf.size bytes from an acquired loan (filled in
+  // place); ownership transfers either way, exactly like SendBuf. The loan's
+  // send credit returns once the stack commits the wire datagram. Returns
+  // buf.size or a negative error.
+  virtual sim::Task<int64_t> SendToBuf(sim::CpuCore* core, int fd, netsim::IpAddr dst_ip,
+                                       uint16_t dst_port, NkBuf buf) = 0;
+  // Blocks until a datagram arrives, then loans the whole inbound chunk to
+  // the app without copying: out->data[0..out->size) is the datagram payload,
+  // valid until ReleaseBuf (which returns the datagram receive credit).
+  // Returns bytes loaned or a negative error.
+  virtual sim::Task<int64_t> RecvFromBuf(sim::CpuCore* core, int fd, NkBuf* out,
+                                         netsim::IpAddr* src_ip, uint16_t* src_port) = 0;
 
   // I/O event notification (epoll-style, level-triggered).
   virtual int EpollCreate() = 0;

@@ -10,6 +10,12 @@ namespace netkernel::shm {
 
 namespace {
 constexpr int kNumClasses = 11;  // 64 .. 64K in powers of two
+// Allocation-state byte stored in the chunk header next to the class index:
+// lets Free() detect double frees / garbage offsets instead of corrupting
+// the free list (exactly-once ownership is a datapath invariant).
+constexpr uint8_t kStateFree = 0;
+constexpr uint8_t kStateAllocated = 0xa7;
+constexpr uint64_t kStateByte = 4;  // header layout: [int class_idx][state][..]
 }
 
 HugepagePool::HugepagePool(uint64_t region_bytes)
@@ -57,6 +63,7 @@ uint64_t HugepagePool::Alloc(uint32_t size) {
     offset = header_at + kHeader;
     std::memcpy(&region_[header_at], &idx, sizeof(int));
   }
+  region_[offset - kHeader + kStateByte] = kStateAllocated;
   bytes_in_use_ += chunk;
   ++allocs_;
   return offset;
@@ -67,8 +74,25 @@ void HugepagePool::Free(uint64_t offset) {
   int idx;
   std::memcpy(&idx, &region_[offset - kHeader], sizeof(int));
   NK_CHECK(idx >= 0 && idx < kNumClasses);
+  NK_CHECK_MSG(region_[offset - kHeader + kStateByte] == kStateAllocated,
+               "hugepage chunk double free (or bogus offset)");
+  region_[offset - kHeader + kStateByte] = kStateFree;
   free_lists_[idx].push_back(offset);
   bytes_in_use_ -= kMinChunk << idx;
+  ++frees_;
+}
+
+bool HugepagePool::IsAllocated(uint64_t offset) const {
+  if (offset == kInvalidOffset || offset < kHeader || offset >= region_.size()) return false;
+  return region_[offset - kHeader + kStateByte] == kStateAllocated;
+}
+
+uint32_t HugepagePool::ChunkCapacity(uint64_t offset) const {
+  NK_CHECK(offset != kInvalidOffset && offset >= kHeader && offset < region_.size());
+  int idx;
+  std::memcpy(&idx, &region_[offset - kHeader], sizeof(int));
+  NK_CHECK(idx >= 0 && idx < kNumClasses);
+  return kMinChunk << idx;
 }
 
 uint8_t* HugepagePool::Data(uint64_t offset) {

@@ -30,14 +30,24 @@ class HugepagePool {
   // Allocates a chunk of at least `size` bytes (size <= kMaxChunk).
   // Returns the data offset, or kInvalidOffset when the region is exhausted.
   uint64_t Alloc(uint32_t size);
+  // Returns a chunk. Freeing an offset that is not currently allocated (a
+  // double free, or a garbage offset) is a hard invariant violation — the
+  // chunk header carries an allocation state byte so it aborts loudly here
+  // instead of silently corrupting the free list.
   void Free(uint64_t offset);
+  // True when `offset` is the data offset of a currently-allocated chunk.
+  bool IsAllocated(uint64_t offset) const;
+  // Usable capacity of an allocated chunk (its size class).
+  uint32_t ChunkCapacity(uint64_t offset) const;
 
   uint8_t* Data(uint64_t offset);
   const uint8_t* Data(uint64_t offset) const;
 
   uint64_t region_bytes() const { return region_.size(); }
   uint64_t bytes_in_use() const { return bytes_in_use_; }
+  uint64_t chunks_in_use() const { return allocs_ - frees_; }
   uint64_t allocs() const { return allocs_; }
+  uint64_t frees() const { return frees_; }
   uint64_t alloc_failures() const { return alloc_failures_; }
 
   // Size class for a request (rounded up to the next power of two >= 64).
@@ -54,6 +64,7 @@ class HugepagePool {
   std::vector<std::vector<uint64_t>> free_lists_;
   uint64_t bytes_in_use_ = 0;
   uint64_t allocs_ = 0;
+  uint64_t frees_ = 0;
   uint64_t alloc_failures_ = 0;
 };
 

@@ -20,6 +20,8 @@ std::string NqeOpName(NqeOp op) {
     case NqeOp::kSend: return "send";
     case NqeOp::kSendZc: return "send_zc";
     case NqeOp::kSendZcComplete: return "send_zc_complete";
+    case NqeOp::kSendToZc: return "sendto_zc";
+    case NqeOp::kDgramRecvZc: return "dgram_recv_zc";
     case NqeOp::kSocketUdp: return "socket_udp";
     case NqeOp::kBindUdp: return "bind_udp";
     case NqeOp::kSendTo: return "sendto";

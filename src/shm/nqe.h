@@ -47,6 +47,11 @@ enum class NqeOp : uint8_t {
   // retransmits) directly from the chunk and frees it into the shared pool
   // only once the byte range is ACKed, answering with kSendZcComplete.
   kSendZc = 16,  // send queue: data_ptr/size reference the loaned chunk
+  // Zero-copy datagram send: like kSendTo (op_data = packed destination) but
+  // the guest filled the chunk in place and transfers ownership; the NSM's
+  // UDP stack builds the wire datagram straight from the chunk and frees it
+  // once the skb is committed, answering with kSendToResult (orig kSendToZc).
+  kSendToZc = 17,  // send queue: data_ptr/size reference the loaned chunk
   // NSM -> VM results and events.
   kOpResult = 32,       // completion queue: result of a control op
   kConnectResult = 33,  // completion queue
@@ -62,6 +67,12 @@ enum class NqeOp : uint8_t {
   // reserved[1] carries kNqeFlagChunkUnconsumed (a CoreEngine-synthesized
   // error), in which case the guest still owns it and must free it.
   kSendZcComplete = 40,  // completion queue
+  // Zero-copy datagram receive: identical shape to kDgramRecv (op_data =
+  // packed source, data_ptr/size = payload chunk) but the chunk was detached
+  // from the UDP stack's receive queue — it never crossed a rcvbuf->hugepage
+  // copy. Guests treat both alike; the distinct op keeps the fallback copy
+  // path observable end to end.
+  kDgramRecvZc = 41,  // receive queue
   // Control plane (CoreEngine registration channel, §5).
   kRegisterDevice = 64,
   kDeregisterDevice = 65,

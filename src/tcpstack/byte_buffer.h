@@ -9,20 +9,51 @@
 // done with the bytes — fully dropped from the front (i.e. ACKed, for a TCP
 // send buffer), cleared, or destroyed with the buffer. Until then the bytes
 // must stay valid: retransmissions read them in place via CopyOut.
+//
+// The receive-side zero-copy datapath adds a third flavor: a pluggable
+// ChunkAllocator (the NSM installs one backed by the VM's hugepage pool) makes
+// Append land incoming bytes directly into allocator-owned chunks. Successive
+// appends tail-pack into the open chunk; the front chunk can then be
+// *detached* — ownership (the allocator handle) transfers to the caller
+// without copying and without firing the free callback, which is how
+// ServiceLib ships a received chunk to the guest as-is. When the allocator is
+// exhausted, Append falls back to an owned heap chunk (counted), which the
+// caller must move with a copy as before.
 
 #ifndef SRC_TCPSTACK_BYTE_BUFFER_H_
 #define SRC_TCPSTACK_BYTE_BUFFER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/common/check.h"
 
 namespace netkernel::tcp {
+
+// Pluggable chunk source for receive buffers (and any other consumer that
+// wants pool-backed storage, e.g. UdpStack's datagram queues). `alloc` returns
+// false when the backing region is exhausted — the caller falls back to heap
+// memory. `capacity` may exceed the requested size (size-class rounding);
+// the extra space is used for tail-packing later appends.
+struct ChunkAllocator {
+  // size -> (handle, writable data pointer, usable capacity).
+  std::function<bool(uint32_t size, uint64_t* handle, uint8_t** data, uint32_t* capacity)>
+      alloc;
+  std::function<void(uint64_t handle)> free;
+};
+
+// An allocator-backed chunk detached from the front of a ByteBuffer: the
+// caller now owns `handle` (the free callback will NOT fire).
+struct DetachedChunk {
+  uint64_t handle = 0;
+  uint32_t size = 0;  // valid bytes
+};
 
 class ByteBuffer {
  public:
@@ -34,12 +65,25 @@ class ByteBuffer {
   uint64_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Installs (or clears) the allocator future Append calls draw chunks from.
+  // Typically set once, right after socket creation, before data arrives.
+  void SetChunkAllocator(std::shared_ptr<ChunkAllocator> allocator) {
+    allocator_ = std::move(allocator);
+  }
+  bool has_chunk_allocator() const { return allocator_ != nullptr; }
+  // Appends that could not get an allocator chunk and fell back to heap.
+  uint64_t pool_fallbacks() const { return pool_fallbacks_; }
+
   void Append(const uint8_t* data, uint64_t n) {
     if (n == 0) return;
-    Chunk c;
-    c.owned.assign(data, data + n);
-    chunks_.push_back(std::move(c));
-    size_ += n;
+    if (allocator_ == nullptr) {
+      Chunk c;
+      c.owned.assign(data, data + n);
+      chunks_.push_back(std::move(c));
+      size_ += n;
+      return;
+    }
+    AppendPooled(data, n);
   }
 
   void Append(std::vector<uint8_t> chunk) {
@@ -61,6 +105,27 @@ class ByteBuffer {
     c.on_free = std::move(on_free);
     chunks_.push_back(std::move(c));
     size_ += n;
+  }
+
+  // True when the front chunk is allocator-backed and no byte of it has been
+  // consumed — i.e. it can be handed off whole, by reference.
+  bool FrontDetachable() const {
+    return head_offset_ == 0 && !chunks_.empty() && chunks_.front().pooled;
+  }
+
+  // Transfers ownership of the front chunk's allocator handle to the caller:
+  // the bytes leave the buffer without a copy and the chunk's free callback
+  // is disarmed (the caller frees the handle when done). Fails when the front
+  // chunk is heap-backed or partially consumed — ship those with a copy.
+  bool DetachFront(DetachedChunk* out) {
+    if (!FrontDetachable()) return false;
+    Chunk c = std::move(chunks_.front());
+    chunks_.pop_front();
+    size_ -= c.ext_len;
+    out->handle = c.handle;
+    out->size = static_cast<uint32_t>(c.ext_len);
+    c.on_free = nullptr;  // ownership moved: Release() must not free it
+    return true;
   }
 
   // Copies `n` bytes starting `offset` bytes from the front into `out`.
@@ -123,13 +188,23 @@ class ByteBuffer {
     const uint8_t* ext = nullptr;  // external range (owned is empty then)
     uint64_t ext_len = 0;
     std::function<void()> on_free;
+    // Allocator-backed chunk state: handle for detach/free, writable pointer
+    // and capacity for tail-packing later appends.
+    bool pooled = false;
+    uint64_t handle = 0;
+    uint8_t* wdata = nullptr;
+    uint32_t cap = 0;
 
     Chunk() = default;
     Chunk(Chunk&& o) noexcept
         : owned(std::move(o.owned)),
           ext(std::exchange(o.ext, nullptr)),
           ext_len(std::exchange(o.ext_len, 0)),
-          on_free(std::exchange(o.on_free, nullptr)) {}
+          on_free(std::exchange(o.on_free, nullptr)),
+          pooled(std::exchange(o.pooled, false)),
+          handle(std::exchange(o.handle, 0)),
+          wdata(std::exchange(o.wdata, nullptr)),
+          cap(std::exchange(o.cap, 0)) {}
     Chunk& operator=(Chunk&& o) noexcept {
       if (this != &o) {
         Release();
@@ -137,6 +212,10 @@ class ByteBuffer {
         ext = std::exchange(o.ext, nullptr);
         ext_len = std::exchange(o.ext_len, 0);
         on_free = std::exchange(o.on_free, nullptr);
+        pooled = std::exchange(o.pooled, false);
+        handle = std::exchange(o.handle, 0);
+        wdata = std::exchange(o.wdata, nullptr);
+        cap = std::exchange(o.cap, 0);
       }
       return *this;
     }
@@ -151,9 +230,56 @@ class ByteBuffer {
     uint64_t size() const { return ext != nullptr ? ext_len : owned.size(); }
   };
 
+  // Allocator path of Append: tail-pack into the open pooled chunk, then
+  // draw fresh chunks; heap fallback (counted) when the allocator is dry.
+  void AppendPooled(const uint8_t* data, uint64_t n) {
+    uint64_t off = 0;
+    if (!chunks_.empty()) {
+      Chunk& tail = chunks_.back();
+      if (tail.pooled && tail.ext_len < tail.cap) {
+        uint64_t take = std::min<uint64_t>(n, tail.cap - tail.ext_len);
+        std::memcpy(tail.wdata + tail.ext_len, data, take);
+        tail.ext_len += take;
+        size_ += take;
+        off += take;
+      }
+    }
+    while (off < n) {
+      uint64_t handle = 0;
+      uint8_t* wdata = nullptr;
+      uint32_t cap = 0;
+      uint32_t want = static_cast<uint32_t>(std::min<uint64_t>(n - off, 0xffffffffu));
+      if (!allocator_->alloc(want, &handle, &wdata, &cap) || cap == 0) {
+        // Pool exhausted: the rest lands on the heap; the consumer ships it
+        // with a copy (the pre-zerocopy behaviour), so no data is lost.
+        ++pool_fallbacks_;
+        Chunk c;
+        c.owned.assign(data + off, data + n);
+        chunks_.push_back(std::move(c));
+        size_ += n - off;
+        return;
+      }
+      uint64_t take = std::min<uint64_t>(n - off, cap);
+      std::memcpy(wdata, data + off, take);
+      Chunk c;
+      c.pooled = true;
+      c.handle = handle;
+      c.wdata = wdata;
+      c.ext = wdata;
+      c.cap = cap;
+      c.ext_len = take;
+      c.on_free = [allocator = allocator_, handle] { allocator->free(handle); };
+      chunks_.push_back(std::move(c));
+      size_ += take;
+      off += take;
+    }
+  }
+
   std::deque<Chunk> chunks_;
   uint64_t size_ = 0;
   uint64_t head_offset_ = 0;  // bytes of chunks_.front() already consumed
+  std::shared_ptr<ChunkAllocator> allocator_;
+  uint64_t pool_fallbacks_ = 0;
 };
 
 }  // namespace netkernel::tcp

@@ -201,6 +201,35 @@ uint64_t TcpStack::Recv(SocketId id, uint8_t* out, uint64_t max) {
   return n;
 }
 
+void TcpStack::SetRxChunkAllocator(SocketId id, std::shared_ptr<ChunkAllocator> allocator) {
+  Sock* s = Find(id);
+  if (s == nullptr) return;
+  // Installed on a listener, the allocator is inherited by accepted children
+  // at SYN time, so even payload riding the handshake's final ACK lands in
+  // pool chunks.
+  s->rx_allocator = allocator;
+  s->rcvbuf.SetChunkAllocator(std::move(allocator));
+}
+
+bool TcpStack::RxDetachable(SocketId id) const {
+  const Sock* s = Find(id);
+  return s != nullptr && s->rcvbuf.FrontDetachable();
+}
+
+bool TcpStack::RecvZcDetach(SocketId id, DetachedChunk* out) {
+  Sock* s = Find(id);
+  if (s == nullptr) return false;
+  uint64_t before = AdvertisedWindow(*s);
+  if (!s->rcvbuf.DetachFront(out)) return false;
+  MaybeSendWindowUpdate(*s, before);
+  return true;
+}
+
+uint64_t TcpStack::RxPoolFallbacks(SocketId id) const {
+  const Sock* s = Find(id);
+  return s == nullptr ? 0 : s->rcvbuf.pool_fallbacks();
+}
+
 void TcpStack::Close(SocketId id) {
   Sock* s = Find(id);
   if (s == nullptr) return;
@@ -734,6 +763,10 @@ void TcpStack::HandleSynAtListener(const Segment& seg, bool ce_marked) {
 
   SocketId cid = CreateSocket();
   Sock& c = MustFind(cid);
+  if (l->rx_allocator != nullptr) {
+    c.rx_allocator = l->rx_allocator;
+    c.rcvbuf.SetChunkAllocator(l->rx_allocator);
+  }
   c.tuple = local_tuple;
   c.core_idx = l->reuseport && config_.per_core_tables ? l->core_idx : RssCore(c.tuple);
   c.parent = lid;

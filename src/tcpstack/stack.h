@@ -115,6 +115,21 @@ class TcpStack {
   bool SendZc(SocketId id, const uint8_t* data, uint32_t n, std::function<void()> on_freed);
   // Reads up to `max` bytes of in-order data. Returns bytes read.
   uint64_t Recv(SocketId id, uint8_t* out, uint64_t max);
+  // Installs the chunk allocator the socket's receive buffer draws from:
+  // inbound payload lands directly in allocator chunks (the NSM passes one
+  // backed by the owning VM's hugepage pool), so the consumer can detach and
+  // forward them without the rcvbuf->hugepage copy. Install before data
+  // arrives (right after CreateSocket / at accept).
+  void SetRxChunkAllocator(SocketId id, std::shared_ptr<ChunkAllocator> allocator);
+  // True when the front of the receive buffer is a whole allocator chunk.
+  bool RxDetachable(SocketId id) const;
+  // Zero-copy receive: detaches the front chunk of the receive buffer —
+  // ownership of the allocator handle transfers to the caller, no copy. Has
+  // the same window-update side effects as Recv. Returns false when the
+  // front is heap-backed or partially consumed (use Recv for those bytes).
+  bool RecvZcDetach(SocketId id, DetachedChunk* out);
+  // Appends that missed the RX allocator (pool exhausted) on this socket.
+  uint64_t RxPoolFallbacks(SocketId id) const;
   void Close(SocketId id);
   void Abort(SocketId id);  // RST
 
@@ -193,6 +208,7 @@ class TcpStack {
 
     // Receive state.
     ByteBuffer rcvbuf;
+    std::shared_ptr<ChunkAllocator> rx_allocator;  // inherited by children
     uint64_t rcvbuf_limit = 0;
     SeqNum irs = 0;
     SeqNum rcv_nxt = 0;

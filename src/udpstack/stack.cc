@@ -107,24 +107,100 @@ int UdpStack::SendTo(SocketId id, IpAddr dst_ip, uint16_t dst_port, const uint8_
   return static_cast<int>(len);
 }
 
+int UdpStack::SendToZc(SocketId id, IpAddr dst_ip, uint16_t dst_port, const uint8_t* data,
+                       uint32_t len, std::function<void()> on_freed) {
+  Sock* s = Find(id);
+  if (s == nullptr) return kBadSocket;
+  if (len > kMaxDatagram) return kMsgSize;
+  if (!s->bound) {
+    int r = BindInternal(*s, 0, 0);
+    if (r != 0) return r;
+  }
+  auto dgram = std::make_shared<Datagram>();
+  dgram->src_ip = s->local_ip != 0 ? s->local_ip : nic_->ip();
+  dgram->dst_ip = dst_ip;
+  dgram->src_port = s->local_port;
+  dgram->dst_port = dst_port;
+
+  const uint32_t frags = FragCount(len);
+  const tcp::CostProfile& p = config_.profile;
+  // No payload-touching tx cost: the NIC pulls the frame straight from the
+  // caller's chunk (the per-byte copy SendTo pays above is the one this path
+  // eliminates). Fixed skb/fragment work remains.
+  Cycles cost = p.tx_fixed_per_chunk + p.tx_per_seg * frags;
+  ++stats_.zc_sends;
+  cores_[static_cast<size_t>(s->core_idx)]->Charge(
+      cost, [this, dgram, data, len, frags, on_freed = std::move(on_freed)] {
+        // The wire datagram is built from the chunk at commit time (the DMA
+        // pull); the chunk is released the moment the skb owns the bytes.
+        if (len > 0) dgram->payload.assign(data, data + len);
+        if (on_freed) on_freed();
+        netsim::Packet pkt;
+        pkt.src = dgram->src_ip;
+        pkt.dst = dgram->dst_ip;
+        pkt.wire_bytes = WireBytes(len);
+        pkt.protocol = netsim::Protocol::kUdp;
+        pkt.flow_hash = (static_cast<uint64_t>(dgram->dst_port) << 16) | dgram->src_port;
+        pkt.payload = dgram;
+        ++stats_.datagrams_sent;
+        stats_.fragments_sent += frags;
+        stats_.bytes_sent += len;
+        if (nic_ != nullptr) nic_->Transmit(std::move(pkt));
+      });
+  return static_cast<int>(len);
+}
+
 int64_t UdpStack::RecvFrom(SocketId id, uint8_t* out, uint64_t max, IpAddr* src_ip,
                            uint16_t* src_port) {
   Sock* s = Find(id);
   if (s == nullptr) return kBadSocket;
   if (s->rx.empty()) return -1;
-  DatagramPtr d = std::move(s->rx.front().dgram);
+  RxDgram d = std::move(s->rx.front());
   s->rx.pop_front();
-  s->rx_bytes -= d->payload.size();
-  uint64_t n = std::min<uint64_t>(max, d->payload.size());
-  if (n > 0 && out != nullptr) std::copy_n(d->payload.data(), n, out);
-  if (src_ip != nullptr) *src_ip = d->src_ip;
-  if (src_port != nullptr) *src_port = d->src_port;
+  s->rx_bytes -= d.size();
+  uint64_t n = std::min<uint64_t>(max, d.size());
+  const uint8_t* payload = d.pooled ? d.data : d.dgram->payload.data();
+  if (n > 0 && out != nullptr) std::copy_n(payload, n, out);
+  if (src_ip != nullptr) *src_ip = d.pooled ? d.src_ip : d.dgram->src_ip;
+  if (src_port != nullptr) *src_port = d.pooled ? d.src_port : d.dgram->src_port;
+  ReleaseRxDgram(*s, d);
   return static_cast<int64_t>(n);
+}
+
+void UdpStack::SetRxChunkAllocator(SocketId id, std::shared_ptr<tcp::ChunkAllocator> allocator) {
+  Sock* s = Find(id);
+  if (s != nullptr) s->rx_allocator = std::move(allocator);
+}
+
+bool UdpStack::FrontDgramPooled(SocketId id) const {
+  const Sock* s = Find(id);
+  return s != nullptr && !s->rx.empty() && s->rx.front().pooled;
+}
+
+bool UdpStack::DetachFrontDgram(SocketId id, uint64_t* handle, uint32_t* len, IpAddr* src_ip,
+                                uint16_t* src_port) {
+  Sock* s = Find(id);
+  if (s == nullptr || s->rx.empty() || !s->rx.front().pooled) return false;
+  RxDgram d = std::move(s->rx.front());
+  s->rx.pop_front();
+  s->rx_bytes -= d.len;
+  *handle = d.handle;
+  *len = d.len;
+  if (src_ip != nullptr) *src_ip = d.src_ip;
+  if (src_port != nullptr) *src_port = d.src_port;
+  d.pooled = false;  // ownership transfers: do not free the chunk here
+  return true;
+}
+
+void UdpStack::ReleaseRxDgram(Sock& s, RxDgram& d) {
+  if (d.pooled && s.rx_allocator != nullptr) s.rx_allocator->free(d.handle);
+  d.pooled = false;
 }
 
 void UdpStack::Close(SocketId id) {
   Sock* s = Find(id);
   if (s == nullptr) return;
+  for (RxDgram& d : s->rx) ReleaseRxDgram(*s, d);
   if (s->bound) bindings_.erase(BindKey(s->local_ip, s->local_port));
   socks_.erase(id);
 }
@@ -137,7 +213,7 @@ void UdpStack::SetCallbacks(SocketId id, UdpSocketCallbacks cbs) {
 uint32_t UdpStack::NextDatagramSize(SocketId id) const {
   const Sock* s = Find(id);
   if (s == nullptr || s->rx.empty()) return 0;
-  return static_cast<uint32_t>(s->rx.front().dgram->payload.size());
+  return s->rx.front().size();
 }
 
 size_t UdpStack::RxQueuedDatagrams(SocketId id) const {
@@ -216,7 +292,29 @@ void UdpStack::OnPacket(netsim::Packet pkt) {
     }
     ++stats_.datagrams_received;
     stats_.bytes_received += len;
-    s2->rx.push_back(RxDgram{std::move(dgram)});
+    RxDgram entry;
+    if (s2->rx_allocator != nullptr) {
+      // Zero-copy landing: the datagram goes straight into an allocator chunk
+      // (hugepage pool), so the consumer can detach and forward it whole.
+      uint64_t handle = 0;
+      uint8_t* wdata = nullptr;
+      uint32_t cap = 0;
+      if (s2->rx_allocator->alloc(len > 0 ? len : 1, &handle, &wdata, &cap) && cap >= len) {
+        if (len > 0) std::copy_n(dgram->payload.data(), len, wdata);
+        entry.pooled = true;
+        entry.handle = handle;
+        entry.data = wdata;
+        entry.len = len;
+        entry.src_ip = dgram->src_ip;
+        entry.src_port = dgram->src_port;
+        ++stats_.rx_zc_landed;
+      } else {
+        if (cap > 0) s2->rx_allocator->free(handle);  // too small: return it
+        ++stats_.rx_pool_fallbacks;
+      }
+    }
+    if (!entry.pooled) entry.dgram = std::move(dgram);
+    s2->rx.push_back(std::move(entry));
     s2->rx_bytes += len;
     if (s2->cbs.on_readable) s2->cbs.on_readable();
   });

@@ -34,6 +34,7 @@
 #include "src/netsim/nic.h"
 #include "src/sim/cpu.h"
 #include "src/sim/event_loop.h"
+#include "src/tcpstack/byte_buffer.h"
 #include "src/tcpstack/cost_model.h"
 #include "src/udpstack/udp_types.h"
 
@@ -64,6 +65,9 @@ struct UdpStackStats {
   uint64_t rx_queue_drops = 0;   // per-socket receive-queue overflow
   uint64_t no_socket_drops = 0;  // no bound socket for the destination
   uint64_t rx_ring_drops = 0;    // owning core backlogged past rx_backlog_cap
+  uint64_t zc_sends = 0;         // SendToZc datagrams (TX straight from chunk)
+  uint64_t rx_zc_landed = 0;     // datagrams landed in allocator chunks
+  uint64_t rx_pool_fallbacks = 0;  // allocator dry: datagram held as heap copy
 };
 
 class UdpStack {
@@ -84,10 +88,28 @@ class UdpStack {
   // Sends one datagram (auto-binds an ephemeral port if unbound). Returns
   // `len` (queued for transmit) or negative UdpError.
   int SendTo(SocketId id, IpAddr dst_ip, uint16_t dst_port, const uint8_t* data, uint32_t len);
+  // Zero-copy send: the wire datagram is built straight from `data` when the
+  // owning core commits the skb; `on_freed` fires exactly once, at that
+  // instant — `data` must stay valid until then. On a negative return the
+  // callback is NOT fired (ownership stays with the caller).
+  int SendToZc(SocketId id, IpAddr dst_ip, uint16_t dst_port, const uint8_t* data, uint32_t len,
+               std::function<void()> on_freed);
   // Pops one queued datagram into `out` (up to `max` bytes; a longer datagram
   // is truncated and the excess discarded, like MSG_TRUNC-less recvfrom).
   // Returns bytes copied, or -1 if the queue is empty.
   int64_t RecvFrom(SocketId id, uint8_t* out, uint64_t max, IpAddr* src_ip, uint16_t* src_port);
+  // Installs the chunk allocator this socket's inbound datagrams land in
+  // (ServiceLib passes one backed by the owning VM's hugepage pool); when the
+  // allocator is dry the datagram is held as a heap copy (counted) and ships
+  // through the copy path as before.
+  void SetRxChunkAllocator(SocketId id, std::shared_ptr<tcp::ChunkAllocator> allocator);
+  // True when the next queued datagram sits in an allocator chunk.
+  bool FrontDgramPooled(SocketId id) const;
+  // Zero-copy receive: pops the front datagram, transferring ownership of its
+  // allocator chunk to the caller (the allocator's free is NOT called).
+  // Returns false when the queue is empty or the front entry is heap-backed.
+  bool DetachFrontDgram(SocketId id, uint64_t* handle, uint32_t* len, IpAddr* src_ip,
+                        uint16_t* src_port);
   void Close(SocketId id);
 
   void SetCallbacks(SocketId id, UdpSocketCallbacks cbs);
@@ -117,8 +139,20 @@ class UdpStack {
   int num_cores() const { return static_cast<int>(cores_.size()); }
 
  private:
+  // One queued inbound datagram: either the fabric's heap Datagram (classic
+  // path / allocator-dry fallback) or an allocator chunk it was landed in.
   struct RxDgram {
-    DatagramPtr dgram;
+    DatagramPtr dgram;  // null when pooled
+    bool pooled = false;
+    uint64_t handle = 0;
+    const uint8_t* data = nullptr;
+    uint32_t len = 0;
+    IpAddr src_ip = 0;
+    uint16_t src_port = 0;
+
+    uint32_t size() const {
+      return pooled ? len : static_cast<uint32_t>(dgram->payload.size());
+    }
   };
   struct Sock {
     SocketId id = kInvalidSocket;
@@ -129,7 +163,11 @@ class UdpStack {
     UdpSocketCallbacks cbs;
     std::deque<RxDgram> rx;
     uint64_t rx_bytes = 0;
+    std::shared_ptr<tcp::ChunkAllocator> rx_allocator;
   };
+
+  // Frees a pooled entry's chunk back to its allocator (drop/close paths).
+  void ReleaseRxDgram(Sock& s, RxDgram& d);
 
   static uint64_t BindKey(IpAddr ip, uint16_t port) {
     return (static_cast<uint64_t>(ip) << 16) | port;

@@ -336,6 +336,208 @@ TEST_F(UdpTest, CloseUnderIncomingTrafficReleasesThePort) {
   EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// NSM datagram RX path: zc shipping, credit accounting, fallback, overflow
+// ---------------------------------------------------------------------------
+
+TEST_F(UdpTest, DgramRxShipsDetachedPoolChunks) {
+  // With the RX zero-copy datapath on (default), inbound datagrams land in
+  // the VM's hugepage pool inside the UDP stack and ship as detached chunks
+  // (kDgramRecvZc) — the rcvbuf->hugepage copy path stays idle.
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* base = HostB().CreateBaselineVm("base", 1);
+  int handled = 0;
+  sim::Spawn(UdpEchoServer(nk, 5353, 20, &handled));
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = base->api();
+    sim::CpuCore* cpu = base->vcpu(0);
+    int fd = co_await api.SocketDgram(cpu);
+    std::vector<uint8_t> msg(4096, 0x11);
+    std::vector<uint8_t> back(8192);
+    for (int i = 0; i < 20; ++i) {
+      co_await api.SendTo(cpu, fd, nk->ip(), 5353, msg.data(), msg.size());
+      co_await api.RecvFrom(cpu, fd, back.data(), back.size(), nullptr, nullptr);
+    }
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(client());
+  Run();
+  EXPECT_EQ(handled, 20);
+  EXPECT_GT(nsm->servicelib()->dgram_zc_ships(), 0u);
+  EXPECT_EQ(nsm->servicelib()->dgram_copy_ships(), 0u);
+  EXPECT_GT(nk->guestlib()->dgram_zc_recvs(), 0u);
+  EXPECT_GT(nsm->udp_stack()->stats().rx_zc_landed, 0u);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(UdpTest, DgramRxOutstandingCreditGatesShipping) {
+  // A guest that does not read accrues rx_outstanding up to the cap; the NSM
+  // stops shipping (surplus stays queued in the UDP stack) until RecvFrom
+  // returns credit through the kRecvFrom channel, after which everything
+  // drains. Nothing is lost to the pause and nothing leaks.
+  core::Host::Options opts;
+  opts.servicelib.rx_outstanding_cap = 8 * 1024;  // tiny: ~2 datagrams
+  host_a_ = std::make_unique<Host>(&loop_, &fabric_, "hostA", opts);
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* base = HostB().CreateBaselineVm("base", 1);
+
+  constexpr int kCount = 30;
+  constexpr uint32_t kSize = 4000;
+  int server_fd = -1;
+  bool bound = false;
+  auto server_bind = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    server_fd = co_await api.SocketDgram(cpu);
+    bound = 0 == co_await api.Bind(cpu, server_fd, 0, 5353);
+  };
+  sim::Spawn(server_bind());
+  Run(100 * kMillisecond);
+  ASSERT_TRUE(bound);
+
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = base->api();
+    sim::CpuCore* cpu = base->vcpu(0);
+    int fd = co_await api.SocketDgram(cpu);
+    std::vector<uint8_t> msg(kSize, 0x22);
+    for (int i = 0; i < kCount; ++i) {
+      co_await api.SendTo(cpu, fd, nk->ip(), 5353, msg.data(), msg.size());
+      co_await sim::Delay(api.loop(), kMillisecond);
+    }
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(client());
+  Run(500 * kMillisecond);
+
+  // Shipping stalled at the cap: the guest holds at most cap+one chunk, the
+  // surplus is parked in the NSM's UDP stack receive queue.
+  udp::SocketId usid = 0;
+  for (udp::SocketId id = 1; id < 16; ++id) {
+    if (nsm->udp_stack()->Exists(id)) usid = id;
+  }
+  ASSERT_NE(usid, 0u);
+  EXPECT_GT(nsm->udp_stack()->RxQueuedBytes(usid), 0u);
+
+  // Now read everything: each RecvFrom returns credit and un-gates the next
+  // shipment. All datagrams arrive despite the tiny cap.
+  int got = 0;
+  auto reader = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    std::vector<uint8_t> buf(8192);
+    for (int i = 0; i < kCount; ++i) {
+      int64_t r = co_await api.RecvFrom(cpu, server_fd, buf.data(), buf.size(), nullptr,
+                                        nullptr);
+      if (r != kSize) break;
+      ++got;
+    }
+    co_await api.Close(cpu, server_fd);
+  };
+  sim::Spawn(reader());
+  Run(2 * kSecond);
+  EXPECT_EQ(got, kCount);
+  EXPECT_EQ(nsm->udp_stack()->stats().rx_queue_drops, 0u);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(UdpTest, DgramPoolExhaustedFallsBackToCopyShip) {
+  // A pool too small for the in-flight window: landing allocations fail
+  // (rx_pool_fallbacks counts them), datagrams are held as heap copies, and
+  // ShipDgrams moves them with the classic staging copy (dgram_copy_ships).
+  // Nothing is lost and the pool conserves.
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  // Smallest practical pool: a handful of 4K-class chunks.
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm, 96 * 1024);
+  Vm* base = HostB().CreateBaselineVm("base", 1);
+
+  constexpr int kCount = 40;
+  constexpr uint32_t kSize = 4000;
+  int got = 0;
+  auto server = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int fd = co_await api.SocketDgram(cpu);
+    co_await api.Bind(cpu, fd, 0, 5353);
+    std::vector<uint8_t> buf(8192);
+    // Slow reader: the backlog forces the landing pool dry.
+    for (int i = 0; i < kCount; ++i) {
+      int64_t r = co_await api.RecvFrom(cpu, fd, buf.data(), buf.size(), nullptr, nullptr);
+      if (r != kSize) break;
+      ++got;
+      co_await sim::Delay(api.loop(), 2 * kMillisecond);
+    }
+    co_await api.Close(cpu, fd);
+  };
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = base->api();
+    sim::CpuCore* cpu = base->vcpu(0);
+    int fd = co_await api.SocketDgram(cpu);
+    std::vector<uint8_t> msg(kSize, 0x33);
+    for (int i = 0; i < kCount; ++i) {
+      co_await api.SendTo(cpu, fd, nk->ip(), 5353, msg.data(), msg.size());
+    }
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(server());
+  sim::Spawn(client());
+  Run(5 * kSecond);
+
+  EXPECT_EQ(got, kCount);
+  // The fallback actually happened and was counted at both layers.
+  EXPECT_GT(nsm->udp_stack()->stats().rx_pool_fallbacks, 0u);
+  EXPECT_GT(nsm->servicelib()->dgram_copy_ships(), 0u);
+  EXPECT_EQ(nsm->udp_stack()->stats().rx_queue_drops, 0u);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(UdpTest, DgramOverflowDropsAtStackAndConservesChunks) {
+  // ShipDgrams never overruns the guest: beyond the rx_outstanding cap the
+  // surplus queues in the UDP stack, and beyond ITS rcvbuf the datagrams
+  // drop (counted) — UDP's no-backpressure contract — without touching any
+  // hugepage chunk.
+  core::Host::Options opts;
+  opts.servicelib.rx_outstanding_cap = 8 * 1024;
+  host_a_ = std::make_unique<Host>(&loop_, &fabric_, "hostA", opts);
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* base = HostB().CreateBaselineVm("base", 1);
+
+  bool bound = false;
+  bool closed = false;
+  auto server_bind = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int fd = co_await api.SocketDgram(cpu);
+    bound = 0 == co_await api.Bind(cpu, fd, 0, 5353);
+    // Never reads: everything beyond the cap piles up NSM-side. Then close,
+    // which must return every landed chunk (guest drx + stack queue).
+    co_await sim::Delay(api.loop(), 2 * kSecond);
+    closed = 0 == co_await api.Close(cpu, fd);
+  };
+  auto blaster = [&]() -> sim::Task<void> {
+    SocketApi& api = base->api();
+    sim::CpuCore* cpu = base->vcpu(0);
+    int fd = co_await api.SocketDgram(cpu);
+    std::vector<uint8_t> msg(32 * 1024, 0x44);
+    for (int i = 0; i < 40; ++i) {  // ~1.3 MB >> 256 KB stack rcvbuf
+      co_await api.SendTo(cpu, fd, nk->ip(), 5353, msg.data(), msg.size());
+    }
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(server_bind());
+  sim::Spawn(blaster());
+  Run(4 * kSecond);
+
+  EXPECT_TRUE(bound);
+  EXPECT_TRUE(closed);
+  EXPECT_GT(nsm->udp_stack()->stats().rx_queue_drops, 0u);
+  // Chunk conservation: overflow drops never touched the pool, and the close
+  // unwound every landed chunk — guest-held and stack-queued alike.
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
 TEST_F(UdpTest, ShmNsmRejectsDgramSockets) {
   // The shared-memory NSM has no datagram transport; SocketDgram must fail
   // promptly rather than hang on a completion that never comes.
@@ -393,7 +595,7 @@ struct KvRunResult {
 
 // Runs the identical UdpKvServer + UdpLoadGen pair with the server either on
 // a Baseline VM or on a NetKernel VM. Everything else is byte-identical.
-KvRunResult RunKvWorkload(bool netkernel_server) {
+KvRunResult RunKvWorkload(bool netkernel_server, bool zerocopy = false) {
   Host::ResetIpAllocator();
   sim::EventLoop loop;
   netsim::Fabric fabric(&loop);
@@ -416,6 +618,7 @@ KvRunResult RunKvWorkload(bool netkernel_server) {
   KvRunResult res;
   apps::UdpKvServerConfig scfg;
   scfg.port = 11211;
+  scfg.zerocopy = zerocopy;
   apps::StartUdpKvServer(server, scfg, &res.server);
 
   apps::UdpLoadGenConfig lcfg;
@@ -426,6 +629,7 @@ KvRunResult RunKvWorkload(bool netkernel_server) {
   lcfg.value_size = 100;
   lcfg.threads = 1;
   lcfg.seed = 7;
+  lcfg.zerocopy = zerocopy;
   apps::StartUdpLoadGen(client, lcfg, &res.client);
 
   loop.Run(loop.Now() + 10 * kSecond);
@@ -451,6 +655,25 @@ TEST_F(UdpTest, KvWorkloadRunsIdenticallyOnBothArchitectures) {
   EXPECT_GT(baseline.server.gets, 0u);
   EXPECT_EQ(baseline.server.sets, netkernel.server.sets);
   EXPECT_EQ(baseline.server.gets, netkernel.server.gets);
+}
+
+TEST_F(UdpTest, KvWorkloadZerocopyRunsIdenticallyOnBothArchitectures) {
+  // The zero-copy datagram surface (AcquireTxBuf/SendToBuf +
+  // RecvFromBuf/ReleaseBuf) keeps the same transparency contract: identical
+  // app logic, identical results, on the heap-arena Baseline and the
+  // hugepage-loaning NetKernel placement.
+  KvRunResult baseline = RunKvWorkload(/*netkernel_server=*/false, /*zerocopy=*/true);
+  KvRunResult netkernel = RunKvWorkload(/*netkernel_server=*/true, /*zerocopy=*/true);
+
+  EXPECT_TRUE(baseline.client.done);
+  EXPECT_TRUE(netkernel.client.done);
+  EXPECT_EQ(baseline.server.requests, 1000u);
+  EXPECT_EQ(netkernel.server.requests, 1000u);
+  EXPECT_EQ(baseline.client.completed, netkernel.client.completed);
+  EXPECT_EQ(baseline.client.Lost(), 0u);
+  EXPECT_EQ(netkernel.client.Lost(), 0u);
+  EXPECT_GT(baseline.server.sets, 0u);
+  EXPECT_GT(baseline.server.gets, 0u);
 }
 
 }  // namespace

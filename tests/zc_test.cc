@@ -471,6 +471,224 @@ TEST_F(ZcTest, ReleaseUnsentTxLoanReturnsCredit) {
   EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
 }
 
+TEST_F(ZcTest, RxZcShipsDetachedChunksEndToEnd) {
+  // The tentpole: inbound TCP segments land in the VM's pool inside the
+  // stack, and ShipRecv forwards detached chunks — the copy ship stays idle
+  // while the bytes still arrive intact (checked by PatternSink semantics on
+  // the RecvBuf side elsewhere; here the plain Recv consumer also works).
+  Nsm* nsm = HostA().CreateNsm("nsm", 2, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 2, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 4);
+
+  const uint64_t kTotal = 2 * kMiB;
+  uint64_t got = 0;
+  bool recv_ok = false, sent_ok = false;
+  sim::Spawn(PatternSink(nk, 9000, kTotal, &got, &recv_ok));
+  sim::Spawn(ZcPatternSender(peer, nk->ip(), 9000, kTotal, 16384, &sent_ok));
+  Run(3 * kSecond);
+
+  EXPECT_TRUE(sent_ok);
+  EXPECT_TRUE(recv_ok);
+  EXPECT_EQ(got, kTotal);
+  EXPECT_GT(nsm->servicelib()->rx_zc_ships(), 0u);
+  EXPECT_EQ(nsm->servicelib()->rx_copy_ships(), 0u);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(ZcTest, RxZcDisabledFallsBackToCopyShip) {
+  // The rx_zerocopy=false knob restores the staging-copy receive path (the
+  // Table 6 RX baseline): same bytes, zero detached ships.
+  core::Host::Options opts;
+  opts.servicelib.rx_zerocopy = false;
+  host_a_ = std::make_unique<Host>(&loop_, &fabric_, "hostA", opts);
+  Nsm* nsm = HostA().CreateNsm("nsm", 2, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 2, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 4);
+
+  const uint64_t kTotal = 1 * kMiB;
+  uint64_t got = 0;
+  bool recv_ok = false, sent_ok = false;
+  sim::Spawn(PatternSink(nk, 9000, kTotal, &got, &recv_ok));
+  sim::Spawn(ZcPatternSender(peer, nk->ip(), 9000, kTotal, 16384, &sent_ok));
+  Run(3 * kSecond);
+
+  EXPECT_TRUE(recv_ok);
+  EXPECT_EQ(got, kTotal);
+  EXPECT_EQ(nsm->servicelib()->rx_zc_ships(), 0u);
+  EXPECT_GT(nsm->servicelib()->rx_copy_ships(), 0u);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+TEST_F(ZcTest, DgramZcSendRecvConservesPool) {
+  // Zero-copy datagrams end to end: SendToBuf transfers the chunk, the NSM's
+  // UDP stack transmits from it, inbound datagrams ship as kDgramRecvZc and
+  // are drained through RecvFromBuf loans. Sends and completions pair up and
+  // the pool conserves.
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 1);
+
+  constexpr int kCount = 25;
+  constexpr uint32_t kSize = 2000;
+  int echoed = 0;
+  auto echo = [&]() -> sim::Task<void> {
+    SocketApi& api = peer->api();
+    sim::CpuCore* cpu = peer->vcpu(0);
+    int fd = co_await api.SocketDgram(cpu);
+    co_await api.Bind(cpu, fd, 0, 5353);
+    std::vector<uint8_t> buf(8192);
+    for (int i = 0; i < kCount; ++i) {
+      netsim::IpAddr ip = 0;
+      uint16_t port = 0;
+      int64_t r = co_await api.RecvFrom(cpu, fd, buf.data(), buf.size(), &ip, &port);
+      if (r < 0) break;
+      co_await api.SendTo(cpu, fd, ip, port, buf.data(), static_cast<uint64_t>(r));
+      ++echoed;
+    }
+    co_await api.Close(cpu, fd);
+  };
+  int got = 0;
+  bool payload_ok = true;
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int fd = co_await api.SocketDgram(cpu);
+    for (int i = 0; i < kCount; ++i) {
+      NkBuf loan;
+      if (0 != co_await api.AcquireTxBuf(cpu, fd, kSize, &loan)) break;
+      loan.size = std::min(loan.capacity, kSize);
+      std::memset(loan.data, static_cast<int>(0x50 + i % 10), loan.size);
+      if (co_await api.SendToBuf(cpu, fd, peer->ip(), 5353, loan) !=
+          static_cast<int64_t>(loan.size)) {
+        break;
+      }
+      NkBuf back;
+      int64_t r = co_await api.RecvFromBuf(cpu, fd, &back, nullptr, nullptr);
+      if (r != kSize) break;
+      for (int64_t b = 0; b < r; ++b) {
+        if (back.data[b] != static_cast<uint8_t>(0x50 + i % 10)) payload_ok = false;
+      }
+      if (0 != co_await api.ReleaseBuf(cpu, fd, back)) break;
+      ++got;
+    }
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(echo());
+  sim::Spawn(client());
+  Run(5 * kSecond);
+
+  EXPECT_EQ(echoed, kCount);
+  EXPECT_EQ(got, kCount);
+  EXPECT_TRUE(payload_ok);
+  EXPECT_GT(nk->guestlib()->dgram_zc_sends(), 0u);
+  EXPECT_EQ(nk->guestlib()->dgram_zc_sends(), nk->guestlib()->dgram_zc_completions());
+  EXPECT_GT(nk->guestlib()->dgram_zc_recvs(), 0u);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Loan-API misuse regressions
+// ---------------------------------------------------------------------------
+
+TEST_F(ZcTest, RxLoanDoubleReleaseAndReleaseAfterCloseError) {
+  Nsm* nsm = HostA().CreateNsm("nsm", 1, NsmKind::kKernel);
+  Vm* nk = HostA().CreateNetkernelVm("nk", 1, nsm);
+  Vm* peer = HostB().CreateBaselineVm("peer", 1);
+
+  bool ok = false;
+  uint64_t pool_in_use_after_first_release = 1;
+  auto server = [&]() -> sim::Task<void> {
+    SocketApi& api = nk->api();
+    sim::CpuCore* cpu = nk->vcpu(0);
+    int lfd = co_await api.Socket(cpu);
+    co_await api.Bind(cpu, lfd, 0, 9000);
+    co_await api.Listen(cpu, lfd, 16, false);
+    int fd = co_await api.Accept(cpu, lfd);
+    NkBuf loan;
+    int64_t n = co_await api.RecvBuf(cpu, fd, &loan);
+    if (n <= 0) co_return;
+    if (0 != co_await api.ReleaseBuf(cpu, fd, loan)) co_return;
+    pool_in_use_after_first_release = nk->pool()->bytes_in_use();
+    // Double release: must error, not free (or corrupt) the pool again.
+    if (tcp::kInvalidArg != co_await api.ReleaseBuf(cpu, fd, loan)) co_return;
+    // Release after close: the fd (and every loan) is gone.
+    NkBuf loan2;
+    int64_t n2 = co_await api.RecvBuf(cpu, fd, &loan2);
+    if (n2 <= 0) co_return;
+    co_await api.Close(cpu, fd);
+    if (tcp::kNotConnected != co_await api.ReleaseBuf(cpu, fd, loan2)) co_return;
+    ok = true;
+  };
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = peer->api();
+    sim::CpuCore* cpu = peer->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, nk->ip(), 9000)) co_return;
+    std::vector<uint8_t> msg(4096, 0x99);
+    co_await api.Send(cpu, fd, msg.data(), msg.size());
+    co_await sim::Delay(api.loop(), 200 * kMillisecond);
+    co_await api.Send(cpu, fd, msg.data(), msg.size());
+    co_await sim::Delay(api.loop(), 500 * kMillisecond);
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(server());
+  sim::Spawn(client());
+  Run(3 * kSecond);
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(pool_in_use_after_first_release, 0u);
+  EXPECT_EQ(nk->pool()->bytes_in_use(), 0u);
+}
+
+// Once SendBuf transfers ownership, the handle is dead to the app: a second
+// SendBuf or a ReleaseBuf must error instead of double-freeing a chunk the
+// stack may still be transmitting (and retransmitting) from. Same contract on
+// both implementations — the Baseline's heap arena used to accept the second
+// SendBuf and free the block under the stack's feet. Each placement gets its
+// own event loop so the forever-running sink tasks die with it.
+void RunTxLoanMisuse(bool netkernel) {
+  Host::ResetIpAllocator();
+  sim::EventLoop loop;
+  netsim::Fabric fabric(&loop);
+  Host host_a(&loop, &fabric, "hostA");
+  Host host_b(&loop, &fabric, "hostB");
+  Vm* vm;
+  if (netkernel) {
+    Nsm* nsm = host_a.CreateNsm("nsm", 1, NsmKind::kKernel);
+    vm = host_a.CreateNetkernelVm("nk", 1, nsm);
+  } else {
+    vm = host_a.CreateBaselineVm("base", 1);
+  }
+  Vm* peer = host_b.CreateBaselineVm("peer", 1);
+
+  apps::StreamStats sink;
+  apps::StartStreamSink(peer, 9000, &sink, 1);
+  bool ok = false;
+  auto client = [&]() -> sim::Task<void> {
+    SocketApi& api = vm->api();
+    sim::CpuCore* cpu = vm->vcpu(0);
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, peer->ip(), 9000)) co_return;
+    NkBuf loan;
+    if (0 != co_await api.AcquireTxBuf(cpu, fd, 8192, &loan)) co_return;
+    loan.size = loan.capacity;
+    std::memset(loan.data, 0x5a, loan.size);
+    if (co_await api.SendBuf(cpu, fd, loan) != static_cast<int64_t>(loan.size)) co_return;
+    // The handle now belongs to the stack: every further use must error.
+    if (tcp::kInvalidArg != co_await api.SendBuf(cpu, fd, loan)) co_return;
+    if (tcp::kInvalidArg != co_await api.ReleaseBuf(cpu, fd, loan)) co_return;
+    ok = true;
+    co_await api.Close(cpu, fd);
+  };
+  sim::Spawn(client());
+  loop.Run(loop.Now() + 3 * kSecond);
+  EXPECT_TRUE(ok) << (netkernel ? "netkernel" : "baseline");
+  if (netkernel) EXPECT_EQ(vm->pool()->bytes_in_use(), 0u);
+}
+
+TEST(ZcLoanMisuse, TxLoanReuseAfterSendErrorsNetkernel) { RunTxLoanMisuse(true); }
+TEST(ZcLoanMisuse, TxLoanReuseAfterSendErrorsBaseline) { RunTxLoanMisuse(false); }
+
 TEST_F(ZcTest, ListenerCloseClosesPendingAcceptedConnections) {
   // Accepted-but-unclaimed NSM connections must be torn down when the guest
   // closes the listener: the peer sees EOF/reset instead of a half-open

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json results against a previous run's artifact.
+
+Each BENCH_*.json is a flat array of rows:
+    {"bench": ..., "config": ..., "metric": ..., "value": ...}
+(see bench/harness.h JsonReporter). This script joins current rows against
+the previous run's rows on (bench, config, metric), prints a delta table,
+and exits nonzero when a *gated* metric regresses by more than the allowed
+fraction. Higher-is-better vs lower-is-better is per metric name.
+
+Usage:
+    tools/bench_diff.py --prev <dir-with-previous-BENCH_*.json> \
+                        --curr <dir-with-current-BENCH_*.json> \
+                        [--threshold 0.10]
+
+Missing previous data (first run, new metric) is reported but never fails.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Metrics where a LOWER value is better; everything else is higher-is-better.
+LOWER_IS_BETTER = {
+    "cycles_per_byte",
+    "p99_us",
+    "p50_us",
+    "latency_us",
+    "loss_rate",
+}
+
+# (bench, metric) pairs that gate CI. Keep this list aligned with the --smoke
+# gates: these are the claims the repo's perf story rests on.
+GATED = [
+    ("fig11_raw_switch", "nqes_per_sec"),
+    ("fig11_sharded_switch", "nqes_per_sec"),
+    ("table6_cpu", "cycles_per_byte"),
+]
+
+
+def load_rows(directory):
+    rows = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: cannot read {path}: {e}", file=sys.stderr)
+            continue
+        for row in data:
+            key = (row.get("bench", ""), row.get("config", ""), row.get("metric", ""))
+            rows[key] = float(row.get("value", 0.0))
+    return rows
+
+
+def is_gated(bench, metric):
+    return any(bench == b and metric == m for b, m in GATED)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--prev", required=True, help="directory with previous BENCH_*.json")
+    ap.add_argument("--curr", required=True, help="directory with current BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed relative regression on gated metrics")
+    args = ap.parse_args()
+
+    prev = load_rows(args.prev)
+    curr = load_rows(args.curr)
+    if not curr:
+        print("no current BENCH_*.json rows found — nothing to diff")
+        return 1
+    if not prev:
+        print("no previous BENCH_*.json artifact — first run, recording baseline only")
+        return 0
+
+    regressions = []
+    header = f"{'bench':<22} {'config':<30} {'metric':<18} {'prev':>12} {'curr':>12} {'delta':>8}"
+    print(header)
+    print("-" * len(header))
+    for key in sorted(curr):
+        bench, config, metric = key
+        cv = curr[key]
+        if key not in prev:
+            print(f"{bench:<22} {config:<30} {metric:<18} {'(new)':>12} {cv:>12.4g} {'':>8}")
+            continue
+        pv = prev[key]
+        if pv == 0:
+            delta = 0.0
+        elif metric in LOWER_IS_BETTER:
+            delta = (cv - pv) / abs(pv)        # positive = worse
+        else:
+            delta = (pv - cv) / abs(pv)        # positive = worse
+        gated = is_gated(bench, metric)
+        flag = ""
+        if delta > args.threshold:
+            flag = " <-- REGRESSION" if gated else " (ungated)"
+            if gated:
+                regressions.append((key, pv, cv, delta))
+        print(f"{bench:<22} {config:<30} {metric:<18} {pv:>12.4g} {cv:>12.4g} "
+              f"{delta * 100:>+7.1f}%{flag}")
+
+    # A gated metric that existed in the previous run but vanished from the
+    # current one is itself a gate failure: losing the measurement is how a
+    # perf claim silently disappears.
+    missing = [k for k in sorted(prev) if k not in curr and is_gated(k[0], k[2])]
+    for bench, config, metric in missing:
+        print(f"{bench:<22} {config:<30} {metric:<18} {prev[(bench, config, metric)]:>12.4g} "
+              f"{'(gone)':>12} {'':>8} <-- MISSING GATED METRIC")
+        regressions.append(((bench, config, metric), prev[(bench, config, metric)],
+                            float("nan"), float("inf")))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} gated metric(s) regressed more than "
+              f"{args.threshold * 100:.0f}%:")
+        for (bench, config, metric), pv, cv, delta in regressions:
+            print(f"  {bench} [{config}] {metric}: {pv:.4g} -> {cv:.4g} "
+                  f"({delta * 100:+.1f}%)")
+        return 1
+    print("\nOK: no gated metric regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
