@@ -93,11 +93,21 @@ struct CeShardResult {
   double nqes_per_sec = 0;
   uint64_t migrations = 0;
   std::vector<uint64_t> per_shard_switched;
+  // Populated when a tracer was attached (see attach_tracer below).
+  uint64_t trace_samples_started = 0;
 };
 
+// `attach_tracer` attaches an nkobs lifecycle tracer (on the experiment's own
+// event loop) sampling 1-in-`trace_sample_every` NQEs (0 = attached but
+// disabled): the refiller stamps T0 on every enqueued NQE (standing in for
+// GuestLib, which this raw-device experiment bypasses) and the CE shards
+// stamp T1, charging the modeled stamp cost into the switch rounds.
+// bench_obs_overhead uses this to price tracing against the fig11 switching
+// workload.
 inline CeShardResult RunCeShardExperiment(int shards, SimTime window = 10 * kMillisecond,
                                           int vm_devs = 8, int qsets_per_vm = 2, int nsms = 4,
-                                          int nsm_qsets = 8) {
+                                          int nsm_qsets = 8, bool attach_tracer = false,
+                                          uint32_t trace_sample_every = 0) {
   using shm::MakeNqe;
   using shm::Nqe;
   using shm::NqeOp;
@@ -112,6 +122,14 @@ inline CeShardResult RunCeShardExperiment(int shards, SimTime window = 10 * kMil
   cfg.batch = 64;            // Fig 11's saturating batch tier
   cfg.pending_bound = 8192;  // the consumer, not the park, absorbs bursts
   core::CoreEngine ce(&loop, core_ptrs, cfg);
+  std::unique_ptr<obs::Tracer> tracer_storage;
+  obs::Tracer* tracer = nullptr;
+  if (attach_tracer) {
+    tracer_storage = std::make_unique<obs::Tracer>(&loop);
+    tracer_storage->set_sample_every(trace_sample_every);
+    tracer = tracer_storage.get();
+    ce.SetTracer(tracer);
+  }
 
   std::vector<std::unique_ptr<shm::NkDevice>> nsm_devs;
   for (int n = 0; n < nsms; ++n) {
@@ -156,8 +174,13 @@ inline CeShardResult RunCeShardExperiment(int shards, SimTime window = 10 * kMil
       uint8_t vm_id = static_cast<uint8_t>(v + 1);
       for (int qs = 0; qs < qsets_per_vm; ++qs) {
         auto& ring = vm_devs_v[static_cast<size_t>(v)]->queue_set(qs).send;
-        while (ring.TryEnqueue(MakeNqe(NqeOp::kSendTo, vm_id, static_cast<uint8_t>(qs),
-                                       static_cast<uint32_t>(qs), 0, 0, 64))) {
+        for (;;) {
+          Nqe nqe = MakeNqe(NqeOp::kSendTo, vm_id, static_cast<uint8_t>(qs),
+                            static_cast<uint32_t>(qs), 0, 0, 64);
+          // T0 stamp, as GuestLib::EnqueueRing would take it (the refiller is
+          // the guest here; its own stamp cost is off-core and uncharged).
+          if (tracer != nullptr) tracer->OnGuestEnqueue(&nqe);
+          if (!ring.TryEnqueue(nqe)) break;
         }
         ce.NotifyVmOutbound(vm_id, qs);
       }
@@ -186,6 +209,7 @@ inline CeShardResult RunCeShardExperiment(int shards, SimTime window = 10 * kMil
   for (int i = 0; i < ce.num_shards(); ++i) {
     r.per_shard_switched.push_back(ce.shard(i).stats().nqes_switched);
   }
+  if (tracer != nullptr) r.trace_samples_started = tracer->samples_started();
   return r;
 }
 

@@ -1,0 +1,165 @@
+// Copyright (c) NetKernel reproduction authors.
+// nkstat: render the sampled NQE lifecycle decomposition from a live host.
+//
+// Runs a small echo workload between two NetKernel VMs with 1-in-8 lifecycle
+// sampling enabled, then prints the per-VM, per-stage latency breakdown the
+// tracer collected: how long NQEs sat on the VM ring (T0->T1), how long the
+// CoreEngine switch + NSM wakeup took (T1->T2), stack service time (T2->T3)
+// and completion-ring residency until the guest reaped it (T3->T4).
+//
+// Flags:
+//   --json   also dump Host::DumpMetrics() as flat JSON
+//   --prom   also dump the Prometheus text exposition
+//   --flight also dump the merged flight-recorder tail
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/netkernel.h"
+
+using namespace netkernel;
+
+namespace {
+
+// Many short-lived connections rather than one long stream: the connection
+// lifecycle ops (socket, accept-link, close) are the NQEs that travel the
+// full T0..T4 round trip — streamed sends complete through credit reclaim
+// and stop at T2 — so churn is what populates every stage histogram.
+constexpr int kConnections = 64;
+constexpr int kRequestsPerConn = 6;
+constexpr uint64_t kMsgBytes = 2048;
+
+sim::Task<void> EchoServer(core::Vm* vm, uint16_t port) {
+  core::SocketApi& api = vm->api();
+  sim::CpuCore* cpu = vm->vcpu(0);
+  int lfd = co_await api.Socket(cpu);
+  co_await api.Bind(cpu, lfd, 0, port);
+  co_await api.Listen(cpu, lfd, 64, false);
+  for (int c = 0; c < kConnections; ++c) {
+    int fd = co_await api.Accept(cpu, lfd);
+    if (fd < 0) co_return;
+    sim::Spawn([](core::SocketApi& a, sim::CpuCore* cc, int f) -> sim::Task<void> {
+      std::vector<uint8_t> buf(kMsgBytes);
+      for (;;) {
+        int64_t n = co_await a.Recv(cc, f, buf.data(), buf.size());
+        if (n <= 0) break;
+        co_await a.Send(cc, f, buf.data(), static_cast<uint64_t>(n));
+      }
+      co_await a.Close(cc, f);
+    }(api, cpu, fd));
+  }
+}
+
+sim::Task<void> EchoClient(core::Vm* vm, netsim::IpAddr server, uint16_t port, int* done) {
+  core::SocketApi& api = vm->api();
+  sim::CpuCore* cpu = vm->vcpu(0);
+  std::vector<uint8_t> msg(kMsgBytes, 0x5a);
+  for (int c = 0; c < kConnections; ++c) {
+    int fd = co_await api.Socket(cpu);
+    if (0 != co_await api.Connect(cpu, fd, server, port)) co_return;
+    for (int i = 0; i < kRequestsPerConn; ++i) {
+      co_await api.Send(cpu, fd, msg.data(), msg.size());
+      uint64_t got = 0;
+      while (got < kMsgBytes) {
+        int64_t n = co_await api.Recv(cpu, fd, msg.data(), msg.size());
+        if (n <= 0) co_return;
+        got += static_cast<uint64_t>(n);
+      }
+    }
+    co_await api.Close(cpu, fd);
+    ++*done;
+  }
+}
+
+void PrintStageTable(const core::Host& host) {
+  const obs::Tracer& tracer = host.tracer();
+  std::printf("sampled NQE lifecycle (1 in %u), %llu samples completed, "
+              "%llu in flight/evicted\n\n",
+              tracer.sample_every(),
+              static_cast<unsigned long long>(tracer.samples_completed()),
+              static_cast<unsigned long long>(tracer.samples_started() -
+                                              tracer.samples_completed()));
+  std::printf("  %-6s %-18s %10s %10s %10s %10s\n", "vm", "stage", "count", "p50 us",
+              "p99 us", "max us");
+  for (uint8_t vm : tracer.TracedVms()) {
+    for (int d = 0; d < obs::kNumTraceDeltas; ++d) {
+      auto delta = static_cast<obs::TraceDelta>(d);
+      const obs::Histogram& h = tracer.VmDelta(vm, delta);
+      if (h.Count() == 0) continue;
+      std::printf("  vm%-4u %-18s %10llu %10.2f %10.2f %10.2f\n", vm,
+                  obs::TraceDeltaName(delta), static_cast<unsigned long long>(h.Count()),
+                  h.Percentile(50.0) / 1e3, h.Percentile(99.0) / 1e3,
+                  static_cast<double>(h.MaxValue()) / 1e3);
+    }
+    std::printf("\n");
+  }
+  std::printf("  %-6s %-18s %10s %10s %10s %10s\n", "shard", "stage", "count", "p50 us",
+              "p99 us", "max us");
+  for (uint32_t shard : tracer.TracedShards()) {
+    for (obs::TraceDelta delta : {obs::TraceDelta::kRingQueueing, obs::TraceDelta::kSwitch}) {
+      const obs::Histogram& h = tracer.ShardDelta(shard, delta);
+      if (h.Count() == 0) continue;
+      std::printf("  %-6u %-18s %10llu %10.2f %10.2f %10.2f\n", shard,
+                  obs::TraceDeltaName(delta), static_cast<unsigned long long>(h.Count()),
+                  h.Percentile(50.0) / 1e3, h.Percentile(99.0) / 1e3,
+                  static_cast<double>(h.MaxValue()) / 1e3);
+    }
+  }
+}
+
+bool HasArg(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::EventLoop loop;
+  netsim::Fabric fabric(&loop);
+
+  core::Host host(&loop, &fabric, "host");
+  host.SetTraceSampling(8);
+  core::Nsm* nsm = host.CreateNsm("nsm0", /*vcpus=*/2, core::NsmKind::kKernel);
+  core::Vm* server = host.CreateNetkernelVm("server", /*vcpus=*/1, nsm);
+  core::Vm* client = host.CreateNetkernelVm("client", /*vcpus=*/1, nsm);
+
+  int done = 0;
+  sim::Spawn(EchoServer(server, 7000));
+  sim::Spawn(EchoClient(client, server->ip(), 7000, &done));
+  loop.Run(2 * kSecond);
+
+  std::printf("nkstat: %d/%d echo connections over %.1f ms of virtual time\n\n", done,
+              kConnections, static_cast<double>(loop.Now()) / kMillisecond);
+  PrintStageTable(host);
+
+  if (HasArg(argc, argv, "--flight")) {
+    std::printf("\n%s", host.DumpFlightRecorder(32).c_str());
+  }
+  if (HasArg(argc, argv, "--json")) {
+    std::printf("\n%s", host.DumpMetricsJson().c_str());
+  }
+  if (HasArg(argc, argv, "--prom")) {
+    std::printf("\n%s", host.DumpMetrics().c_str());
+  }
+  // NK_METRICS_JSON=<path>: also write the raw Host::DumpMetrics() JSON to a
+  // file — CI uploads this as the run's metrics artifact.
+  if (const char* path = std::getenv("NK_METRICS_JSON")) {
+    FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "nkstat: cannot write %s\n", path);
+      return 1;
+    }
+    std::string json = host.DumpMetricsJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nmetrics JSON written to %s\n", path);
+  }
+  return done == kConnections ? 0 : 1;
+}

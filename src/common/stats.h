@@ -24,7 +24,9 @@ class Summary {
   double Max() const;
   double Mean() const;
   double Stddev() const;
-  // p in [0, 100]. Nearest-rank on the sorted samples.
+  // p in [0, 100] (checked). Linear interpolation between closest ranks on
+  // the sorted samples. Defined edge cases: no samples -> 0.0; a single
+  // sample -> that sample for every p; p=0 -> Min(); p=100 -> Max().
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 

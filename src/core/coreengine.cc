@@ -69,6 +69,19 @@ CeMessage CoreEngine::HandleControlMessage(CeMessage req) {
           v > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(v);
       return {static_cast<uint32_t>(CeOp::kOk), saturated};
     }
+    case CeOp::kQueryVmStatWide: {
+      // Two-word read of the raw 64-bit counter: word 0 returns the low 32
+      // bits, word 1 the high 32 bits. No saturation, no KiB scaling.
+      uint8_t vm = static_cast<uint8_t>(req.ce_data >> 16);
+      uint8_t field = static_cast<uint8_t>(req.ce_data >> 8);
+      uint8_t word = static_cast<uint8_t>(req.ce_data & 0xff);
+      if (field > static_cast<uint8_t>(VmStatField::kDeferred) || word > 1) {
+        return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
+      }
+      uint64_t v = QueryVmStatRaw(vm, static_cast<VmStatField>(field));
+      uint32_t out = word == 0 ? static_cast<uint32_t>(v) : static_cast<uint32_t>(v >> 32);
+      return {static_cast<uint32_t>(CeOp::kOk), out};
+    }
     default:
       // Register ops need a device pointer and use the direct API below.
       return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
@@ -173,6 +186,55 @@ uint64_t CoreEngine::QueryVmStat(uint8_t vm_id, VmStatField field) const {
       return s.deferred;
   }
   return 0;
+}
+
+uint64_t CoreEngine::QueryVmStatRaw(uint8_t vm_id, VmStatField field) const {
+  PerVmStats s = VmStats(vm_id);
+  switch (field) {
+    case VmStatField::kSwitched:
+      return s.switched;
+    case VmStatField::kDropped:
+      return s.dropped;
+    case VmStatField::kThrottled:
+      return s.throttled;
+    case VmStatField::kBytesKiB:
+      return s.bytes;  // raw bytes: the wide path has the range for it
+    case VmStatField::kDeferred:
+      return s.deferred;
+  }
+  return 0;
+}
+
+void CoreEngine::AddVmStatForTest(uint8_t vm_id, VmStatField field, uint64_t delta) {
+  PerVmStats& pv = shards_[0]->stats_.per_vm[vm_id];
+  switch (field) {
+    case VmStatField::kSwitched:
+      pv.switched += delta;
+      break;
+    case VmStatField::kDropped:
+      pv.dropped += delta;
+      break;
+    case VmStatField::kThrottled:
+      pv.throttled += delta;
+      break;
+    case VmStatField::kBytesKiB:
+      pv.bytes += delta;
+      break;
+    case VmStatField::kDeferred:
+      pv.deferred += delta;
+      break;
+  }
+}
+
+std::vector<const obs::FlightRecorder*> CoreEngine::FlightRecorders() const {
+  std::vector<const obs::FlightRecorder*> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) out.push_back(&s->recorder_);
+  return out;
+}
+
+std::string CoreEngine::DumpFlightRecorder(size_t last_k) const {
+  return obs::FlightRecorder::DumpMerged(FlightRecorders(), last_k);
 }
 
 void CoreEngine::SetVmWeight(uint8_t vm_id, uint32_t weight) {
@@ -454,6 +516,8 @@ void CoreEngine::MigrateVmQset(uint8_t vm_id, uint8_t qset, CoreEngineShard* fro
     }
   }
   ++from->stats_.qset_migrations;
+  from->recorder_.Record(obs::FlightEventType::kQsetMigration, vm_id, qset, 0, 0,
+                         static_cast<uint64_t>(to->index_));
   if (to->parked_total_ > 0) to->ArmParkRetry();
   to->ScheduleRound();
 }
@@ -463,7 +527,10 @@ void CoreEngine::MigrateVmQset(uint8_t vm_id, uint8_t qset, CoreEngineShard* fro
 // ===========================================================================
 
 CoreEngineShard::CoreEngineShard(CoreEngine* engine, int index, sim::CpuCore* core)
-    : engine_(engine), index_(index), core_(core) {}
+    : engine_(engine),
+      index_(index),
+      core_(core),
+      recorder_(engine->loop_, "ce.shard" + std::to_string(index)) {}
 
 void CoreEngineShard::AddVmQset(uint8_t vm_id, uint8_t qset) {
   VmSched& vs = sched_[vm_id];
@@ -515,6 +582,9 @@ void CoreEngineShard::RemoveVm(uint8_t vm_id, shm::NkDevice* dev) {
 }
 
 void CoreEngineShard::RemoveNsm(uint8_t nsm_id, shm::NkDevice* dev) {
+  if (nsm_qsets_.count(nsm_id) != 0 || dev != nullptr) {
+    recorder_.Record(obs::FlightEventType::kNsmDeregister, 0, 0, 0, 0, nsm_id);
+  }
   nsm_qsets_.erase(nsm_id);
   nsm_rr_order_.erase(std::remove(nsm_rr_order_.begin(), nsm_rr_order_.end(), nsm_id),
                       nsm_rr_order_.end());
@@ -614,6 +684,7 @@ uint64_t CoreEngineShard::PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit,
     shm::QueueSet& q = reg->dev->queue_set(qsi);
     // Send ring before job ring: a close NQE must not overtake the data
     // NQEs the guest enqueued before it.
+    obs::Tracer* tracer = engine_->tracer_;
     if (!*send_blocked) {
       while (taken < limit && q.send.Peek(&nqe)) {
         if (!RouteVmNqe(nqe, true, plan, cost, retry_at)) {
@@ -621,6 +692,9 @@ uint64_t CoreEngineShard::PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit,
           break;
         }
         q.send.TryDequeue(&nqe);
+        // T1 lifecycle stamp (sampled NQEs only); the stamp's modeled cost
+        // rides the round's CPU charge like any other switching work.
+        if (tracer != nullptr) cost += tracer->OnCeDequeue(nqe, static_cast<uint32_t>(index_));
         ++taken;
       }
     }
@@ -631,6 +705,7 @@ uint64_t CoreEngineShard::PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit,
           break;
         }
         q.job.TryDequeue(&nqe);
+        if (tracer != nullptr) cost += tracer->OnCeDequeue(nqe, static_cast<uint32_t>(index_));
         ++taken;
       }
     }
@@ -931,6 +1006,9 @@ bool CoreEngineShard::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
 bool CoreEngineShard::FailVmNqe(const Nqe& orig, std::vector<Delivery>& plan) {
   ++stats_.nqes_dropped;
   ++stats_.per_vm[orig.vm_id].dropped;
+  recorder_.Record(obs::FlightEventType::kErrorCompletion, orig.vm_id, orig.queue_set,
+                   orig.op, orig.vm_sock,
+                   static_cast<uint64_t>(static_cast<uint32_t>(kCeNetUnreach)));
   Delivery d;
   if (BuildErrorCompletion(orig, &d)) PlanDelivery(d, plan);
   return true;
@@ -1111,6 +1189,8 @@ bool CoreEngineShard::TryDeliver(const Delivery& d, std::vector<shm::NkDevice*>&
 void CoreEngineShard::DropDelivery(const Delivery& d, std::vector<Delivery>& errors) {
   ++stats_.nqes_dropped;
   ++stats_.per_vm[d.nqe.vm_id].dropped;
+  recorder_.Record(obs::FlightEventType::kDrop, d.nqe.vm_id, d.nqe.queue_set, d.nqe.op,
+                   d.nqe.vm_sock, d.toward_vm ? 1 : 0);
   if (d.toward_vm) return;  // nothing to unwind guest-side from here
   // A VM->NSM NQE died inside the switch: the guest still holds its state
   // (send credit, hugepage chunk, a thread waiting on the control op).
@@ -1128,6 +1208,8 @@ void CoreEngineShard::ParkOrDrop(const Delivery& d, std::vector<Delivery>& error
   ++parked_total_;
   ++stats_.deliveries_deferred;
   ++stats_.per_vm[d.nqe.vm_id].deferred;
+  recorder_.Record(obs::FlightEventType::kPark, d.nqe.vm_id, d.nqe.queue_set, d.nqe.op,
+                   d.nqe.vm_sock, dq.size());
 }
 
 bool CoreEngineShard::HasParkedFor(shm::NkDevice* dev) const {
@@ -1207,6 +1289,8 @@ size_t CoreEngineShard::DeliverPlan(const std::vector<Delivery>& plan) {
     ++parked_total_;
     ++stats_.deliveries_deferred;
     ++stats_.per_vm[e.nqe.vm_id].deferred;
+    recorder_.Record(obs::FlightEventType::kDeferredDelivery, e.nqe.vm_id,
+                     e.nqe.queue_set, e.nqe.op, e.nqe.vm_sock);
   }
 
   for (shm::NkDevice* dev : to_wake) dev->Wake();

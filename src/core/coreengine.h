@@ -54,6 +54,8 @@
 #include <vector>
 
 #include "src/common/token_bucket.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace.h"
 #include "src/shm/nk_device.h"
 #include "src/sim/cpu.h"
 #include "src/sim/event_loop.h"
@@ -76,9 +78,20 @@ enum class CeOp : uint32_t {
   // 32-bit counter in ce_data, so guests/operators read their own isolation
   // counters over the same 8-byte channel used for registration.
   kQueryVmStats = 7,
+  // Wide (64-bit) counter read over the same 8-byte channel: ce_data =
+  // vm_id << 16 | VmStatField << 8 | word, where word selects the low (0) or
+  // high (1) 32 bits of the raw counter. Two reads assemble the full value,
+  // so counters past 2^32 (or 4 TiB of bytes — here reported raw, not KiB)
+  // stay readable where kQueryVmStats saturates.
+  kQueryVmStatWide = 8,
   kOk = 100,
   kError = 101,
 };
+
+// Assembles the two kQueryVmStatWide response words into the raw counter.
+constexpr uint64_t WideVmStat(uint32_t lo, uint32_t hi) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
 
 // Selector for kQueryVmStats. Bytes are reported in KiB so the 32-bit
 // response field covers ~4 TiB before saturating.
@@ -166,6 +179,8 @@ class CoreEngineShard {
   // This shard's slice of the switch counters (aggregate via CoreEngine).
   const CoreEngineStats& stats() const { return stats_; }
   size_t ParkedDeliveries() const { return parked_total_; }
+  // This shard's datapath flight recorder (drops, parks, migrations, ...).
+  const obs::FlightRecorder& recorder() const { return recorder_; }
 
  private:
   friend class CoreEngine;
@@ -316,6 +331,7 @@ class CoreEngineShard {
   };
   std::vector<PendingHandoff> pending_handoffs_;
   CoreEngineStats stats_;
+  obs::FlightRecorder recorder_;
 };
 
 // The N-shard switch facade. Owns the shards, the registries shared across
@@ -349,6 +365,21 @@ class CoreEngine {
   // Reads one per-VM counter over the 8-byte control channel (ROADMAP: the
   // PerVmStats query op). Unknown VMs read as zero, like VmStats().
   uint64_t QueryVmStat(uint8_t vm_id, VmStatField field) const;
+  // Raw (unscaled) counter for the wide read path: bytes are reported as
+  // bytes, not KiB, since two 32-bit words cover the full range.
+  uint64_t QueryVmStatRaw(uint8_t vm_id, VmStatField field) const;
+  // Test hook: inflates one per-VM counter on shard 0 so the 2^32 saturation
+  // regression is testable without switching four billion NQEs.
+  void AddVmStatForTest(uint8_t vm_id, VmStatField field, uint64_t delta);
+
+  // ---- Observability (nkobs) ----
+  // Attaches the sampled NQE lifecycle tracer; shards take the T1 CE-dequeue
+  // stamp on traced NQEs and fold the stamp cost into the round's CPU charge.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+  // Per-shard flight recorders and their merged human-readable tail.
+  std::vector<const obs::FlightRecorder*> FlightRecorders() const;
+  std::string DumpFlightRecorder(size_t last_k = 32) const;
 
   // ---- Isolation (per-VM egress policing, §4.4/§7.6) ----
   void SetVmByteRate(uint8_t vm_id, double bytes_per_sec, double burst_bytes);
@@ -444,6 +475,7 @@ class CoreEngine {
 
   sim::EventLoop* loop_;
   CoreEngineConfig config_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<CoreEngineShard>> shards_;
   std::unordered_map<uint8_t, VmReg> vms_;
   std::unordered_map<uint8_t, shm::NkDevice*> nsms_;

@@ -95,6 +95,12 @@ void GuestLib::EnqueueSend(GSock& g, Nqe nqe) {
 }
 
 void GuestLib::EnqueueRing(bool send_ring, int qset, Nqe nqe) {
+  // T0: stamp before the ring/park decision so the trace id rides the NQE
+  // even when it sits in the overflow park first.
+  if (tracer_ != nullptr) {
+    Cycles tc = tracer_->OnGuestEnqueue(&nqe);
+    if (tc != 0) vcpus_[static_cast<size_t>(qset)]->AccountOnly(tc);
+  }
   Overflow& ov = overflow_[static_cast<size_t>(qset)];
   shm::QueueSet& q = dev_->queue_set(qset);
   shm::SpscRing<Nqe>& ring = send_ring ? q.send : q.job;
@@ -732,7 +738,14 @@ void GuestLib::ProcessInbound(int qs) {
   std::vector<Nqe> nqes(buf, buf + n);
   vcpus_[qs]->Charge(cost, [this, qs, nqes = std::move(nqes)] {
     poll_until_[qs] = loop_->Now() + config_.costs.guest_poll_period;
-    for (const Nqe& nqe : nqes) ApplyInbound(nqe);
+    for (const Nqe& nqe : nqes) {
+      // T4: completion reached the guest; closes out the traced sample.
+      if (tracer_ != nullptr) {
+        Cycles tc = tracer_->OnGuestReap(nqe);
+        if (tc != 0) vcpus_[qs]->AccountOnly(tc);
+      }
+      ApplyInbound(nqe);
+    }
     drain_scheduled_[qs] = false;
     shm::QueueSet& q2 = dev_->queue_set(qs);
     if (!q2.completion.Empty() || !q2.receive.Empty()) ProcessInbound(qs);

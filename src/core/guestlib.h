@@ -129,6 +129,10 @@ class GuestLib : public SocketApi {
   uint64_t dgram_zc_completions() const { return dgram_zc_completions_; }
   uint64_t dgram_zc_recvs() const { return dgram_zc_recvs_; }
 
+  // Attaches the sampled NQE lifecycle tracer: T0 (guest-enqueue) stamps when
+  // an NQE enters a ring, T4 (guest-reap) when its completion is applied.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct RxChunk {
     uint64_t ptr = 0;
@@ -202,6 +206,7 @@ class GuestLib : public SocketApi {
   uint8_t vm_id_;
   CoreEngine* ce_;
   shm::NkDevice* dev_;
+  obs::Tracer* tracer_ = nullptr;
   shm::HugepagePool* pool_;
   std::vector<sim::CpuCore*> vcpus_;
   Config config_;

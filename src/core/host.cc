@@ -18,7 +18,9 @@ Host::Host(sim::EventLoop* loop, netsim::Fabric* fabric, std::string name, Optio
   std::vector<sim::CpuCore*> core_ptrs;
   core_ptrs.reserve(ce_cores_.size());
   for (auto& c : ce_cores_) core_ptrs.push_back(c.get());
+  tracer_ = std::make_unique<obs::Tracer>(loop_);
   ce_ = std::make_unique<CoreEngine>(loop_, std::move(core_ptrs), options_.ce);
+  ce_->SetTracer(tracer_.get());
 }
 
 netsim::IpAddr Host::AllocIp() {
@@ -85,6 +87,7 @@ Nsm* Host::CreateNsm(const std::string& name, int vcpus, NsmKind kind,
   nsm->slib_ = std::make_unique<ServiceLib>(loop_, nsm->id_, ce_.get(), nsm->dev_.get(),
                                             nsm->stack_.get(), nsm->udp_stack_.get(),
                                             options_.servicelib);
+  nsm->slib_->SetTracer(tracer_.get());
   nsms_.push_back(std::move(nsm));
   return nsms_.back().get();
 }
@@ -110,6 +113,7 @@ Vm* Host::CreateNetkernelVm(const std::string& name, int vcpus, Nsm* nsm,
   for (auto& c : vm->cores_) core_ptrs.push_back(c.get());
   vm->guestlib_ = std::make_unique<GuestLib>(loop_, vm->id_, ce_.get(), vm->dev_.get(),
                                              vm->pool_.get(), core_ptrs, options_.guestlib);
+  vm->guestlib_->SetTracer(tracer_.get());
 
   uint8_t vm_id = vm->id_;
   vm->attached_nsms_.push_back(nsm);
@@ -176,6 +180,144 @@ Vm* Host::CreateBaselineVm(const std::string& name, int vcpus,
       std::make_unique<BaselineSocketApi>(loop_, vm->stack_.get(), vm->udp_stack_.get());
   vms_.push_back(std::move(vm));
   return vms_.back().get();
+}
+
+void Host::BuildMetricsRegistry(obs::MetricsRegistry* registry) const {
+  // Sources are lazy std::functions over live stats structs: registration is
+  // cheap and export always reads current values. A fresh registry is built
+  // per dump (see DumpMetrics) so VM/NSM churn can never leave stale or
+  // duplicate names behind.
+  for (int i = 0; i < ce_->num_shards(); ++i) {
+    const CoreEngineStats* s = &ce_->shard(i).stats();
+    const std::string p = "ce.shard" + std::to_string(i) + ".";
+    registry->RegisterCounter(p + "nqes_switched", [s] { return double(s->nqes_switched); },
+                              "NQEs delivered by this shard");
+    registry->RegisterCounter(p + "rounds", [s] { return double(s->rounds); },
+                              "polling rounds executed");
+    registry->RegisterCounter(p + "table_inserts", [s] { return double(s->table_inserts); });
+    registry->RegisterCounter(p + "throttled_nqes", [s] { return double(s->throttled_nqes); },
+                              "NQEs deferred by per-VM token buckets");
+    registry->RegisterCounter(p + "send_bytes_switched",
+                              [s] { return double(s->send_bytes_switched); });
+    registry->RegisterCounter(p + "dgram_nqes_switched",
+                              [s] { return double(s->dgram_nqes_switched); });
+    registry->RegisterCounter(p + "nqes_dropped", [s] { return double(s->nqes_dropped); },
+                              "NQEs dropped anywhere in the switch");
+    registry->RegisterCounter(p + "deliveries_deferred",
+                              [s] { return double(s->deliveries_deferred); },
+                              "deliveries parked on a full destination ring");
+    registry->RegisterCounter(p + "qset_migrations", [s] { return double(s->qset_migrations); },
+                              "queue sets handed off between shards");
+    const obs::FlightRecorder* rec = &ce_->shard(i).recorder();
+    registry->RegisterCounter(p + "flight_events", [rec] { return double(rec->total_recorded()); },
+                              "datapath events captured by the flight recorder");
+  }
+  const CoreEngine* ce = ce_.get();
+  for (const auto& vm : vms_) {
+    if (!vm->netkernel_mode()) continue;
+    const uint8_t id = vm->id_;
+    const std::string cp = "ce.vm" + std::to_string(id) + ".";
+    registry->RegisterCounter(cp + "switched",
+                              [ce, id] { return double(ce->VmStats(id).switched); });
+    registry->RegisterCounter(cp + "dropped",
+                              [ce, id] { return double(ce->VmStats(id).dropped); });
+    registry->RegisterCounter(cp + "throttled",
+                              [ce, id] { return double(ce->VmStats(id).throttled); });
+    registry->RegisterCounter(cp + "bytes", [ce, id] { return double(ce->VmStats(id).bytes); });
+    registry->RegisterCounter(cp + "deferred",
+                              [ce, id] { return double(ce->VmStats(id).deferred); });
+
+    const GuestLib* g = vm->guestlib_.get();
+    const std::string gp = "vm" + std::to_string(id) + ".guest.";
+    registry->RegisterCounter(gp + "nqes_sent", [g] { return double(g->nqes_sent()); });
+    registry->RegisterCounter(gp + "nqes_received", [g] { return double(g->nqes_received()); });
+    registry->RegisterCounter(gp + "send_credit_reclaims",
+                              [g] { return double(g->send_credit_reclaims()); });
+    registry->RegisterCounter(gp + "zc_sends", [g] { return double(g->zc_sends()); });
+    registry->RegisterCounter(gp + "zc_completions", [g] { return double(g->zc_completions()); });
+    registry->RegisterCounter(gp + "dgram_zc_sends", [g] { return double(g->dgram_zc_sends()); });
+    registry->RegisterCounter(gp + "dgram_zc_completions",
+                              [g] { return double(g->dgram_zc_completions()); });
+    registry->RegisterCounter(gp + "dgram_zc_recvs", [g] { return double(g->dgram_zc_recvs()); });
+  }
+  for (const auto& nsm : nsms_) {
+    const std::string np = "nsm" + std::to_string(nsm->id_) + ".";
+    if (nsm->stack_ != nullptr) {
+      const tcp::TcpStackStats* t = &nsm->stack_->stats();
+      const std::string tp = np + "tcp.";
+      registry->RegisterCounter(tp + "segments_sent", [t] { return double(t->segments_sent); });
+      registry->RegisterCounter(tp + "segments_received",
+                                [t] { return double(t->segments_received); });
+      registry->RegisterCounter(tp + "bytes_sent", [t] { return double(t->bytes_sent); });
+      registry->RegisterCounter(tp + "bytes_received", [t] { return double(t->bytes_received); });
+      registry->RegisterCounter(tp + "retransmits", [t] { return double(t->retransmits); });
+      registry->RegisterCounter(tp + "rto_fires", [t] { return double(t->rto_fires); });
+      registry->RegisterCounter(tp + "fast_retransmits",
+                                [t] { return double(t->fast_retransmits); });
+      registry->RegisterCounter(tp + "conns_established",
+                                [t] { return double(t->conns_established); });
+      registry->RegisterCounter(tp + "conns_closed", [t] { return double(t->conns_closed); });
+      registry->RegisterCounter(tp + "rx_ring_drops", [t] { return double(t->rx_ring_drops); });
+      registry->RegisterCounter(tp + "rsts_sent", [t] { return double(t->rsts_sent); });
+    }
+    if (nsm->udp_stack_ != nullptr) {
+      const udp::UdpStackStats* u = &nsm->udp_stack_->stats();
+      const std::string up = np + "udp.";
+      registry->RegisterCounter(up + "datagrams_sent", [u] { return double(u->datagrams_sent); });
+      registry->RegisterCounter(up + "datagrams_received",
+                                [u] { return double(u->datagrams_received); });
+      registry->RegisterCounter(up + "bytes_sent", [u] { return double(u->bytes_sent); });
+      registry->RegisterCounter(up + "bytes_received", [u] { return double(u->bytes_received); });
+      registry->RegisterCounter(up + "fragments_sent", [u] { return double(u->fragments_sent); });
+      registry->RegisterCounter(up + "fragments_received",
+                                [u] { return double(u->fragments_received); });
+      registry->RegisterCounter(up + "rx_queue_drops", [u] { return double(u->rx_queue_drops); });
+      registry->RegisterCounter(up + "no_socket_drops", [u] { return double(u->no_socket_drops); });
+      registry->RegisterCounter(up + "rx_ring_drops", [u] { return double(u->rx_ring_drops); });
+      registry->RegisterCounter(up + "zc_sends", [u] { return double(u->zc_sends); });
+      registry->RegisterCounter(up + "rx_zc_landed", [u] { return double(u->rx_zc_landed); });
+      registry->RegisterCounter(up + "rx_pool_fallbacks",
+                                [u] { return double(u->rx_pool_fallbacks); });
+    }
+    if (nsm->slib_ != nullptr) {
+      const ServiceLib* sl = nsm->slib_.get();
+      const std::string sp = np + "svc.";
+      registry->RegisterCounter(sp + "nqes_processed", [sl] { return double(sl->nqes_processed()); });
+      registry->RegisterCounter(sp + "nqes_dropped", [sl] { return double(sl->nqes_dropped()); });
+      registry->RegisterCounter(sp + "rx_zc_ships", [sl] { return double(sl->rx_zc_ships()); });
+      registry->RegisterCounter(sp + "rx_copy_ships", [sl] { return double(sl->rx_copy_ships()); });
+      registry->RegisterCounter(sp + "dgram_zc_ships",
+                                [sl] { return double(sl->dgram_zc_ships()); });
+      registry->RegisterCounter(sp + "dgram_copy_ships",
+                                [sl] { return double(sl->dgram_copy_ships()); });
+      registry->RegisterCounter(sp + "doorbells", [sl] { return double(sl->doorbells()); });
+      registry->RegisterCounter(sp + "doorbells_coalesced",
+                                [sl] { return double(sl->doorbells_coalesced()); });
+      registry->RegisterCounter(sp + "flight_events",
+                                [sl] { return double(sl->recorder().total_recorded()); });
+    }
+  }
+  tracer_->RegisterInto(registry);
+}
+
+std::string Host::DumpMetrics() const {
+  obs::MetricsRegistry registry;
+  BuildMetricsRegistry(&registry);
+  return registry.PrometheusText();
+}
+
+std::string Host::DumpMetricsJson() const {
+  obs::MetricsRegistry registry;
+  BuildMetricsRegistry(&registry);
+  return registry.Json();
+}
+
+std::string Host::DumpFlightRecorder(size_t last_k) const {
+  std::vector<const obs::FlightRecorder*> recorders = ce_->FlightRecorders();
+  for (const auto& nsm : nsms_) {
+    if (nsm->slib_ != nullptr) recorders.push_back(&nsm->slib_->recorder());
+  }
+  return obs::FlightRecorder::DumpMerged(recorders, last_k);
 }
 
 void Host::SetVmWeight(Vm* vm, uint32_t weight) {

@@ -18,6 +18,9 @@
 #include "src/core/servicelib.h"
 #include "src/core/shm_nsm.h"
 #include "src/netsim/fabric.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tcpstack/stack.h"
 #include "src/udpstack/stack.h"
 
@@ -184,6 +187,28 @@ class Host {
 
   netsim::IpAddr AllocIp();
 
+  // ---- Observability (nkobs) ----
+  // The host-wide NQE lifecycle tracer. Wired into CoreEngine, every
+  // ServiceLib and every GuestLib at creation; disabled until
+  // SetTraceSampling() is called with a nonzero interval.
+  obs::Tracer& tracer() { return *tracer_; }
+  const obs::Tracer& tracer() const { return *tracer_; }
+  // 0 disables lifecycle tracing; N samples one in every N guest enqueues.
+  void SetTraceSampling(uint32_t sample_every) { tracer_->set_sample_every(sample_every); }
+
+  // Registers every component's live counters into `registry` under stable
+  // dotted names: ce.shard<i>.*, ce.vm<id>.*, nsm<id>.{tcp,udp,svc}.*,
+  // vm<id>.guest.*, trace.*. Sources are lazy; export reads live values.
+  void BuildMetricsRegistry(obs::MetricsRegistry* registry) const;
+  // Prometheus text exposition (v0.0.4) of a freshly built registry.
+  std::string DumpMetrics() const;
+  // Same registry as flat JSON ({"name": value, ...} plus histogram summaries).
+  std::string DumpMetricsJson() const;
+
+  // Merged (virtual-time-ordered) tail of every flight recorder on the host:
+  // all CoreEngine shards plus every ServiceLib.
+  std::string DumpFlightRecorder(size_t last_k = 32) const;
+
   // Resets the process-wide IP allocator. Tests that compare two runs for
   // bit-identical determinism need both runs to see identical addresses.
   static void ResetIpAllocator() { next_ip_suffix_ = 1; }
@@ -194,6 +219,7 @@ class Host {
   std::string name_;
   Options options_;
   std::vector<std::unique_ptr<sim::CpuCore>> ce_cores_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<CoreEngine> ce_;
   std::vector<std::unique_ptr<Nsm>> nsms_;
   std::vector<std::unique_ptr<Vm>> vms_;

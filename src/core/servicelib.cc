@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "src/common/check.h"
 
@@ -23,7 +24,8 @@ ServiceLib::ServiceLib(sim::EventLoop* loop, uint8_t nsm_id, CoreEngine* ce, shm
       udp_stack_(udp_stack),
       config_(config),
       drain_scheduled_(static_cast<size_t>(dev->num_queue_sets()), false),
-      doorbell_(loop, ce, nsm_id, config.coalesce_wakeups) {
+      doorbell_(loop, ce, nsm_id, config.coalesce_wakeups),
+      recorder_(loop, "nsm" + std::to_string(nsm_id) + ".svc") {
   dev_->SetWakeCallback([this] { OnDeviceWake(); });
 }
 
@@ -108,12 +110,20 @@ bool ServiceLib::EnqueueToVm(const Conn& c, Nqe nqe, bool receive_ring) {
   nqe.queue_set = c.vm_qset;
   nqe.vm_sock = c.vm_sock;
   int qs = c.nsm_qset < dev_->num_queue_sets() ? c.nsm_qset : 0;
+  // T3 lifecycle stamp: a completion produced synchronously inside a traced
+  // dispatch inherits the request's trace id before it hits the ring.
+  if (tracer_ != nullptr && !receive_ring) {
+    Cycles tc = tracer_->TagCompletion(&nqe);
+    if (tc != 0) stack_->core(qs % stack_->num_cores())->AccountOnly(tc);
+  }
   shm::QueueSet& q = dev_->queue_set(qs);
   bool ok = (receive_ring ? q.receive : q.completion).TryEnqueue(nqe);
   if (!ok) {
     // Severe overload: the NSM-side ring (4K deep) is full. The caller owns
     // any referenced chunk; the loss itself must never be silent.
     ++nqes_dropped_;
+    recorder_.Record(obs::FlightEventType::kRingFullDrop, nqe.vm_id, nqe.queue_set,
+                     nqe.op, nqe.vm_sock, receive_ring ? 1 : 0);
     return false;
   }
   doorbell_.Ring();
@@ -168,7 +178,16 @@ void ServiceLib::ProcessQueueSet(int qs) {
     }
     for (Nqe& nqe : nqes) {
       nqe.reserved[2] = static_cast<uint8_t>(qs);  // processing queue set
-      Dispatch(nqe);
+      if (tracer_ != nullptr) {
+        // T2 lifecycle stamp; the dispatch scope lets a synchronous
+        // completion inherit the trace id in EnqueueToVm (T3).
+        Cycles tc = tracer_->BeginDispatch(nqe);
+        if (tc != 0) stack_->core(qs % stack_->num_cores())->AccountOnly(tc);
+        Dispatch(nqe);
+        tracer_->EndDispatch();
+      } else {
+        Dispatch(nqe);
+      }
     }
     drain_scheduled_[qs] = false;
     shm::QueueSet& q2 = dev_->queue_set(qs);
@@ -447,6 +466,8 @@ std::function<void()> ServiceLib::MakeZcFreeCallback(const Conn& c, uint64_t ptr
     auto vit = vms_.find(vm_id);
     if (vit == vms_.end()) return;  // VM detached; its pool may be gone too
     vit->second.pool->Free(ptr);
+    recorder_.Record(obs::FlightEventType::kZcChunkFree, vm_id, vm_qset,
+                     static_cast<uint8_t>(NqeOp::kSendZc), vm_sock, size);
     // Return the send credit. Status 0 covers both outcomes — on a teardown
     // with unacked bytes the guest also receives the error FIN, which is
     // what reports the broken stream.
@@ -774,6 +795,8 @@ std::function<void()> ServiceLib::MakeDgramZcFreeCallback(const Conn& c, uint64_
     auto vit = vms_.find(vm_id);
     if (vit == vms_.end()) return;
     vit->second.pool->Free(ptr);
+    recorder_.Record(obs::FlightEventType::kZcChunkFree, vm_id, vm_qset,
+                     static_cast<uint8_t>(NqeOp::kSendToZc), vm_sock, size);
     Conn tmp;
     tmp.vm_id = vm_id;
     tmp.vm_qset = vm_qset;
@@ -830,6 +853,8 @@ void ServiceLib::FreeNqeChunk(const Nqe& nqe) {
   auto vit = vms_.find(nqe.vm_id);
   if (vit != vms_.end() && vit->second.pool->IsAllocated(nqe.data_ptr)) {
     vit->second.pool->Free(nqe.data_ptr);
+    recorder_.Record(obs::FlightEventType::kShutdownDrain, nqe.vm_id, nqe.queue_set,
+                     nqe.op, nqe.vm_sock, nqe.size);
   }
 }
 

@@ -93,6 +93,15 @@ class ServiceLib {
   uint64_t doorbells() const { return doorbell_.doorbells(); }
   uint64_t doorbells_coalesced() const { return doorbell_.coalesced(); }
 
+  // ---- Observability (nkobs) ----
+  // Attaches the sampled lifecycle tracer: T2 (NSM-dispatch) stamps when a
+  // traced NQE enters Dispatch, T3 (completion-enqueue) when its synchronous
+  // completion rings back toward the VM.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  // This NSM's datapath flight recorder (zc chunk frees, ring-full drops,
+  // shutdown drains).
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+
  private:
   struct VmInfo {
     shm::HugepagePool* pool = nullptr;
@@ -209,6 +218,8 @@ class ServiceLib {
   std::unordered_map<uint64_t, std::vector<shm::Nqe>> orphan_sends_;
   std::vector<bool> drain_scheduled_;
   DoorbellCoalescer doorbell_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder recorder_;
   uint64_t nqes_processed_ = 0;
   uint64_t nqes_dropped_ = 0;
   uint64_t rx_zc_ships_ = 0;

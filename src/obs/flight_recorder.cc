@@ -1,0 +1,111 @@
+// Copyright (c) NetKernel reproduction authors.
+
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/shm/nqe.h"
+
+namespace netkernel::obs {
+
+const char* FlightEventName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kDrop: return "DROP";
+    case FlightEventType::kPark: return "PARK";
+    case FlightEventType::kDeferredDelivery: return "DEFER";
+    case FlightEventType::kQsetMigration: return "QSET_MIGRATE";
+    case FlightEventType::kErrorCompletion: return "ERR_COMPLETION";
+    case FlightEventType::kZcChunkFree: return "ZC_FREE";
+    case FlightEventType::kNsmDeregister: return "NSM_DEREG";
+    case FlightEventType::kShutdownDrain: return "SHUTDOWN_DRAIN";
+    case FlightEventType::kRingFullDrop: return "RING_FULL";
+  }
+  return "UNKNOWN";
+}
+
+FlightRecorder::FlightRecorder(const sim::EventLoop* loop, std::string origin,
+                               size_t capacity)
+    : loop_(loop), origin_(std::move(origin)), ring_(capacity == 0 ? 1 : capacity) {
+  NK_CHECK(loop != nullptr);
+}
+
+void FlightRecorder::Record(FlightEventType type, uint8_t vm_id, uint8_t queue_set,
+                            uint8_t op, uint32_t vm_sock, uint64_t detail) {
+  FlightEvent& slot = ring_[count_ % ring_.size()];
+  slot.t = loop_->Now();
+  slot.seq = next_seq_++;
+  slot.detail = detail;
+  slot.vm_sock = vm_sock;
+  slot.type = type;
+  slot.vm_id = vm_id;
+  slot.queue_set = queue_set;
+  slot.op = op;
+  ++count_;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  size_t n = size();
+  out.reserve(n);
+  uint64_t start = count_ - n;
+  for (uint64_t i = start; i < count_; ++i) out.push_back(ring_[i % ring_.size()]);
+  return out;
+}
+
+std::string FlightRecorder::Describe(const FlightEvent& ev, const std::string& origin) {
+  std::string op_name = ev.op == 0 ? "-" : shm::NqeOpName(static_cast<shm::NqeOp>(ev.op));
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "[%12.3f us] %-14s %-10s vm=%u qset=%u sock=%u op=%s detail=%" PRIu64,
+                static_cast<double>(ev.t) / kMicrosecond, origin.c_str(),
+                FlightEventName(ev.type), ev.vm_id, ev.queue_set, ev.vm_sock,
+                op_name.c_str(), ev.detail);
+  return buf;
+}
+
+std::string FlightRecorder::Dump(size_t last_k) const {
+  std::vector<FlightEvent> events = Snapshot();
+  if (events.size() > last_k) events.erase(events.begin(), events.end() - last_k);
+  std::string out;
+  for (const auto& ev : events) {
+    out += Describe(ev, origin_);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpMerged(
+    const std::vector<const FlightRecorder*>& recorders, size_t last_k) {
+  struct Tagged {
+    FlightEvent ev;
+    const std::string* origin;
+  };
+  std::vector<Tagged> all;
+  uint64_t total = 0;
+  uint64_t overwritten = 0;
+  for (const FlightRecorder* r : recorders) {
+    if (r == nullptr) continue;
+    total += r->total_recorded();
+    overwritten += r->overwritten();
+    for (const auto& ev : r->Snapshot()) all.push_back({ev, &r->origin()});
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) { return a.ev.t < b.ev.t; });
+  if (all.size() > last_k) all.erase(all.begin(), all.end() - last_k);
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "--- flight recorder: last %zu of %" PRIu64
+                " datapath events (%" PRIu64 " overwritten) ---\n",
+                all.size(), total, overwritten);
+  std::string out = head;
+  for (const auto& t : all) {
+    out += Describe(t.ev, *t.origin);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace netkernel::obs

@@ -1,0 +1,97 @@
+// Copyright (c) NetKernel reproduction authors.
+// nkobs part 3: the datapath flight recorder.
+//
+// A bounded binary ring of rare datapath events — drops, parks, deferred
+// deliveries, qset migrations, error completions, zero-copy chunk frees, NSM
+// deregistration. Each CoreEngine shard and each ServiceLib owns one, so
+// recording never crosses a shard boundary; the happy path records nothing,
+// which is what keeps the recorder free where it matters. When a
+// fault-injection seed fails, the merged human-readable tail is the
+// post-mortem trail: the last K things the datapath did instead of just a
+// seed number.
+
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/event_loop.h"
+
+namespace netkernel::obs {
+
+enum class FlightEventType : uint8_t {
+  kDrop = 1,             // delivery dropped (ring full past the park bound)
+  kPark = 2,             // delivery parked on a full ring
+  kDeferredDelivery = 3, // cross-shard delivery deferred to the owning shard
+  kQsetMigration = 4,    // queue set migrated between shards
+  kErrorCompletion = 5,  // CE fabricated an error completion toward a VM
+  kZcChunkFree = 6,      // zero-copy chunk returned to its owner pool
+  kNsmDeregister = 7,    // NSM device deregistered from the switch
+  kShutdownDrain = 8,    // ServiceLib shutdown drained/failed an entry
+  kRingFullDrop = 9,     // ServiceLib completion/receive ring enqueue failed
+};
+
+const char* FlightEventName(FlightEventType type);
+
+// One fixed-size binary record. `detail` is event-specific (bytes freed,
+// destination shard, error code as two's complement, ...).
+struct FlightEvent {
+  SimTime t = 0;
+  uint64_t seq = 0;
+  uint64_t detail = 0;
+  uint32_t vm_sock = 0;
+  FlightEventType type = FlightEventType::kDrop;
+  uint8_t vm_id = 0;
+  uint8_t queue_set = 0;
+  uint8_t op = 0;  // NqeOp involved, 0 when not applicable
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  // `origin` labels dump lines (e.g. "ce.shard0", "nsm1.svc").
+  FlightRecorder(const sim::EventLoop* loop, std::string origin,
+                 size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(FlightEventType type, uint8_t vm_id, uint8_t queue_set, uint8_t op,
+              uint32_t vm_sock = 0, uint64_t detail = 0);
+
+  // Events currently held, oldest first.
+  std::vector<FlightEvent> Snapshot() const;
+
+  const std::string& origin() const { return origin_; }
+  size_t capacity() const { return ring_.size(); }
+  size_t size() const { return count_ < ring_.size() ? count_ : ring_.size(); }
+  uint64_t total_recorded() const { return count_; }
+  uint64_t overwritten() const {
+    return count_ > ring_.size() ? count_ - ring_.size() : 0;
+  }
+
+  // Human-readable tail of this recorder (last `last_k` events).
+  std::string Dump(size_t last_k = 32) const;
+
+  static std::string Describe(const FlightEvent& ev, const std::string& origin);
+
+  // Merged tail across several recorders, ordered by virtual time. This is
+  // what the fault-injection suite prints next to a failing seed.
+  static std::string DumpMerged(const std::vector<const FlightRecorder*>& recorders,
+                                size_t last_k = 32);
+
+ private:
+  const sim::EventLoop* loop_;
+  std::string origin_;
+  std::vector<FlightEvent> ring_;
+  uint64_t count_ = 0;  // total ever recorded; ring index = count_ % capacity
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace netkernel::obs
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

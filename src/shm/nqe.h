@@ -113,6 +113,20 @@ struct Nqe {
 
 static_assert(sizeof(Nqe) == 32, "NQE must be exactly 32 bytes (paper Figure 3)");
 
+// Trace id carried in reserved[3..4] (little-endian 16-bit). The other
+// reserved bytes are spoken for: reserved[0] echoes the original op on
+// completions, reserved[1] carries the reuseport flag / kNqeFlagChunkUnconsumed,
+// reserved[2] carries the NSM-side processing queue set. Id 0 means "not
+// traced" — MakeNqe zero-initializes reserved, so every NQE is untraced until
+// the sampling tracer stamps it at guest-enqueue (nkobs lifecycle tracing).
+constexpr uint16_t NqeTraceId(const Nqe& n) {
+  return static_cast<uint16_t>(n.reserved[3] | (n.reserved[4] << 8));
+}
+inline void SetNqeTraceId(Nqe* n, uint16_t id) {
+  n->reserved[3] = static_cast<uint8_t>(id & 0xff);
+  n->reserved[4] = static_cast<uint8_t>(id >> 8);
+}
+
 inline Nqe MakeNqe(NqeOp op, uint8_t vm_id, uint8_t queue_set, uint32_t vm_sock,
                    uint64_t op_data = 0, uint64_t data_ptr = 0, uint32_t size = 0) {
   Nqe n;

@@ -181,6 +181,10 @@ sim::Task<void> CloseAll(Vm* vm, std::vector<int>* fds) {
 }
 
 struct IterationResult {
+  // Merged flight-recorder tail (CE shards + ServiceLibs), captured before
+  // the topology is torn down: printed next to the failing seed so a broken
+  // iteration leaves a datapath post-mortem, not just a replay number.
+  std::string flight_tail;
   bool epoll_waiter_returned = false;
   bool epoll_armed = false;
   bool ring_chaos = false;  // tiny pending bound: completions may drop
@@ -282,7 +286,16 @@ IterationResult RunIteration(uint64_t seed) {
   res.credit_reclaims = nk->guestlib()->send_credit_reclaims();
   res.dgram_zc_sends = nk->guestlib()->dgram_zc_sends();
   res.dgram_zc_completions = nk->guestlib()->dgram_zc_completions();
+  res.flight_tail = host_a.DumpFlightRecorder(32);
   return res;
+}
+
+// Failure-count snapshot of the running test, so a per-seed failure can be
+// detected (and its flight-recorder tail printed) without aborting the sweep.
+int CurrentFailureParts() {
+  const ::testing::TestResult* tr =
+      ::testing::UnitTest::GetInstance()->current_test_info()->result();
+  return tr->total_part_count();
 }
 
 TEST(FaultInjection, ZcOwnershipConservesAcrossSeededChaos) {
@@ -299,6 +312,7 @@ TEST(FaultInjection, ZcOwnershipConservesAcrossSeededChaos) {
   for (uint64_t i = 0; i < iters; ++i) {
     const uint64_t seed = single ? only_seed : kBaseSeed + i;
     SCOPED_TRACE(::testing::Message() << "replay with NK_FAULTINJ_SEED=" << seed);
+    const int parts_before = CurrentFailureParts();
     IterationResult r = RunIteration(seed);
     total_zc_sends += r.zc_sends;
     total_dgram_zc += r.dgram_zc_sends;
@@ -332,6 +346,18 @@ TEST(FaultInjection, ZcOwnershipConservesAcrossSeededChaos) {
     // timeout is far beyond the simulated horizon).
     if (r.epoll_armed) {
       EXPECT_TRUE(r.epoll_waiter_returned) << "epoll waiter stuck, seed " << seed;
+    }
+
+    // Test hook: force one failure so the post-mortem path itself is
+    // verifiable (NK_FAULTINJ_FORCE_FAIL=1 must print the tail below).
+    if (std::getenv("NK_FAULTINJ_FORCE_FAIL") != nullptr) {
+      ADD_FAILURE() << "forced failure (NK_FAULTINJ_FORCE_FAIL), seed " << seed;
+    }
+
+    if (CurrentFailureParts() > parts_before) {
+      std::fprintf(stderr,
+                   "faultinj: seed %llu FAILED; datapath flight-recorder tail:\n%s\n",
+                   static_cast<unsigned long long>(seed), r.flight_tail.c_str());
     }
   }
 

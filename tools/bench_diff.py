@@ -31,13 +31,27 @@ LOWER_IS_BETTER = {
     "loss_rate",
 }
 
-# (bench, metric) pairs that gate CI. Keep this list aligned with the --smoke
-# gates: these are the claims the repo's perf story rests on.
-GATED = [
-    ("fig11_raw_switch", "nqes_per_sec"),
-    ("fig11_sharded_switch", "nqes_per_sec"),
-    ("table6_cpu", "cycles_per_byte"),
-]
+# (bench, metric) -> max allowed relative regression. These gate CI; keep the
+# set aligned with the --smoke gates: these are the claims the repo's perf
+# story rests on. A value of None defers to --threshold (the CLI default); an
+# explicit number overrides it per metric — the simulation is deterministic,
+# so the slack only needs to absorb intentional cost-model drift, and the
+# paper-figure goodput gates can be tighter than the generic default.
+GATED = {
+    ("fig11_raw_switch", "nqes_per_sec"): None,
+    ("fig11_sharded_switch", "nqes_per_sec"): None,
+    ("table6_cpu", "cycles_per_byte"): None,
+    # Paper figures 13-16: single-/multi-stream send and recv goodput.
+    ("fig13_send", "gbps"): 0.05,
+    ("fig14_recv", "gbps"): 0.05,
+    ("fig15_send", "gbps"): 0.05,
+    ("fig16_recv", "gbps"): 0.05,
+    # UDP key-value RPS (fig 12 workload shape): rate tight, tail looser.
+    ("udp_kv_rps", "achieved_krps"): 0.05,
+    ("udp_kv_rps", "p99_us"): 0.15,
+    # nkobs: switch rate with the tracer attached must not drift either.
+    ("obs_overhead", "nqes_per_sec"): None,
+}
 
 
 def load_rows(directory):
@@ -55,8 +69,12 @@ def load_rows(directory):
     return rows
 
 
-def is_gated(bench, metric):
-    return any(bench == b and metric == m for b, m in GATED)
+def gate_threshold(bench, metric, default):
+    """None if (bench, metric) is ungated, else its allowed regression."""
+    if (bench, metric) not in GATED:
+        return None
+    override = GATED[(bench, metric)]
+    return default if override is None else override
 
 
 def main():
@@ -93,31 +111,32 @@ def main():
             delta = (cv - pv) / abs(pv)        # positive = worse
         else:
             delta = (pv - cv) / abs(pv)        # positive = worse
-        gated = is_gated(bench, metric)
+        thr = gate_threshold(bench, metric, args.threshold)
         flag = ""
-        if delta > args.threshold:
-            flag = " <-- REGRESSION" if gated else " (ungated)"
-            if gated:
-                regressions.append((key, pv, cv, delta))
+        if thr is not None and delta > thr:
+            flag = " <-- REGRESSION"
+            regressions.append((key, pv, cv, delta, thr))
+        elif thr is None and delta > args.threshold:
+            flag = " (ungated)"
         print(f"{bench:<22} {config:<30} {metric:<18} {pv:>12.4g} {cv:>12.4g} "
               f"{delta * 100:>+7.1f}%{flag}")
 
     # A gated metric that existed in the previous run but vanished from the
     # current one is itself a gate failure: losing the measurement is how a
     # perf claim silently disappears.
-    missing = [k for k in sorted(prev) if k not in curr and is_gated(k[0], k[2])]
+    missing = [k for k in sorted(prev)
+               if k not in curr and gate_threshold(k[0], k[2], args.threshold) is not None]
     for bench, config, metric in missing:
         print(f"{bench:<22} {config:<30} {metric:<18} {prev[(bench, config, metric)]:>12.4g} "
               f"{'(gone)':>12} {'':>8} <-- MISSING GATED METRIC")
         regressions.append(((bench, config, metric), prev[(bench, config, metric)],
-                            float("nan"), float("inf")))
+                            float("nan"), float("inf"), 0.0))
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} gated metric(s) regressed more than "
-              f"{args.threshold * 100:.0f}%:")
-        for (bench, config, metric), pv, cv, delta in regressions:
+        print(f"\nFAIL: {len(regressions)} gated metric(s) regressed past their threshold:")
+        for (bench, config, metric), pv, cv, delta, thr in regressions:
             print(f"  {bench} [{config}] {metric}: {pv:.4g} -> {cv:.4g} "
-                  f"({delta * 100:+.1f}%)")
+                  f"({delta * 100:+.1f}%, allowed {thr * 100:.0f}%)")
         return 1
     print("\nOK: no gated metric regressed beyond the threshold")
     return 0
