@@ -82,8 +82,8 @@ CeMessage CoreEngine::HandleControlMessage(CeMessage req) {
       uint32_t out = word == 0 ? static_cast<uint32_t>(v) : static_cast<uint32_t>(v >> 32);
       return {static_cast<uint32_t>(CeOp::kOk), out};
     }
+    // nklint-allow(switch-default): ce_op arrives as a raw uint32 from the guest-facing control channel; register ops need a device pointer and use the direct API below, and malformed values must land on kError, not UB.
     default:
-      // Register ops need a device pointer and use the direct API below.
       return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
   }
 }
@@ -974,9 +974,8 @@ bool CoreEngineShard::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
     case NqeOp::kShutdown:
       completion_op = NqeOp::kOpResult;
       break;
+    // nklint-allow(switch-default): kClose / kAccept / kRecvFrom hold no reclaimable guest state and no guest thread waits on them (the drop counter is the whole story); op bytes off a shared ring may also be malformed and must fall through harmlessly.
     default:
-      // kClose / kAccept / kRecvFrom hold no reclaimable guest state and no
-      // guest thread waits on them; the drop counter is the whole story.
       return false;
   }
   CoreEngine::VmReg* reg = engine_->FindVm(orig.vm_id);

@@ -141,6 +141,7 @@ struct CoreEngineConfig {
 // Per-VM slice of the switch's work, keyed by VM id. `switched` counts NQEs
 // actually delivered into a destination ring (both directions), so fairness
 // tests can assert shares of real service rather than of polling attempts.
+// nklint: stats
 struct PerVmStats {
   uint64_t switched = 0;   // NQEs delivered (VM->NSM and NSM->VM)
   uint64_t dropped = 0;    // NQEs dropped (no route, or pending bound hit)
@@ -149,6 +150,7 @@ struct PerVmStats {
   uint64_t deferred = 0;   // deliveries parked on a full destination ring
 };
 
+// nklint: stats
 struct CoreEngineStats {
   uint64_t nqes_switched = 0;
   uint64_t rounds = 0;

@@ -848,6 +848,7 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
         g->err = static_cast<int32_t>(nqe.size);
       }
       break;
+    // nklint-allow(switch-default): the op byte comes off a shared ring a buggy or hostile NSM writes; request-direction or malformed ops must be ignored, not UB.
     default:
       break;
   }

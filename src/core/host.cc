@@ -296,6 +296,20 @@ void Host::BuildMetricsRegistry(obs::MetricsRegistry* registry) const {
       registry->RegisterCounter(sp + "flight_events",
                                 [sl] { return double(sl->recorder().total_recorded()); });
     }
+    // Shared-memory NSMs (pure pool-to-pool copying) carry their own, smaller
+    // counter set; before this block their drops and doorbells were invisible
+    // to every metrics dump.
+    if (nsm->shm_slib_ != nullptr) {
+      const ShmServiceLib* sh = nsm->shm_slib_.get();
+      const std::string sp = np + "svc.";
+      registry->RegisterCounter(sp + "bytes_copied", [sh] { return double(sh->bytes_copied()); },
+                                "hugepage-to-hugepage payload bytes copied");
+      registry->RegisterCounter(sp + "nqes_dropped", [sh] { return double(sh->nqes_dropped()); },
+                                "NSM->VM NQEs lost to a full NSM-side ring");
+      registry->RegisterCounter(sp + "doorbells", [sh] { return double(sh->doorbells()); });
+      registry->RegisterCounter(sp + "doorbells_coalesced",
+                                [sh] { return double(sh->doorbells_coalesced()); });
+    }
   }
   tracer_->RegisterInto(registry);
 }

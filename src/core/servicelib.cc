@@ -206,6 +206,7 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
     case NqeOp::kAccept:
       DoAcceptLink(nqe);
       return;
+    // nklint-allow(switch-default): prefilter for the ops that create state; everything else falls through to the socket lookup below.
     default:
       break;
   }
@@ -268,6 +269,7 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
     case NqeOp::kShutdown:
       Respond(*c, NqeOp::kOpResult, nqe.Op(), 0);
       break;
+    // nklint-allow(switch-default): the op byte comes off a shared ring a buggy or hostile guest writes; completion-direction or malformed ops must be dropped here, not UB.
     default:
       break;
   }

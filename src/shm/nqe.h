@@ -12,6 +12,33 @@
 // payload such as the ip:port for bind/connect, result codes, or the NSM-side
 // connection ID. `data_ptr` is an offset into the shared hugepage region and
 // `size` the length of the data it points at.
+//
+// ---- nklint annotation grammar (this header is the source of truth) ----
+// Every NqeOp enumerator carries a machine-readable contract annotation,
+// either trailing the enumerator or on the comment line directly above it:
+//
+//   // nklint: dir=<guest->nsm|nsm->guest|control|none> [ring=<completion|receive>]
+//   //         [carries-chunk] [completion=kOp] [reclaim=kOp]
+//
+//   dir            which way the op travels across the shared-memory device.
+//   ring           the guest-facing ring that delivers it (nsm->guest only):
+//                  `completion` retires a request, `receive` carries inbound
+//                  payload/events.
+//   carries-chunk  data_ptr references a hugepage chunk whose *ownership*
+//                  crosses with the NQE (send payloads, zc receives).
+//   completion     the nsm->guest op that answers this request; must exist
+//                  and ride the completion ring.
+//   reclaim        for carries-chunk requests: the completion CoreEngine
+//                  synthesizes (with kNqeFlagChunkUnconsumed) when the op
+//                  dies inside the switch, so the chunk and send credit
+//                  always find their way home. Must appear in
+//                  CoreEngineShard::BuildErrorCompletion.
+//
+// tools/nklint (ctest `nklint`, tier-1) cross-checks these annotations
+// against the actual routing, dispatch, reap, and unwinding code, so a new
+// op cannot land half-wired. Exceptions are suppressed — visibly and
+// greppably — with `// nklint-allow(<check>): reason` on or directly above
+// the flagged line. See README "Static analysis".
 
 #ifndef SRC_SHM_NQE_H_
 #define SRC_SHM_NQE_H_
@@ -23,58 +50,93 @@
 namespace netkernel::shm {
 
 enum class NqeOp : uint8_t {
+  // nklint: dir=none
   kInvalid = 0,
   // VM -> NSM socket operations (job queue unless noted).
+  // nklint: dir=guest->nsm completion=kOpResult
   kSocket = 1,
+  // nklint: dir=guest->nsm completion=kOpResult
   kBind = 2,
+  // nklint: dir=guest->nsm completion=kOpResult
   kListen = 3,
+  // nklint: dir=guest->nsm completion=kConnectResult
   kConnect = 4,
+  // nklint: dir=guest->nsm completion=kAcceptedConn
   kAccept = 5,  // pipelined: NSM replies as connections arrive
+  // nklint: dir=guest->nsm completion=kOpResult
   kSetsockopt = 6,
+  // nklint: dir=guest->nsm completion=kOpResult
   kGetsockopt = 7,
+  // nklint: dir=guest->nsm completion=kOpResult
   kIoctl = 8,
+  // nklint: dir=guest->nsm completion=kOpResult
   kShutdown = 9,
-  kClose = 10,
+  // nklint: dir=guest->nsm
+  kClose = 10,  // fire-and-forget: no guest thread waits on a close
+  // nklint: dir=guest->nsm carries-chunk completion=kSendResult reclaim=kSendResult
   kSend = 11,  // send queue: data_ptr/size reference hugepage payload
   // Datagram (SOCK_DGRAM) operations: connectionless, so CoreEngine routes
   // them by socket key alone — no connection-table completion handshake.
+  // nklint: dir=guest->nsm completion=kOpResult
   kSocketUdp = 12,  // job: create a UDP socket in the NSM
+  // nklint: dir=guest->nsm completion=kOpResult
   kBindUdp = 13,    // job: bind ip:port carried in op_data
+  // nklint: dir=guest->nsm carries-chunk completion=kSendToResult reclaim=kSendToResult
   kSendTo = 14,     // send queue: op_data = packed destination, payload in hugepages
+  // nklint: dir=guest->nsm
   kRecvFrom = 15,   // job: datagram receive credit return (op_data = bytes freed)
   // Zero-copy send (registered-buffer datapath): the guest filled the chunk
   // in place and transfers ownership. The NSM's stack transmits (and
   // retransmits) directly from the chunk and frees it into the shared pool
   // only once the byte range is ACKed, answering with kSendZcComplete.
+  // nklint: dir=guest->nsm carries-chunk completion=kSendZcComplete reclaim=kSendZcComplete
   kSendZc = 16,  // send queue: data_ptr/size reference the loaned chunk
   // Zero-copy datagram send: like kSendTo (op_data = packed destination) but
   // the guest filled the chunk in place and transfers ownership; the NSM's
   // UDP stack builds the wire datagram straight from the chunk and frees it
   // once the skb is committed, answering with kSendToResult (orig kSendToZc).
+  // nklint: dir=guest->nsm carries-chunk completion=kSendToResult reclaim=kSendToResult
   kSendToZc = 17,  // send queue: data_ptr/size reference the loaned chunk
   // NSM -> VM results and events.
+  // nklint: dir=nsm->guest ring=completion
   kOpResult = 32,       // completion queue: result of a control op
+  // nklint: dir=nsm->guest ring=completion
   kConnectResult = 33,  // completion queue
+  // nklint: dir=nsm->guest ring=completion
   kAcceptedConn = 34,   // completion queue: new connection, op_data = NSM conn id
+  // nklint: dir=nsm->guest ring=completion
   kSendResult = 35,     // completion queue: buffer usage can be decreased
+  // nklint: dir=nsm->guest ring=receive carries-chunk
   kRecvData = 36,       // receive queue: data_ptr/size reference received payload
+  // nklint: dir=nsm->guest ring=receive
   kFinReceived = 37,    // receive queue: peer closed
+  // nklint: dir=nsm->guest ring=completion
   kSendToResult = 38,   // completion queue: datagram sent, send credit returned
+  // nklint: dir=nsm->guest ring=receive carries-chunk
   kDgramRecv = 39,      // receive queue: datagram payload; op_data = packed source
   // Zero-copy send completion: the kSendZc byte range was ACKed (or failed).
   // op_data = send-credit bytes to return; size = status (0 or negative
   // errno). The chunk was freed into the shared pool by the NSM — unless
   // reserved[1] carries kNqeFlagChunkUnconsumed (a CoreEngine-synthesized
   // error), in which case the guest still owns it and must free it.
+  // nklint: dir=nsm->guest ring=completion
   kSendZcComplete = 40,  // completion queue
   // Zero-copy datagram receive: identical shape to kDgramRecv (op_data =
   // packed source, data_ptr/size = payload chunk) but the chunk was detached
   // from the UDP stack's receive queue — it never crossed a rcvbuf->hugepage
   // copy. Guests treat both alike; the distinct op keeps the fallback copy
   // path observable end to end.
+  // nklint: dir=nsm->guest ring=receive carries-chunk
   kDgramRecvZc = 41,  // receive queue
-  // Control plane (CoreEngine registration channel, §5).
+  // Control plane (CoreEngine registration channel, §5). These reserve the
+  // paper's wire numbers; the reproduction's control plane rides the typed
+  // CeMessage channel (CoreEngine::HandleControlMessage) instead of NQEs, so
+  // nothing routes them today.
+  // nklint-allow(op-routing): control plane rides the CeMessage channel; these reserve §5 wire numbers only.
+  // nklint: dir=control
   kRegisterDevice = 64,
+  // nklint-allow(op-routing): control plane rides the CeMessage channel; these reserve §5 wire numbers only.
+  // nklint: dir=control
   kDeregisterDevice = 65,
 };
 

@@ -6,6 +6,18 @@
 //
 // This is real concurrent code: the Fig 11/12 microbenchmarks drive it from
 // actual threads. The discrete-event simulation reuses it single-threaded.
+//
+// Ordering contract (guarded by the CI ThreadSanitizer job, which runs the
+// two-thread stress in shm_test and the obs soak under -fsanitize=thread):
+//   * head_ is written only by the producer, tail_ only by the consumer.
+//   * Every slot write happens-before the head_ release-store that publishes
+//     it; the consumer's acquire-load of head_ therefore makes the slot
+//     contents visible before they are read. Symmetrically, the consumer's
+//     tail_ release-store publishes that a slot was fully read out, and the
+//     producer's acquire-load of tail_ makes it safe to overwrite.
+//   * Each side reads its own index relaxed (no other thread writes it), and
+//     the other side's index with acquire. Weakening any acquire/release
+//     pair below to relaxed is a data race on slots_ — TSan will flag it.
 
 #ifndef SRC_SHM_SPSC_RING_H_
 #define SRC_SHM_SPSC_RING_H_
@@ -34,15 +46,20 @@ class SpscRing {
   // Producer side -----------------------------------------------------------
 
   bool TryEnqueue(const T& item) {
-    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_relaxed);  // own index
     const size_t next = (head + 1) & mask_;
+    // Acquire pairs with the consumer's tail_ release in TryDequeue: seeing
+    // the new tail guarantees the consumer is done reading slots_[head].
     if (next == tail_.load(std::memory_order_acquire)) return false;  // full
     slots_[head] = item;
+    // Release publishes the slot write above to the consumer's acquire load.
     head_.store(next, std::memory_order_release);
     return true;
   }
 
   // Enqueues up to `n` items from `items`; returns how many were enqueued.
+  // Same acquire(tail_)/release(head_) pairing as TryEnqueue, amortized over
+  // the batch: one release-store publishes every slot written in the loop.
   size_t EnqueueBatch(const T* items, size_t n) {
     const size_t head = head_.load(std::memory_order_relaxed);
     const size_t tail = tail_.load(std::memory_order_acquire);
@@ -58,14 +75,20 @@ class SpscRing {
   // Consumer side -----------------------------------------------------------
 
   bool TryDequeue(T* out) {
-    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_relaxed);  // own index
+    // Acquire pairs with the producer's head_ release: the slot contents
+    // written before that release are visible once the new head is seen.
     if (tail == head_.load(std::memory_order_acquire)) return false;  // empty
     *out = slots_[tail];
+    // Release publishes "slot consumed" to the producer's acquire load, so
+    // it may safely overwrite slots_[tail].
     tail_.store((tail + 1) & mask_, std::memory_order_release);
     return true;
   }
 
   // Dequeues up to `max` items into `out`; returns how many were dequeued.
+  // Same acquire(head_)/release(tail_) pairing as TryDequeue, amortized over
+  // the batch: one release-store returns every drained slot to the producer.
   size_t DequeueBatch(T* out, size_t max) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     const size_t head = head_.load(std::memory_order_acquire);

@@ -73,6 +73,7 @@ struct TcpStackConfig {
   uint64_t seed = 1;
 };
 
+// nklint: stats
 struct TcpStackStats {
   uint64_t segments_sent = 0;
   uint64_t segments_received = 0;

@@ -55,6 +55,7 @@ struct UdpStackConfig {
   SimTime rx_backlog_cap = 3 * kMillisecond;
 };
 
+// nklint: stats
 struct UdpStackStats {
   uint64_t datagrams_sent = 0;
   uint64_t datagrams_received = 0;  // delivered into a socket queue

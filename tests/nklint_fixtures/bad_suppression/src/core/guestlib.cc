@@ -1,0 +1,20 @@
+// Fixture: guest-side reap switch — fully enumerated, no default.
+#include "src/shm/nqe.h"
+// nklint-allow(no-such-check): this check name does not exist.
+void GuestLib::ApplyInbound(const Nqe& nqe) {
+  switch (nqe.Op()) {
+    case NqeOp::kOpResult:
+      ReapControl(nqe);
+      break;
+    case NqeOp::kSendResult:
+      ReapSend(nqe);
+      break;
+    case NqeOp::kRecvData:
+      ReapPayload(nqe);
+      break;
+    case NqeOp::kInvalid:
+    case NqeOp::kSend:
+    case NqeOp::kBind:
+      break;
+  }
+}

@@ -12,8 +12,14 @@ Usage:
     tools/bench_diff.py --prev <dir-with-previous-BENCH_*.json> \
                         --curr <dir-with-current-BENCH_*.json> \
                         [--threshold 0.10]
+    tools/bench_diff.py --list-gates [--threshold 0.10]
 
 Missing previous data (first run, new metric) is reported but never fails.
+
+--list-gates prints the gated-metric set, one `bench metric direction
+threshold` row per gate, so the set is itself lintable: diff it against the
+host metrics artifact (host-metrics.json) or a BENCH_*.json dump to catch a
+gate whose metric was renamed out from under it.
 """
 
 import argparse
@@ -77,13 +83,31 @@ def gate_threshold(bench, metric, default):
     return default if override is None else override
 
 
+def list_gates(default_threshold):
+    """Machine-readable dump of the gated set: bench metric direction threshold."""
+    print(f"{'bench':<22} {'metric':<18} {'direction':<10} {'threshold':>9}")
+    for (bench, metric), override in sorted(GATED.items()):
+        direction = "lower" if metric in LOWER_IS_BETTER else "higher"
+        thr = default_threshold if override is None else override
+        print(f"{bench:<22} {metric:<18} {direction:<10} {thr:>9.2f}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--prev", required=True, help="directory with previous BENCH_*.json")
-    ap.add_argument("--curr", required=True, help="directory with current BENCH_*.json")
+    ap.add_argument("--prev", help="directory with previous BENCH_*.json")
+    ap.add_argument("--curr", help="directory with current BENCH_*.json")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="max allowed relative regression on gated metrics")
+    ap.add_argument("--list-gates", action="store_true",
+                    help="print the gated-metric set (bench metric direction "
+                         "threshold) and exit")
     args = ap.parse_args()
+
+    if args.list_gates:
+        return list_gates(args.threshold)
+    if args.prev is None or args.curr is None:
+        ap.error("--prev and --curr are required unless --list-gates is given")
 
     prev = load_rows(args.prev)
     curr = load_rows(args.curr)
