@@ -69,6 +69,14 @@ CeMessage CoreEngine::HandleControlMessage(CeMessage req) {
           v > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(v);
       return {static_cast<uint32_t>(CeOp::kOk), saturated};
     }
+    case CeOp::kHeartbeat: {
+      uint8_t nsm = static_cast<uint8_t>(req.ce_data);
+      if (nsms_.count(nsm) == 0) {
+        return {static_cast<uint32_t>(CeOp::kError), req.ce_data};
+      }
+      RecordNsmHeartbeat(nsm);
+      return {static_cast<uint32_t>(CeOp::kOk), req.ce_data};
+    }
     case CeOp::kQueryVmStatWide: {
       // Two-word read of the raw 64-bit counter: word 0 returns the low 32
       // bits, word 1 the high 32 bits. No saturation, no KiB scaling.
@@ -107,6 +115,9 @@ void CoreEngine::RegisterVmDevice(uint8_t vm_id, shm::NkDevice* dev) {
 void CoreEngine::RegisterNsmDevice(uint8_t nsm_id, shm::NkDevice* dev) {
   NK_CHECK(nsms_.count(nsm_id) == 0);
   nsms_[nsm_id] = dev;
+  // Registration counts as activity: a fresh NSM gets a full liveness window
+  // before its first heartbeat can possibly arrive.
+  nsm_health_[nsm_id] = NsmHealth{loop_->Now(), 0};
   // Consecutive queue sets land on consecutive shards, so an NSM with at
   // least num_shards() queue sets keeps every switching core reachable for
   // shard-aligned connection placement.
@@ -133,14 +144,17 @@ void CoreEngine::DeregisterVmDevice(uint8_t vm_id) {
   if (vit != vms_.end()) vms_.erase(vit);
 }
 
-void CoreEngine::DeregisterNsmDevice(uint8_t nsm_id) {
+size_t CoreEngine::DeregisterNsmDevice(uint8_t nsm_id) {
   shm::NkDevice* dev = FindNsm(nsm_id);
   nsms_.erase(nsm_id);
+  nsm_health_.erase(nsm_id);
   for (auto it = nsm_qset_shard_.begin(); it != nsm_qset_shard_.end();) {
     it = (it->first >> 8) == nsm_id ? nsm_qset_shard_.erase(it) : std::next(it);
   }
   if (dev != nullptr) park_cursors_.erase(dev);
-  for (auto& s : shards_) s->RemoveNsm(nsm_id, dev);
+  size_t errored_conns = 0;
+  for (auto& s : shards_) errored_conns += s->RemoveNsm(nsm_id, dev);
+  return errored_conns;
 }
 
 void CoreEngine::AssignVmToNsm(uint8_t vm_id, uint8_t nsm_id) {
@@ -278,6 +292,10 @@ void CoreEngine::NotifyVmOutbound(uint8_t vm_id, int qset) {
 }
 
 void CoreEngine::NotifyNsmOutbound(uint8_t nsm_id, int qset) {
+  // A doorbell is proof of life: the NSM just produced NQEs, so refresh its
+  // liveness stamp even if its heartbeat timer is starved by datapath work.
+  auto hit = nsm_health_.find(nsm_id);
+  if (hit != nsm_health_.end()) hit->second.last_activity = loop_->Now();
   if (qset >= 0) {
     auto it = nsm_qset_shard_.find(QsetKey(nsm_id, static_cast<uint8_t>(qset)));
     if (it != nsm_qset_shard_.end()) {
@@ -292,6 +310,35 @@ void CoreEngine::NotifyNsmOutbound(uint8_t nsm_id, int qset) {
     return;
   }
   for (auto& s : shards_) s->ScheduleRound();
+}
+
+void CoreEngine::RecordNsmHeartbeat(uint8_t nsm_id) {
+  auto it = nsm_health_.find(nsm_id);
+  if (it == nsm_health_.end()) return;  // unknown / already deregistered
+  it->second.last_activity = loop_->Now();
+  ++it->second.heartbeats;
+}
+
+SimTime CoreEngine::NsmLastActivity(uint8_t nsm_id) const {
+  auto it = nsm_health_.find(nsm_id);
+  return it == nsm_health_.end() ? 0 : it->second.last_activity;
+}
+
+uint64_t CoreEngine::NsmHeartbeats(uint8_t nsm_id) const {
+  auto it = nsm_health_.find(nsm_id);
+  return it == nsm_health_.end() ? 0 : it->second.heartbeats;
+}
+
+uint64_t CoreEngine::NsmBacklog(uint8_t nsm_id) const {
+  auto it = nsms_.find(nsm_id);
+  if (it == nsms_.end() || it->second == nullptr) return 0;
+  shm::NkDevice* dev = it->second;
+  uint64_t total = 0;
+  for (int qs = 0; qs < dev->num_queue_sets(); ++qs) {
+    shm::QueueSet& q = dev->queue_set(static_cast<uint8_t>(qs));
+    total += q.job.Size() + q.send.Size();
+  }
+  return total;
 }
 
 CoreEngineStats CoreEngine::stats() const {
@@ -581,7 +628,7 @@ void CoreEngineShard::RemoveVm(uint8_t vm_id, shm::NkDevice* dev) {
       pending_handoffs_.end());
 }
 
-void CoreEngineShard::RemoveNsm(uint8_t nsm_id, shm::NkDevice* dev) {
+size_t CoreEngineShard::RemoveNsm(uint8_t nsm_id, shm::NkDevice* dev) {
   if (nsm_qsets_.count(nsm_id) != 0 || dev != nullptr) {
     recorder_.Record(obs::FlightEventType::kNsmDeregister, 0, 0, 0, 0, nsm_id);
   }
@@ -623,6 +670,7 @@ void CoreEngineShard::RemoveNsm(uint8_t nsm_id, shm::NkDevice* dev) {
     it = it->second.nsm_id == nsm_id ? dgram_table_.erase(it) : std::next(it);
   }
   if (!fins.empty()) DeliverPlan(fins);
+  return fins.size();
 }
 
 uint64_t CoreEngineShard::VmQsetBacklog(uint8_t vm_id, uint8_t qset) const {

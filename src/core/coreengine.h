@@ -84,6 +84,10 @@ enum class CeOp : uint32_t {
   // so counters past 2^32 (or 4 TiB of bytes — here reported raw, not KiB)
   // stay readable where kQueryVmStats saturates.
   kQueryVmStatWide = 8,
+  // ce_data = nsm_id. Periodic NSM liveness beacon (the CeMessage twin of the
+  // reserved NqeOp::kHeartbeat wire number): refreshes the NSM's health entry
+  // so the failover controller can tell a quiet-but-alive NSM from a dead one.
+  kHeartbeat = 9,
   kOk = 100,
   kError = 101,
 };
@@ -227,7 +231,8 @@ class CoreEngineShard {
   void AddNsmQset(uint8_t nsm_id, uint8_t qset);
   // Deregistration teardown of everything this shard holds for the device.
   void RemoveVm(uint8_t vm_id, shm::NkDevice* dev);
-  void RemoveNsm(uint8_t nsm_id, shm::NkDevice* dev);
+  // Returns how many established stream connections were errored with FINs.
+  size_t RemoveNsm(uint8_t nsm_id, shm::NkDevice* dev);
   // Executes queue-set handoffs that were requested while a delivery plan
   // was in flight (runs at the round boundary, when in_flight_total_ == 0).
   void ExecutePendingHandoffs();
@@ -354,7 +359,10 @@ class CoreEngine {
   void RegisterVmDevice(uint8_t vm_id, shm::NkDevice* dev);
   void RegisterNsmDevice(uint8_t nsm_id, shm::NkDevice* dev);
   void DeregisterVmDevice(uint8_t vm_id);
-  void DeregisterNsmDevice(uint8_t nsm_id);
+  // Tears the NSM out of the switch. Returns the number of established
+  // stream connections that were errored with FINs toward their guests —
+  // the failover controller's `reconnects_required` surface.
+  size_t DeregisterNsmDevice(uint8_t nsm_id);
   // Maps a VM to an NSM. May be called again later ("switch NSM on the fly"):
   // established connections stay on their old NSM via the connection table;
   // new sockets go to the new NSM.
@@ -397,6 +405,18 @@ class CoreEngine {
   void NotifyVmOutbound(uint8_t vm_id, int qset = -1);
   void NotifyNsmOutbound(uint8_t nsm_id, int qset = -1);
 
+  // ---- NSM health (failover detection inputs) ----
+  // Liveness is derived from two signals: explicit CeOp::kHeartbeat beacons
+  // and doorbell activity (a producing NSM is alive even if its heartbeat
+  // timer is starved). The Host failover controller polls these.
+  void RecordNsmHeartbeat(uint8_t nsm_id);
+  // Instant of the last heartbeat or outbound doorbell (0 = never / unknown).
+  SimTime NsmLastActivity(uint8_t nsm_id) const;
+  uint64_t NsmHeartbeats(uint8_t nsm_id) const;
+  // NQEs sitting unconsumed in the NSM device's inbound (job + send) rings:
+  // a silent NSM with nonzero backlog is wedged, not merely idle.
+  uint64_t NsmBacklog(uint8_t nsm_id) const;
+
   // Aggregated across shards (a fresh snapshot per call).
   CoreEngineStats stats() const;
   // Per-VM slice; zero-initialized if the VM never moved an NQE.
@@ -432,6 +452,12 @@ class CoreEngine {
   struct ParkCursor {
     size_t shard = 0;     // global shard index being visited
     uint64_t spent = 0;   // deliveries taken from it in the current visit
+  };
+  // Per-NSM liveness record, created at registration, erased at
+  // deregistration. last_activity is refreshed by heartbeats and doorbells.
+  struct NsmHealth {
+    SimTime last_activity = 0;
+    uint64_t heartbeats = 0;
   };
 
   static uint64_t ConnKey(uint8_t vm_id, uint32_t vm_sock) {
@@ -485,6 +511,7 @@ class CoreEngine {
   std::unordered_map<uint16_t, int> vm_qset_shard_;
   std::unordered_map<uint16_t, int> nsm_qset_shard_;
   std::unordered_map<shm::NkDevice*, ParkCursor> park_cursors_;
+  std::unordered_map<uint8_t, NsmHealth> nsm_health_;
 };
 
 // Coalesces an NSM's CoreEngine doorbells: all NQEs an NSM-side library

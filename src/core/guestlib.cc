@@ -169,8 +169,18 @@ sim::Task<int> GuestLib::Bind(sim::CpuCore* core, int fd, netsim::IpAddr ip, uin
   GSock* g = FindByFd(fd);
   if (g == nullptr) co_return tcp::kNotConnected;
   NqeOp op = g->dgram ? NqeOp::kBindUdp : NqeOp::kBind;
-  co_return co_await DoControlOp(core, *g,
-                                 MakeNqe(op, vm_id_, 0, g->handle, shm::PackAddr(ip, port)));
+  const uint32_t handle = g->handle;
+  int r = co_await DoControlOp(core, *g,
+                               MakeNqe(op, vm_id_, 0, g->handle, shm::PackAddr(ip, port)));
+  if (r == 0) {
+    // Remember the datagram bind so it can be replayed to a standby NSM.
+    GSock* g2 = FindByHandle(handle);
+    if (g2 != nullptr && g2->dgram) {
+      g2->dgram_bound = true;
+      g2->dgram_bound_addr = shm::PackAddr(ip, port);
+    }
+  }
+  co_return r;
 }
 
 sim::Task<int> GuestLib::Listen(sim::CpuCore* core, int fd, int backlog, bool reuseport) {
@@ -753,6 +763,11 @@ void GuestLib::ProcessInbound(int qs) {
 }
 
 void GuestLib::ApplyInbound(const Nqe& nqe) {
+  if (nqe.Op() == NqeOp::kNsmRehomed) {
+    // Per-VM notification (vm_sock = 0): handled before the socket lookup.
+    OnNsmRehomed(static_cast<uint8_t>(nqe.op_data));
+    return;
+  }
   GSock* g = FindByHandle(nqe.vm_sock);
   if (g == nullptr) {
     // Socket already closed; free any referenced hugepage chunk. A datagram
@@ -846,7 +861,15 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
       if (nqe.size != 0) {
         g->error = true;
         g->err = static_cast<int32_t>(nqe.size);
+        // An errored FIN (connection torn down under the app, e.g. its NSM
+        // was failed over): the stream is dead and the app owes a reconnect.
+        if (!g->dgram) ++reconnects_required_;
       }
+      break;
+    case NqeOp::kNsmRehomed:
+      // Normally consumed above before the socket lookup (vm_sock = 0); kept
+      // as a routed case so a handle collision still applies it.
+      OnNsmRehomed(static_cast<uint8_t>(nqe.op_data));
       break;
     // nklint-allow(switch-default): the op byte comes off a shared ring a buggy or hostile NSM writes; request-direction or malformed ops must be ignored, not UB.
     default:
@@ -854,6 +877,27 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
   }
   g->ev->NotifyAll();
   epolls_.NotifyFd(g->fd);
+}
+
+void GuestLib::OnNsmRehomed(uint8_t new_nsm_id) {
+  (void)new_nsm_id;  // routing already re-pointed; the id is informational
+  ++nsm_rehomes_;
+  // The standby NSM starts with an empty socket table. Replay creation (and
+  // the remembered bind) for every SOCK_DGRAM handle so bound server sockets
+  // keep receiving under the same guest fds — datagram state is small enough
+  // to rebuild statelessly, which is why dgram flows survive a failover.
+  // Stream sockets are NOT replayed: their connections died with the old NSM
+  // and arrive here separately as errored FINs (counted reconnects).
+  for (auto& [handle, sock] : socks_) {
+    GSock* g = sock.get();
+    if (!g->dgram) continue;
+    EnqueueJob(*g, MakeNqe(NqeOp::kSocketUdp, vm_id_, 0, g->handle));
+    if (g->dgram_bound) {
+      EnqueueJob(*g, MakeNqe(NqeOp::kBindUdp, vm_id_, 0, g->handle, g->dgram_bound_addr));
+    }
+    g->ev->NotifyAll();
+    epolls_.NotifyFd(g->fd);
+  }
 }
 
 }  // namespace netkernel::core

@@ -128,6 +128,11 @@ class GuestLib : public SocketApi {
   uint64_t dgram_zc_sends() const { return dgram_zc_sends_; }
   uint64_t dgram_zc_completions() const { return dgram_zc_completions_; }
   uint64_t dgram_zc_recvs() const { return dgram_zc_recvs_; }
+  // Failover surface: kNsmRehomed notifications applied (datagram sockets
+  // replayed onto the standby NSM) and stream sockets errored by an NSM
+  // teardown FIN — each of the latter is a reconnect the application owes.
+  uint64_t nsm_rehomes() const { return nsm_rehomes_; }
+  uint64_t reconnects_required() const { return reconnects_required_; }
 
   // Attaches the sampled NQE lifecycle tracer: T0 (guest-enqueue) stamps when
   // an NQE enters a ring, T4 (guest-reap) when its completion is applied.
@@ -150,6 +155,10 @@ class GuestLib : public SocketApi {
     int fd = -1;
     int qset = 0;
     bool dgram = false;
+    // Datagram bind memory: replayed to the standby NSM on kNsmRehomed so
+    // bound server sockets keep receiving after a failover.
+    bool dgram_bound = false;
+    uint64_t dgram_bound_addr = 0;  // PackAddr(ip, port)
     std::unique_ptr<sim::SimEvent> ev;
     // Control-op completion.
     bool op_done = false;
@@ -201,6 +210,9 @@ class GuestLib : public SocketApi {
   void OnDeviceWake();
   void ProcessInbound(int qs);
   void ApplyInbound(const shm::Nqe& nqe);
+  // The host re-homed this VM onto a standby NSM with no socket state:
+  // replay creation + remembered binds for every datagram socket.
+  void OnNsmRehomed(uint8_t new_nsm_id);
 
   sim::EventLoop* loop_;
   uint8_t vm_id_;
@@ -235,6 +247,8 @@ class GuestLib : public SocketApi {
   uint64_t dgram_zc_sends_ = 0;
   uint64_t dgram_zc_completions_ = 0;
   uint64_t dgram_zc_recvs_ = 0;
+  uint64_t nsm_rehomes_ = 0;
+  uint64_t reconnects_required_ = 0;
 };
 
 }  // namespace netkernel::core

@@ -2,6 +2,8 @@
 
 #include "src/core/host.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace netkernel::core {
@@ -21,6 +23,7 @@ Host::Host(sim::EventLoop* loop, netsim::Fabric* fabric, std::string name, Optio
   tracer_ = std::make_unique<obs::Tracer>(loop_);
   ce_ = std::make_unique<CoreEngine>(loop_, std::move(core_ptrs), options_.ce);
   ce_->SetTracer(tracer_.get());
+  failover_recorder_ = std::make_unique<obs::FlightRecorder>(loop_, name_ + ".failover");
 }
 
 netsim::IpAddr Host::AllocIp() {
@@ -239,6 +242,11 @@ void Host::BuildMetricsRegistry(obs::MetricsRegistry* registry) const {
     registry->RegisterCounter(gp + "dgram_zc_completions",
                               [g] { return double(g->dgram_zc_completions()); });
     registry->RegisterCounter(gp + "dgram_zc_recvs", [g] { return double(g->dgram_zc_recvs()); });
+    registry->RegisterCounter(gp + "nsm_rehomes", [g] { return double(g->nsm_rehomes()); },
+                              "kNsmRehomed notifications applied by this guest");
+    registry->RegisterCounter(gp + "reconnects_required",
+                              [g] { return double(g->reconnects_required()); },
+                              "stream sockets errored by NSM-teardown FINs");
   }
   for (const auto& nsm : nsms_) {
     const std::string np = "nsm" + std::to_string(nsm->id_) + ".";
@@ -293,6 +301,9 @@ void Host::BuildMetricsRegistry(obs::MetricsRegistry* registry) const {
       registry->RegisterCounter(sp + "doorbells", [sl] { return double(sl->doorbells()); });
       registry->RegisterCounter(sp + "doorbells_coalesced",
                                 [sl] { return double(sl->doorbells_coalesced()); });
+      registry->RegisterCounter(sp + "heartbeats_sent",
+                                [sl] { return double(sl->heartbeats_sent()); },
+                                "liveness beacons this NSM sent to CoreEngine");
       registry->RegisterCounter(sp + "flight_events",
                                 [sl] { return double(sl->recorder().total_recorded()); });
     }
@@ -311,6 +322,23 @@ void Host::BuildMetricsRegistry(obs::MetricsRegistry* registry) const {
                                 [sh] { return double(sh->doorbells_coalesced()); });
     }
   }
+  // Failover controller surface (ce.* namespace: failover acts on the switch).
+  const FailoverStats* fs = &failover_stats_;
+  registry->RegisterCounter("ce.nsm_failovers", [fs] { return double(fs->nsm_failovers); },
+                            "NSMs drained and replaced by the failover controller");
+  registry->RegisterCounter("ce.heartbeat_misses",
+                            [fs] { return double(fs->heartbeat_misses); },
+                            "controller checks that found an NSM silent");
+  registry->RegisterCounter("ce.wedged_detections",
+                            [fs] { return double(fs->wedged_detections); },
+                            "silent NSMs that still had ring backlog (stalled, not dead)");
+  registry->RegisterCounter("ce.vms_rehomed", [fs] { return double(fs->vms_rehomed); },
+                            "VMs re-homed onto the standby NSM");
+  registry->RegisterCounter("ce.reconnects_required",
+                            [fs] { return double(fs->reconnects_required); },
+                            "stream connections errored with FINs by failovers");
+  registry->RegisterHistogram("ce.failover_blackout_us", &blackout_us_,
+                              "per-failover blackout: silent time before replacement (us)");
   tracer_->RegisterInto(registry);
 }
 
@@ -331,6 +359,7 @@ std::string Host::DumpFlightRecorder(size_t last_k) const {
   for (const auto& nsm : nsms_) {
     if (nsm->slib_ != nullptr) recorders.push_back(&nsm->slib_->recorder());
   }
+  recorders.push_back(failover_recorder_.get());
   return obs::FlightRecorder::DumpMerged(recorders, last_k);
 }
 
@@ -363,6 +392,152 @@ void Host::SwitchNsm(Vm* vm, Nsm* nsm) {
   }
   vm->attached_nsms_.push_back(nsm);
   vm->nsm_ = nsm;
+}
+
+// ---------------------------------------------------------------------------
+// NSM failover controller & rolling live upgrade
+// ---------------------------------------------------------------------------
+
+void Host::SetStandbyNsm(Nsm* nsm) {
+  NK_CHECK(nsm == nullptr || nsm->kind() != NsmKind::kShm);
+  standby_ = nsm;
+}
+
+void Host::StartFailoverController(FailoverConfig config) {
+  NK_CHECK(config.heartbeat_period > 0 && config.check_period > 0);
+  NK_CHECK(config.miss_threshold >= 1);
+  failover_config_ = config;
+  failover_running_ = true;
+  for (auto& nsm : nsms_) {
+    if (nsm->slib_ != nullptr) nsm->slib_->StartHeartbeat(config.heartbeat_period);
+  }
+  failover_timer_.Cancel();
+  ScheduleFailoverCheck();
+}
+
+void Host::StopFailoverController() {
+  failover_running_ = false;
+  failover_timer_.Cancel();
+  for (auto& nsm : nsms_) {
+    if (nsm->slib_ != nullptr) nsm->slib_->StopHeartbeat();
+  }
+}
+
+void Host::ScheduleFailoverCheck() {
+  if (!failover_running_) return;
+  failover_timer_ = loop_->ScheduleAfter(failover_config_.check_period, [this] {
+    RunFailoverCheck();
+    ScheduleFailoverCheck();
+  });
+}
+
+void Host::RunFailoverCheck() {
+  const SimTime now = loop_->Now();
+  const SimTime window = failover_config_.heartbeat_period + failover_config_.grace;
+  for (auto& owned : nsms_) {
+    Nsm* nsm = owned.get();
+    // The spare idles by design; shm NSMs have no heartbeat source yet.
+    if (nsm == standby_ || nsm->slib_ == nullptr) continue;
+    const SimTime last = ce_->NsmLastActivity(nsm->id());
+    if (last == 0) continue;  // not registered (already failed over)
+    if (now <= last + window) {
+      hb_misses_[nsm->id()] = 0;
+      continue;
+    }
+    const int misses = ++hb_misses_[nsm->id()];
+    ++failover_stats_.heartbeat_misses;
+    failover_recorder_->Record(obs::FlightEventType::kHeartbeatMiss, 0, 0,
+                               static_cast<uint8_t>(shm::NqeOp::kHeartbeat), 0,
+                               static_cast<uint64_t>(misses));
+    if (misses < failover_config_.miss_threshold) continue;
+    const uint64_t backlog = ce_->NsmBacklog(nsm->id());
+    if (backlog > 0) {
+      // Silent but with unconsumed ring backlog: the process is wedged
+      // (stalled mid-service), not merely a quiet tenant or a dead device.
+      ++failover_stats_.wedged_detections;
+      failover_recorder_->Record(obs::FlightEventType::kNsmWedged, 0, 0,
+                                 static_cast<uint8_t>(shm::NqeOp::kHeartbeat), 0, backlog);
+    }
+    FailoverNsm(nsm);
+  }
+}
+
+size_t Host::FailoverNsm(Nsm* sick) {
+  NK_CHECK(sick != nullptr);
+  if (standby_ == nullptr || standby_ == sick) return 0;  // nowhere to re-home
+  Nsm* to = standby_;
+  standby_ = nullptr;  // consumed: the spare is promoted to active duty
+  const SimTime now = loop_->Now();
+  const SimTime last = ce_->NsmLastActivity(sick->id());
+  const uint64_t blackout_us = (last == 0 || now <= last) ? 0 : (now - last) / kMicrosecond;
+
+  // Tear the sick NSM out of the switch first so nothing further routes to
+  // it. Every established stream connection gets an error FIN toward its
+  // guest — each one a reconnect the application owes (counted below).
+  const size_t errored = ce_->DeregisterNsmDevice(sick->id());
+  failover_stats_.reconnects_required += errored;
+  if (sick->slib_ != nullptr) sick->slib_->Shutdown();
+
+  size_t rehomed = 0;
+  for (auto& vm : vms_) {
+    if (!vm->netkernel_mode() || vm->nsm_ != sick) continue;
+    RehomeVm(vm.get(), to);
+    ++rehomed;
+  }
+  ++failover_stats_.nsm_failovers;
+  failover_stats_.vms_rehomed += rehomed;
+  blackout_us_.Record(blackout_us);
+  failover_recorder_->Record(obs::FlightEventType::kNsmFailover, 0, 0,
+                             static_cast<uint8_t>(shm::NqeOp::kHeartbeat), 0, blackout_us);
+  hb_misses_.erase(sick->id());
+  return rehomed;
+}
+
+void Host::RehomeVm(Vm* vm, Nsm* to) {
+  const uint8_t vm_id = vm->id();
+  ce_->AssignVmToNsm(vm_id, to->id());
+  // Unlike SwitchNsm's alias addressing, failover keeps the VM's original
+  // address: the standby's vNIC starts answering for it and the fabric
+  // re-points the route (AddRoute overwrites). Peers keep talking to the
+  // same ip:port across the replacement.
+  if (to->kind() == NsmKind::kShm) {
+    to->shm_servicelib()->AttachVm(vm_id, vm->pool_.get(), vm->ip());
+  } else {
+    to->servicelib()->AttachVm(vm_id, vm->pool_.get(), vm->ip());
+    fabric_->AddRoute(vm->ip(), to->down_link());
+    if (to->kind() == NsmKind::kFairShare && to->groups_.count(vm_id) == 0) {
+      auto group = std::make_shared<tcp::SharedWindowGroup>();
+      to->groups_[vm_id] = group;
+      to->servicelib()->SetVmCcFactory(
+          vm_id, [group] { return std::make_unique<tcp::SharedWindowCc>(group); });
+    }
+  }
+  vm->ip_per_nsm_[to] = vm->ip_;
+  if (std::find(vm->attached_nsms_.begin(), vm->attached_nsms_.end(), to) ==
+      vm->attached_nsms_.end()) {
+    vm->attached_nsms_.push_back(to);
+  }
+  vm->nsm_ = to;
+  EmitRehomeNqe(vm, to->id());
+}
+
+void Host::EmitRehomeNqe(Vm* vm, uint8_t new_nsm_id) {
+  // Per-VM event (vm_sock = 0) on the qset-0 completion ring: GuestLib
+  // re-issues socket/bind for every datagram socket so the standby rebuilds
+  // their state under the same guest handles.
+  shm::Nqe nqe = shm::MakeNqe(shm::NqeOp::kNsmRehomed, vm->id(), 0, 0, new_nsm_id);
+  if (vm->dev_->queue_set(0).completion.TryEnqueue(nqe)) {
+    vm->dev_->Wake();
+    return;
+  }
+  // Completion ring full (guest far behind): retry shortly — the notification
+  // must not be lost, or the guest's datagram sockets stay dark forever.
+  const uint8_t vm_id = vm->id();
+  loop_->ScheduleAfter(5 * kMicrosecond, [this, vm_id, new_nsm_id] {
+    for (auto& v : vms_) {
+      if (v->id() == vm_id) return EmitRehomeNqe(v.get(), new_nsm_id);
+    }
+  });
 }
 
 }  // namespace netkernel::core

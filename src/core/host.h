@@ -177,6 +177,52 @@ class Host {
   // Moves a VM to a different NSM on the fly (new sockets go to `nsm`).
   void SwitchNsm(Vm* vm, Nsm* nsm);
 
+  // ---- NSM failover & rolling live upgrade ----
+  struct FailoverConfig {
+    SimTime heartbeat_period = 20 * kMicrosecond;  // NSM liveness beacon interval
+    SimTime check_period = 25 * kMicrosecond;      // controller poll interval
+    SimTime grace = 50 * kMicrosecond;             // slack past one beacon period
+    int miss_threshold = 3;  // consecutive silent checks before failover
+  };
+  // Controller counters, registered under ce.* in BuildMetricsRegistry.
+  // nklint: stats
+  struct FailoverStats {
+    uint64_t nsm_failovers = 0;       // NSMs drained and replaced
+    uint64_t heartbeat_misses = 0;    // checks that found an NSM silent
+    uint64_t wedged_detections = 0;   // silent NSMs with ring backlog (stalled)
+    uint64_t vms_rehomed = 0;         // VMs moved onto the standby
+    uint64_t reconnects_required = 0; // stream conns errored with FINs
+  };
+
+  // Pre-registers the spare NSM failovers re-home onto. Consumed (promoted
+  // to active duty) by the first failover; re-arm with a fresh spare for the
+  // next rolling-upgrade step. Shared-memory NSMs cannot stand by for
+  // stack-backed ones.
+  void SetStandbyNsm(Nsm* nsm);
+  Nsm* standby_nsm() { return standby_; }
+
+  // Starts heartbeats on every stack-backed NSM and polls their health every
+  // check_period: an NSM silent (no beacon, no doorbell) for longer than
+  // heartbeat_period + grace accrues a miss; miss_threshold consecutive
+  // misses trigger FailoverNsm. Silent-with-backlog is flagged as wedged
+  // (stalled process) before the failover.
+  void StartFailoverController(FailoverConfig config);
+  void StartFailoverController() { StartFailoverController(FailoverConfig()); }
+  void StopFailoverController();
+
+  // Drain-and-replace of `sick` onto the registered standby — the rolling
+  // live-upgrade primitive, and what the controller calls on detection.
+  // Deregisters the sick NSM (erroring its stream connections with FINs),
+  // shuts its ServiceLib down, re-homes every VM it served, and notifies
+  // each guest with kNsmRehomed. Returns the number of VMs re-homed; no-op
+  // (returns 0) without a standby.
+  size_t FailoverNsm(Nsm* sick);
+
+  const FailoverStats& failover_stats() const { return failover_stats_; }
+  // Per-failover blackout: how long the sick NSM was dark before the standby
+  // took over, in microseconds.
+  const obs::Histogram& blackout_histogram() const { return blackout_us_; }
+
   // DRR weight of a NetKernel VM at this host's CoreEngine (default 1): a
   // weight-w VM receives w/sum(weights) of the switch's NQE service under
   // contention (§4.4).
@@ -214,6 +260,13 @@ class Host {
   static void ResetIpAllocator() { next_ip_suffix_ = 1; }
 
  private:
+  void ScheduleFailoverCheck();
+  void RunFailoverCheck();
+  // Attaches the VM to `to` under its ORIGINAL address (no alias), re-points
+  // the fabric route, and notifies the guest with kNsmRehomed.
+  void RehomeVm(Vm* vm, Nsm* to);
+  void EmitRehomeNqe(Vm* vm, uint8_t new_nsm_id);
+
   sim::EventLoop* loop_;
   netsim::Fabric* fabric_;
   std::string name_;
@@ -225,6 +278,15 @@ class Host {
   std::vector<std::unique_ptr<Vm>> vms_;
   uint8_t next_vm_id_ = 1;
   uint8_t next_nsm_id_ = 1;
+  // Failover controller state.
+  Nsm* standby_ = nullptr;
+  bool failover_running_ = false;
+  FailoverConfig failover_config_;
+  FailoverStats failover_stats_;
+  obs::Histogram blackout_us_;
+  sim::EventHandle failover_timer_;
+  std::unordered_map<uint8_t, int> hb_misses_;
+  std::unique_ptr<obs::FlightRecorder> failover_recorder_;
   static uint32_t next_ip_suffix_;
 };
 

@@ -141,8 +141,40 @@ void ServiceLib::Respond(const Conn& c, NqeOp op, NqeOp orig, int32_t result, ui
 // Inbound dispatch
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Liveness heartbeat
+// ---------------------------------------------------------------------------
+
+void ServiceLib::StartHeartbeat(SimTime period) {
+  NK_CHECK(period > 0);
+  heartbeat_period_ = period;
+  heartbeat_timer_.Cancel();
+  ScheduleHeartbeat();
+}
+
+void ServiceLib::StopHeartbeat() {
+  heartbeat_period_ = 0;
+  heartbeat_timer_.Cancel();
+}
+
+void ServiceLib::ScheduleHeartbeat() {
+  if (shutdown_ || wedged_ || heartbeat_period_ == 0) return;
+  heartbeat_timer_ = loop_->ScheduleAfter(heartbeat_period_, [this] {
+    if (shutdown_ || wedged_ || heartbeat_period_ == 0) return;
+    ce_->HandleControlMessage(
+        {static_cast<uint32_t>(CeOp::kHeartbeat), nsm_id_});
+    ++heartbeats_sent_;
+    ScheduleHeartbeat();
+  });
+}
+
+void ServiceLib::Wedge() {
+  wedged_ = true;
+  heartbeat_timer_.Cancel();
+}
+
 void ServiceLib::OnDeviceWake() {
-  if (shutdown_) return;
+  if (shutdown_ || wedged_) return;
   for (int qs = 0; qs < dev_->num_queue_sets(); ++qs) {
     shm::QueueSet& q = dev_->queue_set(qs);
     if (!q.job.Empty() || !q.send.Empty()) ProcessQueueSet(qs);
@@ -150,7 +182,7 @@ void ServiceLib::OnDeviceWake() {
 }
 
 void ServiceLib::ProcessQueueSet(int qs) {
-  if (shutdown_ || drain_scheduled_[qs]) return;
+  if (shutdown_ || wedged_ || drain_scheduled_[qs]) return;
   drain_scheduled_[qs] = true;
 
   shm::QueueSet& q = dev_->queue_set(qs);
@@ -177,6 +209,13 @@ void ServiceLib::ProcessQueueSet(int qs) {
       return;
     }
     for (Nqe& nqe : nqes) {
+      if (shutdown_) {
+        // A dispatched NQE triggered Shutdown mid-batch: the connection maps
+        // were already cleared, so the rest of the batch must unwind, not
+        // dispatch against freed state.
+        FreeNqeChunk(nqe);
+        continue;
+      }
       nqe.reserved[2] = static_cast<uint8_t>(qs);  // processing queue set
       if (tracer_ != nullptr) {
         // T2 lifecycle stamp; the dispatch scope lets a synchronous
@@ -967,6 +1006,7 @@ void ServiceLib::MaybeFinishCloseDgram(udp::SocketId usid) {
 void ServiceLib::Shutdown() {
   if (shutdown_) return;
   shutdown_ = true;
+  StopHeartbeat();
 
   // 1. Abort every connection. Abort tears the socket down synchronously:
   //    zc chunks still queued in the send buffer fire their exactly-once free

@@ -63,8 +63,25 @@ class ServiceLib {
   // the now-unreachable device rings are drained and their payload chunks
   // returned to the owning VM pools. After Shutdown, every hugepage chunk
   // this NSM ever touched is either back in its pool or owned by the guest —
-  // nothing strands in dead rings.
+  // nothing strands in dead rings. Idempotent, and safe to race with an
+  // in-flight dispatch round: NQEs already charged to a stack core when the
+  // teardown runs are unwound (chunks freed) instead of dispatched against
+  // dead connection state.
   void Shutdown();
+
+  // ---- Liveness (failover detection inputs) ----
+  // Periodically reports this NSM alive to CoreEngine (CeOp::kHeartbeat).
+  // The beat self-cancels on Shutdown or Wedge — a dead or stalled NSM goes
+  // silent, which is exactly what the failover controller watches for.
+  void StartHeartbeat(SimTime period);
+  void StopHeartbeat();
+  // Chaos hook: the NSM stays registered but stops consuming its rings and
+  // stops heartbeating — the "alive process, stalled datapath" failure mode.
+  // Backlog piles up in the device's job/send rings until the controller
+  // declares it wedged and fails it over.
+  void Wedge();
+  bool wedged() const { return wedged_; }
+  uint64_t heartbeats_sent() const { return heartbeats_sent_; }
 
   // Shared-memory receive credit: GuestLib freed `bytes` of a chunk.
   void OnRecvCredit(uint8_t vm_id, uint32_t vm_sock, uint32_t bytes);
@@ -153,6 +170,7 @@ class ServiceLib {
   // NQE dispatch.
   void OnDeviceWake();
   void ProcessQueueSet(int qs);
+  void ScheduleHeartbeat();
   void Dispatch(const shm::Nqe& nqe);
   void DoSocket(const shm::Nqe& nqe);
   void DoBind(const shm::Nqe& nqe, Conn& c);
@@ -227,6 +245,10 @@ class ServiceLib {
   uint64_t dgram_zc_ships_ = 0;
   uint64_t dgram_copy_ships_ = 0;
   bool shutdown_ = false;
+  bool wedged_ = false;
+  SimTime heartbeat_period_ = 0;  // 0 = heartbeat not running
+  sim::EventHandle heartbeat_timer_;
+  uint64_t heartbeats_sent_ = 0;
   // Liveness token captured by zero-copy free callbacks held inside TcpStack
   // send buffers: the stack outlives this ServiceLib in the owning Nsm, so a
   // callback firing during stack teardown must become a no-op.

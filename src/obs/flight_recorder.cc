@@ -22,6 +22,9 @@ const char* FlightEventName(FlightEventType type) {
     case FlightEventType::kNsmDeregister: return "NSM_DEREG";
     case FlightEventType::kShutdownDrain: return "SHUTDOWN_DRAIN";
     case FlightEventType::kRingFullDrop: return "RING_FULL";
+    case FlightEventType::kHeartbeatMiss: return "HB_MISS";
+    case FlightEventType::kNsmWedged: return "NSM_WEDGED";
+    case FlightEventType::kNsmFailover: return "NSM_FAILOVER";
   }
   return "UNKNOWN";
 }

@@ -33,6 +33,9 @@ enum class FlightEventType : uint8_t {
   kNsmDeregister = 7,    // NSM device deregistered from the switch
   kShutdownDrain = 8,    // ServiceLib shutdown drained/failed an entry
   kRingFullDrop = 9,     // ServiceLib completion/receive ring enqueue failed
+  kHeartbeatMiss = 10,   // NSM missed a heartbeat check (detail = consecutive misses)
+  kNsmWedged = 11,       // NSM silent with ring backlog (stalled, not dead)
+  kNsmFailover = 12,     // failover controller replaced an NSM (detail = blackout us)
 };
 
 const char* FlightEventName(FlightEventType type);

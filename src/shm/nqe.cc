@@ -34,8 +34,10 @@ std::string NqeOpName(NqeOp op) {
     case NqeOp::kFinReceived: return "fin_received";
     case NqeOp::kSendToResult: return "sendto_result";
     case NqeOp::kDgramRecv: return "dgram_recv";
+    case NqeOp::kNsmRehomed: return "nsm_rehomed";
     case NqeOp::kRegisterDevice: return "register_device";
     case NqeOp::kDeregisterDevice: return "deregister_device";
+    case NqeOp::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }

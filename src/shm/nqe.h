@@ -128,6 +128,14 @@ enum class NqeOp : uint8_t {
   // path observable end to end.
   // nklint: dir=nsm->guest ring=receive carries-chunk
   kDgramRecvZc = 41,  // receive queue
+  // Failover notification: the VM's NSM died (or was drained for a rolling
+  // upgrade) and the VM was re-homed onto the standby NSM. vm_sock is 0 — the
+  // event is per-VM, not per-socket. op_data carries the new NSM id. GuestLib
+  // reacts by re-issuing socket/bind for every datagram socket so the standby
+  // NSM rebuilds their state under the same guest handles; stream sockets were
+  // already errored with FINs by the switch (see `reconnects_required`).
+  // nklint: dir=nsm->guest ring=completion
+  kNsmRehomed = 42,  // completion queue
   // Control plane (CoreEngine registration channel, §5). These reserve the
   // paper's wire numbers; the reproduction's control plane rides the typed
   // CeMessage channel (CoreEngine::HandleControlMessage) instead of NQEs, so
@@ -138,6 +146,12 @@ enum class NqeOp : uint8_t {
   // nklint-allow(op-routing): control plane rides the CeMessage channel; these reserve §5 wire numbers only.
   // nklint: dir=control
   kDeregisterDevice = 65,
+  // NSM liveness heartbeat (§5 wire number). The reproduction's heartbeats
+  // ride the CeMessage channel (CeOp::kHeartbeat -> RecordNsmHeartbeat); the
+  // health-miss flight events stamp this op byte so a post-mortem tail names
+  // the protocol verb.
+  // nklint: dir=control
+  kHeartbeat = 66,
 };
 
 // reserved[1] flag on NSM->VM completions: the operation failed inside the

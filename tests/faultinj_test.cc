@@ -41,6 +41,7 @@ using core::Host;
 using core::NkBuf;
 using core::Nsm;
 using core::NsmKind;
+using core::ServiceLib;
 using core::SocketApi;
 using core::Vm;
 
@@ -55,6 +56,9 @@ struct FaultPlan {
   int migrations = 0;               // explicit queue-set shard handoffs
   std::vector<SimTime> migrate_at;
   SimTime epoll_close_at = 0;
+  bool controller = false;  // failover controller armed with standby NSMs
+  int wedges = 0;           // wedge the VM's CURRENT NSM (chains failovers)
+  std::vector<SimTime> wedge_at;
 };
 
 // The chaos window is [0, 40) ms of simulated time; faults land in [5, 35).
@@ -72,6 +76,19 @@ FaultPlan MakePlan(Rng& rng) {
     p.migrate_at.push_back((5 + rng.NextBounded(30)) * kMillisecond);
   }
   p.epoll_close_at = (5 + rng.NextBounded(30)) * kMillisecond;
+  // Controller chaos: half the runs arm the failover controller with two
+  // standby NSMs. Wedges target whatever NSM the VM is on at fire time, so a
+  // second wedge after a re-home exercises failover-during-failover; a third
+  // wedge can exhaust the standby supply (refused failover + operator
+  // cleanup). Wedge times leave >=1ms of detection headroom before the 40ms
+  // window closes (detection itself needs ~150us plus stack-quiesce time).
+  p.controller = rng.NextBool(0.5);
+  if (p.controller) {
+    p.wedges = static_cast<int>(rng.NextBounded(4));  // 0..3
+    for (int i = 0; i < p.wedges; ++i) {
+      p.wedge_at.push_back((8 + rng.NextBounded(25)) * kMillisecond);
+    }
+  }
   return p;
 }
 
@@ -189,6 +206,10 @@ struct IterationResult {
   bool epoll_armed = false;
   bool ring_chaos = false;  // tiny pending bound: completions may drop
   bool nsm_killed = false;
+  bool nsm_wedged = false;     // at least one wedge fired (controller chaos)
+  bool controller_on = false;  // failover controller was armed this run
+  uint64_t failovers = 0;      // controller-driven NSM replacements
+  uint64_t vms_rehomed = 0;
   uint64_t pool_in_use = 0;
   uint64_t pool_allocs = 0;
   uint64_t pool_frees = 0;
@@ -216,6 +237,18 @@ IterationResult RunIteration(uint64_t seed) {
   Nsm* nsm = host_a.CreateNsm("nsm", 2, NsmKind::kKernel);
   Vm* nk = host_a.CreateNetkernelVm("nk", 2, nsm);
   Vm* peer = host_b.CreateBaselineVm("peer", 2);
+
+  // Controller chaos: two pre-registered standbys (created before the
+  // controller starts so both heartbeat from t0). spare0 is armed now; spare1
+  // is re-armed lazily right before a wedge, so a wedge landing after a
+  // completed failover finds a fresh standby and chains.
+  std::vector<Nsm*> spares;
+  if (plan.controller) {
+    spares.push_back(host_a.CreateNsm("spare1", 2, NsmKind::kKernel));
+    Nsm* spare0 = host_a.CreateNsm("spare0", 2, NsmKind::kKernel);
+    host_a.SetStandbyNsm(spare0);
+    host_a.StartFailoverController(Host::FailoverConfig());
+  }
 
   auto fds = std::make_shared<std::vector<int>>();
 
@@ -266,15 +299,50 @@ IterationResult RunIteration(uint64_t seed) {
   });
   if (plan.kill_nsm) {
     loop.Schedule(plan.kill_at, [&] {
+      // NSM death mid-migration: yank a queue set to the other shard in the
+      // same instant the NSM dies, so the deregister races the handoff.
+      host_a.ce().AssignQueueSetToShard(nk->id(), 0, 1);
       host_a.ce().DeregisterNsmDevice(nsm->id());
       nsm->servicelib()->Shutdown();
       res.nsm_killed = true;
+    });
+  }
+  for (SimTime t : plan.wedge_at) {
+    loop.Schedule(t, [&] {
+      // Re-arm a fresh standby if the previous failover consumed it, then
+      // wedge whatever NSM the VM is on RIGHT NOW — after a re-home that is
+      // the freshly promoted standby, i.e. failover-during-failover.
+      if (host_a.standby_nsm() == nullptr && !spares.empty()) {
+        host_a.SetStandbyNsm(spares.back());
+        spares.pop_back();
+      }
+      if (nk->nsm()->servicelib() != nullptr) {
+        nk->nsm()->servicelib()->Wedge();
+        res.nsm_wedged = true;
+      }
     });
   }
 
   // Run the chaos window, close every guest fd, then settle (long enough
   // for retransmission timers and teardown to quiesce).
   loop.Run(loop.Now() + 40 * kMillisecond);
+  if (plan.controller) {
+    host_a.StopFailoverController();
+    res.controller_on = true;
+    res.failovers = host_a.failover_stats().nsm_failovers;
+    res.vms_rehomed = host_a.failover_stats().vms_rehomed;
+    // Operator cleanup: a wedge that found no standby left (supply exhausted)
+    // was refused by FailoverNsm and the VM is still parked on a wedged NSM.
+    // The operator's only move is the same recoverable-accounting teardown
+    // the controller would have used — without it, chunks sitting in the
+    // wedged NSM's rings would be reported as leaks below.
+    ServiceLib* cur = nk->nsm()->servicelib();
+    if (cur != nullptr && cur->wedged()) {
+      host_a.ce().DeregisterNsmDevice(nk->nsm()->id());
+      cur->Shutdown();
+      res.nsm_killed = true;
+    }
+  }
   sim::Spawn(CloseAll(nk, fds.get()));
   loop.Run(loop.Now() + 150 * kMillisecond);
 
@@ -309,6 +377,7 @@ TEST(FaultInjection, ZcOwnershipConservesAcrossSeededChaos) {
     iters = 1;
   }
   uint64_t total_zc_sends = 0, total_dgram_zc = 0, kills = 0, chaos_runs = 0;
+  uint64_t wedge_runs = 0, controller_runs = 0, total_failovers = 0;
   for (uint64_t i = 0; i < iters; ++i) {
     const uint64_t seed = single ? only_seed : kBaseSeed + i;
     SCOPED_TRACE(::testing::Message() << "replay with NK_FAULTINJ_SEED=" << seed);
@@ -318,6 +387,9 @@ TEST(FaultInjection, ZcOwnershipConservesAcrossSeededChaos) {
     total_dgram_zc += r.dgram_zc_sends;
     kills += r.nsm_killed ? 1 : 0;
     chaos_runs += r.ring_chaos ? 1 : 0;
+    wedge_runs += r.nsm_wedged ? 1 : 0;
+    controller_runs += r.controller_on ? 1 : 0;
+    total_failovers += r.failovers;
 
     // Chunk conservation: every hugepage chunk freed exactly once. (A double
     // free aborts inside HugepagePool, so finishing with an empty pool is
@@ -329,9 +401,11 @@ TEST(FaultInjection, ZcOwnershipConservesAcrossSeededChaos) {
     // zc send with exactly one completion (ACK, teardown free, local fail,
     // or a CE error completion — kSendZcComplete / kSendToResult either
     // way). A killed NSM consumes sends without answering (Shutdown drained
-    // them, returning the chunks), and a tiny pending bound can drop
-    // completions at full rings — pairing then relaxes to an inequality.
-    if (!r.nsm_killed && !r.ring_chaos) {
+    // them, returning the chunks), a wedged NSM's failover teardown does the
+    // same for whatever was parked in its rings, and a tiny pending bound
+    // can drop completions at full rings — pairing then relaxes to an
+    // inequality.
+    if (!r.nsm_killed && !r.ring_chaos && !r.nsm_wedged) {
       EXPECT_EQ(r.zc_sends, r.zc_completions)
           << "stream zc credit imbalance, seed " << seed;
       EXPECT_EQ(r.dgram_zc_sends, r.dgram_zc_completions)
@@ -346,6 +420,18 @@ TEST(FaultInjection, ZcOwnershipConservesAcrossSeededChaos) {
     // timeout is far beyond the simulated horizon).
     if (r.epoll_armed) {
       EXPECT_TRUE(r.epoll_waiter_returned) << "epoll waiter stuck, seed " << seed;
+    }
+
+    // Controller sanity per seed. No false positives: an armed controller
+    // watching a healthy, un-killed NSM must never fail it over (heartbeats
+    // keep flowing even under ring backpressure — they ride the control
+    // path). And every wedge that found a standby produced a re-home.
+    if (r.controller_on && !r.nsm_wedged && !r.nsm_killed) {
+      EXPECT_EQ(r.failovers, 0u) << "spurious failover, seed " << seed;
+    }
+    if (r.failovers > 0) {
+      EXPECT_EQ(r.vms_rehomed, r.failovers)
+          << "failover without a re-homed VM, seed " << seed;
     }
 
     // Test hook: force one failure so the post-mortem path itself is
@@ -369,11 +455,17 @@ TEST(FaultInjection, ZcOwnershipConservesAcrossSeededChaos) {
     EXPECT_GT(total_dgram_zc, 0u);
     EXPECT_GT(kills, 0u);
     EXPECT_GT(chaos_runs, 0u);
+    EXPECT_GT(controller_runs, 0u);
+    EXPECT_GT(wedge_runs, 0u);
+    EXPECT_GT(total_failovers, 0u) << "controller chaos never produced a failover";
   }
   std::printf("faultinj: %llu iterations, %llu NSM kills, %llu ring-chaos runs, "
+              "%llu wedge runs, %llu failovers, "
               "%llu stream zc sends, %llu dgram zc sends\n",
               static_cast<unsigned long long>(iters), static_cast<unsigned long long>(kills),
               static_cast<unsigned long long>(chaos_runs),
+              static_cast<unsigned long long>(wedge_runs),
+              static_cast<unsigned long long>(total_failovers),
               static_cast<unsigned long long>(total_zc_sends),
               static_cast<unsigned long long>(total_dgram_zc));
 }

@@ -35,6 +35,7 @@ LOWER_IS_BETTER = {
     "p50_us",
     "latency_us",
     "loss_rate",
+    "blackout_p99_us",
 }
 
 # (bench, metric) -> max allowed relative regression. These gate CI; keep the
@@ -57,6 +58,11 @@ GATED = {
     ("udp_kv_rps", "p99_us"): 0.15,
     # nkobs: switch rate with the tracer attached must not drift either.
     ("obs_overhead", "nqes_per_sec"): None,
+    # NSM failover: datagram survival is the robustness headline (near-1.0,
+    # so the tolerance is tight); blackout is a detection-latency tail and
+    # absorbs more cost-model drift.
+    ("nsm_failover", "survival_rate"): 0.01,
+    ("nsm_failover", "blackout_p99_us"): 0.25,
 }
 
 
