@@ -104,10 +104,14 @@ struct CeShardResult {
 // stamp T1, charging the modeled stamp cost into the switch rounds.
 // bench_obs_overhead uses this to price tracing against the fig11 switching
 // workload.
+// `guard` toggles nkguard validation at ring-consume time. Off by default so
+// every raw-device experiment stays comparable with pre-guard baselines;
+// bench_fig11's guard column runs the same workload both ways and gates the
+// overhead (<3% of switched NQEs/s).
 inline CeShardResult RunCeShardExperiment(int shards, SimTime window = 10 * kMillisecond,
                                           int vm_devs = 8, int qsets_per_vm = 2, int nsms = 4,
                                           int nsm_qsets = 8, bool attach_tracer = false,
-                                          uint32_t trace_sample_every = 0) {
+                                          uint32_t trace_sample_every = 0, bool guard = false) {
   using shm::MakeNqe;
   using shm::Nqe;
   using shm::NqeOp;
@@ -121,6 +125,7 @@ inline CeShardResult RunCeShardExperiment(int shards, SimTime window = 10 * kMil
   core::CoreEngineConfig cfg;
   cfg.batch = 64;            // Fig 11's saturating batch tier
   cfg.pending_bound = 8192;  // the consumer, not the park, absorbs bursts
+  cfg.guard.enabled = guard;
   core::CoreEngine ce(&loop, core_ptrs, cfg);
   std::unique_ptr<obs::Tracer> tracer_storage;
   obs::Tracer* tracer = nullptr;

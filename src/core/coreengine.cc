@@ -21,7 +21,7 @@ CoreEngine::CoreEngine(sim::EventLoop* loop, sim::CpuCore* core, CoreEngineConfi
 
 CoreEngine::CoreEngine(sim::EventLoop* loop, std::vector<sim::CpuCore*> cores,
                        CoreEngineConfig config)
-    : loop_(loop), config_(config) {
+    : loop_(loop), config_(config), validator_(config.guard) {
   NK_CHECK(!cores.empty());
   // A zero bound would make every destination permanently "full" and stall
   // routing outright; the park needs at least one slot to carry backpressure.
@@ -723,6 +723,34 @@ uint64_t CoreEngineShard::PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit,
   uint64_t taken = 0;
   Nqe nqe;
   const int nqs = static_cast<int>(vs.qsets.size());
+  guard::NqeValidator& validator = engine_->validator_;
+  if (validator.enabled() && validator.IsQuarantined(vm_id)) {
+    // Quarantined offender: drain its outbound rings without routing a
+    // single NQE, so co-tenants are undisturbed. Between the trip and the
+    // host's deregistration this is the VM's entire service. Carried chunks
+    // still unwind through the usual reclaim completion — quarantine parks
+    // the VM, it must not leak its pool.
+    for (uint8_t qsi : vs.qsets) {
+      if (static_cast<int>(qsi) >= reg->dev->num_queue_sets()) continue;
+      shm::QueueSet& q = reg->dev->queue_set(qsi);
+      auto drain = [&](shm::SpscRing<Nqe>& ring) {
+        while (ring.TryDequeue(&nqe)) {
+          validator.CountQuarantineDrop();
+          validator.ScrubGuestFlags(&nqe);
+          nqe.vm_id = vm_id;
+          nqe.queue_set = qsi;
+          Delivery d;
+          if (guard::CarriesGuestChunk(nqe.Op()) &&
+              validator.ChunkReclaimable(vm_id, nqe) && BuildErrorCompletion(nqe, &d)) {
+            PlanDelivery(d, plan);
+          }
+        }
+      };
+      drain(q.send);
+      drain(q.job);
+    }
+    return 0;
+  }
   for (int i = 0; i < nqs && taken < limit; ++i) {
     // Start each chunk at a rotating queue set: restarting at the first
     // owned set every time would let a saturated one eat the whole deficit
@@ -735,11 +763,20 @@ uint64_t CoreEngineShard::PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit,
     obs::Tracer* tracer = engine_->tracer_;
     if (!*send_blocked) {
       while (taken < limit && q.send.Peek(&nqe)) {
+        // nkguard admission on the peeked copy: what routes (and what any
+        // reject answers) is the scrubbed, identity-pinned NQE, never raw
+        // guest-written ring bytes. A reject consumes the NQE here and still
+        // spends deficit + CPU — the offender pays for its own garbage.
+        if (!GuardAdmit(&nqe, &q.send, true, vm_id, qsi, plan, cost)) {
+          ++taken;
+          continue;
+        }
         if (!RouteVmNqe(nqe, true, plan, cost, retry_at)) {
           *send_blocked = true;
           break;
         }
         q.send.TryDequeue(&nqe);
+        if (validator.enabled()) validator.CommitGuestNqe(vm_id, nqe);
         // T1 lifecycle stamp (sampled NQEs only); the stamp's modeled cost
         // rides the round's CPU charge like any other switching work.
         if (tracer != nullptr) cost += tracer->OnCeDequeue(nqe, static_cast<uint32_t>(index_));
@@ -748,11 +785,16 @@ uint64_t CoreEngineShard::PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit,
     }
     if (!*job_blocked) {
       while (taken < limit && q.job.Peek(&nqe)) {
+        if (!GuardAdmit(&nqe, &q.job, false, vm_id, qsi, plan, cost)) {
+          ++taken;
+          continue;
+        }
         if (!RouteVmNqe(nqe, false, plan, cost, retry_at)) {
           *job_blocked = true;
           break;
         }
         q.job.TryDequeue(&nqe);
+        if (validator.enabled()) validator.CommitGuestNqe(vm_id, nqe);
         if (tracer != nullptr) cost += tracer->OnCeDequeue(nqe, static_cast<uint32_t>(index_));
         ++taken;
       }
@@ -774,6 +816,55 @@ uint8_t CoreEngineShard::ChooseNsmQset(uint8_t nsm_id, const shm::NkDevice* ndev
   // spread globally; completions cross shards via the facade handshake.
   return static_cast<uint8_t>(
       CoreEngine::HashSpread(key, static_cast<size_t>(ndev->num_queue_sets())));
+}
+
+bool CoreEngineShard::GuardAdmit(Nqe* nqe, shm::SpscRing<Nqe>* ring, bool from_send_ring,
+                                 uint8_t vm_id, uint8_t qset, std::vector<Delivery>& plan,
+                                 Cycles& cost) {
+  guard::NqeValidator& validator = engine_->validator_;
+  if (!validator.enabled()) return true;
+  cost += engine_->config_.costs.ce_guard_check;
+  validator.ScrubGuestFlags(nqe);
+  guard::Verdict verdict = validator.ValidateGuestNqe(nqe, from_send_ring, vm_id, qset);
+  if (verdict == guard::Verdict::kOk) return true;
+
+  // Reject: consume the offending NQE (the caller's peeked copy — now
+  // scrubbed and identity-pinned to the polled device — is what the reject
+  // path answers; the raw ring bytes go nowhere).
+  Nqe raw;
+  ring->TryDequeue(&raw);
+  recorder_.Record(obs::FlightEventType::kGuardReject, vm_id, qset, nqe->op, nqe->vm_sock,
+                   static_cast<uint64_t>(verdict));
+  const bool tripped = validator.RecordViolation(vm_id, verdict);
+  if (validator.ShouldSynthesizeError()) {
+    Delivery d;
+    if (BuildErrorCompletion(*nqe, &d)) {
+      if (d.nqe.reserved[1] == shm::kNqeFlagChunkUnconsumed &&
+          !validator.ChunkReclaimable(vm_id, *nqe)) {
+        // The rejected NQE named a chunk the guest does not verifiably own
+        // (bogus offset, freed, or an incarnation an accepted submission
+        // already consumed). Flagging it would make GuestLib free it — a
+        // double free — so the error completion goes back chunkless.
+        d.nqe.reserved[1] = 0;
+        d.nqe.data_ptr = 0;
+        d.nqe.op_data = 0;
+      }
+      PlanDelivery(d, plan);
+    }
+  }
+  ++stats_.nqes_dropped;
+  ++stats_.per_vm[vm_id].dropped;
+  if (tripped) {
+    recorder_.Record(obs::FlightEventType::kVmQuarantined, vm_id, qset, nqe->op, 0,
+                     validator.VmStats(vm_id).rejects);
+    if (engine_->quarantine_cb_) {
+      // Defer to a fresh event-loop instant: the host callback deregisters
+      // the device, which must not happen under this polling round.
+      auto cb = engine_->quarantine_cb_;
+      engine_->loop_->ScheduleAfter(0, [cb, vm_id] { cb(vm_id); });
+    }
+  }
+  return false;
 }
 
 bool CoreEngineShard::RouteVmNqe(const Nqe& nqe, bool from_send_ring,
@@ -945,6 +1036,15 @@ CoreEngineShard::DgramRoute CoreEngineShard::RouteDgramNqe(const Nqe& nqe,
 bool CoreEngineShard::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<Delivery>& plan,
                                   Cycles& cost) {
   (void)nsm_id;
+  guard::NqeValidator& validator = engine_->validator_;
+  if (validator.enabled() && !validator.ValidateNsmNqe(nqe)) {
+    // Defense in depth on the NSM side of the boundary: an op byte that is
+    // not a legal NSM->guest verb never reaches a guest ring.
+    ++stats_.nqes_dropped;
+    recorder_.Record(obs::FlightEventType::kGuardReject, nqe.vm_id, nqe.queue_set, nqe.op,
+                     nqe.vm_sock, static_cast<uint64_t>(guard::Verdict::kBadOp));
+    return true;  // consume it
+  }
   CoreEngine::VmReg* reg = engine_->FindVm(nqe.vm_id);
   if (reg == nullptr || reg->dev == nullptr) {
     // VM gone: nothing to deliver to, but the loss must still be visible.
@@ -978,6 +1078,12 @@ bool CoreEngineShard::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<De
   d.toward_vm = true;
   d.nqe = nqe;
   PlanDelivery(d, plan);
+  if (validator.enabled() &&
+      (op == NqeOp::kDgramRecv || op == NqeOp::kDgramRecvZc)) {
+    // Feed the datagram credit ledger: this much receive credit may later
+    // legitimately come back from the guest via kRecvFrom.
+    validator.OnDgramDelivered(nqe.vm_id, nqe.size);
+  }
   return true;
 }
 
@@ -986,7 +1092,7 @@ bool CoreEngineShard::RouteNsmNqe(const Nqe& nqe, uint8_t nsm_id, std::vector<De
 // ---------------------------------------------------------------------------
 
 bool CoreEngineShard::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
-  NqeOp completion_op;
+  NqeOp completion_op = NqeOp::kInvalid;
   bool carries_chunk = false;
   switch (orig.Op()) {
     case NqeOp::kSend:
@@ -1022,10 +1128,33 @@ bool CoreEngineShard::BuildErrorCompletion(const Nqe& orig, Delivery* out) {
     case NqeOp::kShutdown:
       completion_op = NqeOp::kOpResult;
       break;
-    // nklint-allow(switch-default): kClose / kAccept / kRecvFrom hold no reclaimable guest state and no guest thread waits on them (the drop counter is the whole story); op bytes off a shared ring may also be malformed and must fall through harmlessly.
-    default:
+    case NqeOp::kClose:
+    case NqeOp::kAccept:
+    case NqeOp::kRecvFrom:
+      // No reclaimable guest state and no guest thread waits on these; the
+      // drop counter is the whole story.
+      return false;
+    case NqeOp::kInvalid:
+    case NqeOp::kOpResult:
+    case NqeOp::kConnectResult:
+    case NqeOp::kAcceptedConn:
+    case NqeOp::kSendResult:
+    case NqeOp::kRecvData:
+    case NqeOp::kFinReceived:
+    case NqeOp::kSendToResult:
+    case NqeOp::kDgramRecv:
+    case NqeOp::kSendZcComplete:
+    case NqeOp::kDgramRecvZc:
+    case NqeOp::kNsmRehomed:
+    case NqeOp::kRegisterDevice:
+    case NqeOp::kDeregisterDevice:
+    case NqeOp::kHeartbeat:
+      // Not guest->nsm requests: nothing a guest could be answered for.
       return false;
   }
+  // A non-enumerator byte off a hostile ring matches no case above and
+  // leaves completion_op untouched: fall out harmlessly, no completion.
+  if (completion_op == NqeOp::kInvalid) return false;
   CoreEngine::VmReg* reg = engine_->FindVm(orig.vm_id);
   if (reg == nullptr || reg->dev == nullptr) return false;
 

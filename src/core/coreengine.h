@@ -49,11 +49,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/token_bucket.h"
+#include "src/guard/nqe_validator.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 #include "src/shm/nk_device.h"
@@ -139,6 +141,10 @@ struct CoreEngineConfig {
   bool work_stealing = true;
   uint64_t steal_backlog = 64;
   uint64_t steal_cooldown_rounds = 8;
+  // nkguard: adversarial-guest NQE validation at ring-consume time (see
+  // src/guard/nqe_validator.h for the threat model and checks). Enabled by
+  // default; the bench harness turns it off for the guard-off column.
+  guard::GuardConfig guard;
   tcp::NetkernelCosts costs;
 };
 
@@ -248,6 +254,13 @@ class CoreEngineShard {
   // blocked flag so later passes of the same round skip it.
   uint64_t PollVm(uint8_t vm_id, VmSched& vs, uint64_t limit, std::vector<Delivery>& plan,
                   Cycles& cost, SimTime* retry_at, bool* send_blocked, bool* job_blocked);
+  // nkguard admission at ring-consume time: scrubs guest-written flag bytes,
+  // validates the NQE against the protocol contract, and on violation
+  // consumes it from `ring` and handles the reject (error completion per
+  // policy, counters, flight event, quarantine trip). Returns true when the
+  // NQE was admitted and may be routed; false when it was consumed here.
+  bool GuardAdmit(shm::Nqe* nqe, shm::SpscRing<shm::Nqe>* ring, bool from_send_ring,
+                  uint8_t vm_id, uint8_t qset, std::vector<Delivery>& plan, Cycles& cost);
   // Routes one VM->NSM NQE; returns false if it must stay queued (throttled).
   bool RouteVmNqe(const shm::Nqe& nqe, bool from_send_ring, std::vector<Delivery>& plan,
                   Cycles& cost, SimTime* retry_at);
@@ -382,6 +395,18 @@ class CoreEngine {
   // regression is testable without switching four billion NQEs.
   void AddVmStatForTest(uint8_t vm_id, VmStatField field, uint64_t delta);
 
+  // ---- nkguard (adversarial-guest NQE validation) ----
+  // The validator shared by every shard (single-threaded DES; a real
+  // multi-core switch would shard its per-VM state with the queue sets).
+  guard::NqeValidator& validator() { return validator_; }
+  const guard::NqeValidator& validator() const { return validator_; }
+  // Invoked (deferred to a fresh event-loop instant, never mid-round) when a
+  // VM's violations trip the kQuarantine policy threshold. The host side
+  // owns deregistration and NSM-state teardown.
+  void SetQuarantineCallback(std::function<void(uint8_t)> cb) {
+    quarantine_cb_ = std::move(cb);
+  }
+
   // ---- Observability (nkobs) ----
   // Attaches the sampled NQE lifecycle tracer; shards take the T1 CE-dequeue
   // stamp on traced NQEs and fold the stamp cost into the round's CPU charge.
@@ -503,6 +528,8 @@ class CoreEngine {
 
   sim::EventLoop* loop_;
   CoreEngineConfig config_;
+  guard::NqeValidator validator_;
+  std::function<void(uint8_t)> quarantine_cb_;
   obs::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<CoreEngineShard>> shards_;
   std::unordered_map<uint8_t, VmReg> vms_;

@@ -775,15 +775,25 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
     // minimal allocation.
     if (nqe.Op() == NqeOp::kDgramRecv || nqe.Op() == NqeOp::kDgramRecvZc ||
         (nqe.Op() == NqeOp::kRecvData && nqe.size > 0)) {
-      pool_->Free(nqe.data_ptr);
+      // The offset comes off a shared ring: free only what the pool actually
+      // has allocated, or a forged completion aborts the whole guest.
+      if (pool_->IsAllocated(nqe.data_ptr)) {
+        pool_->Free(nqe.data_ptr);
+      } else {
+        ++guard_bad_frees_;
+      }
     }
     // CoreEngine-rejected send whose socket closed meanwhile: the payload
     // chunk was never consumed and still belongs to this guest.
     if ((nqe.Op() == NqeOp::kSendResult || nqe.Op() == NqeOp::kSendToResult ||
          nqe.Op() == NqeOp::kSendZcComplete) &&
         nqe.reserved[1] == shm::kNqeFlagChunkUnconsumed) {
-      pool_->Free(nqe.data_ptr);
-      ++send_credit_reclaims_;
+      if (pool_->IsAllocated(nqe.data_ptr)) {
+        pool_->Free(nqe.data_ptr);
+        ++send_credit_reclaims_;
+      } else {
+        ++guard_bad_frees_;
+      }
     }
     if (nqe.Op() == NqeOp::kSendZcComplete) ++zc_completions_;
     if (nqe.Op() == NqeOp::kSendToResult &&
@@ -817,8 +827,12 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
         // beyond the pending bound): reclaim the untouched payload chunk.
         // A lost stream write breaks the byte stream, so the TCP socket is
         // errored; a lost datagram is ordinary UDP loss.
-        pool_->Free(nqe.data_ptr);
-        ++send_credit_reclaims_;
+        if (pool_->IsAllocated(nqe.data_ptr)) {
+          pool_->Free(nqe.data_ptr);
+          ++send_credit_reclaims_;
+        } else {
+          ++guard_bad_frees_;
+        }
         if (nqe.Op() == NqeOp::kSendResult) {
           g->error = true;
           g->err = static_cast<int32_t>(nqe.size);
@@ -834,8 +848,12 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
       g->send_usage = g->send_usage > bytes ? g->send_usage - bytes : 0;
       ++zc_completions_;
       if (nqe.reserved[1] == shm::kNqeFlagChunkUnconsumed) {
-        pool_->Free(nqe.data_ptr);
-        ++send_credit_reclaims_;
+        if (pool_->IsAllocated(nqe.data_ptr)) {
+          pool_->Free(nqe.data_ptr);
+          ++send_credit_reclaims_;
+        } else {
+          ++guard_bad_frees_;
+        }
         // A lost zero-copy stream write breaks the byte stream.
         g->error = true;
         g->err = static_cast<int32_t>(nqe.size);
@@ -871,8 +889,29 @@ void GuestLib::ApplyInbound(const Nqe& nqe) {
       // as a routed case so a handle collision still applies it.
       OnNsmRehomed(static_cast<uint8_t>(nqe.op_data));
       break;
-    // nklint-allow(switch-default): the op byte comes off a shared ring a buggy or hostile NSM writes; request-direction or malformed ops must be ignored, not UB.
-    default:
+    case NqeOp::kInvalid:
+    case NqeOp::kSocket:
+    case NqeOp::kBind:
+    case NqeOp::kListen:
+    case NqeOp::kConnect:
+    case NqeOp::kAccept:
+    case NqeOp::kSetsockopt:
+    case NqeOp::kGetsockopt:
+    case NqeOp::kIoctl:
+    case NqeOp::kShutdown:
+    case NqeOp::kClose:
+    case NqeOp::kSend:
+    case NqeOp::kSocketUdp:
+    case NqeOp::kBindUdp:
+    case NqeOp::kSendTo:
+    case NqeOp::kRecvFrom:
+    case NqeOp::kSendZc:
+    case NqeOp::kSendToZc:
+    case NqeOp::kRegisterDevice:
+    case NqeOp::kDeregisterDevice:
+    case NqeOp::kHeartbeat:
+      // Request-direction and control ops never arrive on completion/receive
+      // rings; a buggy or hostile NSM-side writer is ignored, not UB.
       break;
   }
   g->ev->NotifyAll();

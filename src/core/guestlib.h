@@ -133,6 +133,10 @@ class GuestLib : public SocketApi {
   // teardown FIN — each of the latter is a reconnect the application owes.
   uint64_t nsm_rehomes() const { return nsm_rehomes_; }
   uint64_t reconnects_required() const { return reconnects_required_; }
+  // Inbound NQEs that told this guest to free a chunk it does not own (bad
+  // offset or already free) — refused instead of aborting the pool. Nonzero
+  // means a hostile or corrupted NSM-side writer (nkguard's guest-side twin).
+  uint64_t guard_bad_frees() const { return guard_bad_frees_; }
 
   // Attaches the sampled NQE lifecycle tracer: T0 (guest-enqueue) stamps when
   // an NQE enters a ring, T4 (guest-reap) when its completion is applied.
@@ -248,6 +252,7 @@ class GuestLib : public SocketApi {
   uint64_t dgram_zc_completions_ = 0;
   uint64_t dgram_zc_recvs_ = 0;
   uint64_t nsm_rehomes_ = 0;
+  uint64_t guard_bad_frees_ = 0;
   uint64_t reconnects_required_ = 0;
 };
 

@@ -24,6 +24,17 @@ Host::Host(sim::EventLoop* loop, netsim::Fabric* fabric, std::string name, Optio
   ce_ = std::make_unique<CoreEngine>(loop_, std::move(core_ptrs), options_.ce);
   ce_->SetTracer(tracer_.get());
   failover_recorder_ = std::make_unique<obs::FlightRecorder>(loop_, name_ + ".failover");
+  // nkguard: when GuardPolicy::kQuarantine trips inside a shard, finish the
+  // job host-side — deregister the offender and evict its NSM state. The
+  // callback fires from a deferred event, never mid-poll.
+  ce_->SetQuarantineCallback([this](uint8_t vm_id) {
+    for (auto& vm : vms_) {
+      if (vm->id() == vm_id) {
+        QuarantineVm(vm.get());
+        return;
+      }
+    }
+  });
 }
 
 netsim::IpAddr Host::AllocIp() {
@@ -111,6 +122,9 @@ Vm* Host::CreateNetkernelVm(const std::string& name, int vcpus, Nsm* nsm,
   vm->pool_ = std::make_unique<shm::HugepagePool>(hugepage_bytes);
   ce_->RegisterVmDevice(vm->id_, vm->dev_.get());
   ce_->AssignVmToNsm(vm->id_, nsm->id_);
+  // nkguard: hand the validator this VM's pool so chunk ownership, replay
+  // and datagram credit checks apply to everything it submits.
+  ce_->validator().RegisterVmPool(vm->id_, vm->pool_.get());
 
   std::vector<sim::CpuCore*> core_ptrs;
   for (auto& c : vm->cores_) core_ptrs.push_back(c.get());
@@ -247,6 +261,26 @@ void Host::BuildMetricsRegistry(obs::MetricsRegistry* registry) const {
     registry->RegisterCounter(gp + "reconnects_required",
                               [g] { return double(g->reconnects_required()); },
                               "stream sockets errored by NSM-teardown FINs");
+    registry->RegisterCounter(gp + "guard_bad_frees",
+                              [g] { return double(g->guard_bad_frees()); },
+                              "inbound chunk frees refused (bad offset or double free)");
+
+    // Per-VM validator verdicts (nkguard).
+    const std::string qp = "guard.vm" + std::to_string(id) + ".";
+    registry->RegisterCounter(qp + "rejects",
+                              [ce, id] { return double(ce->validator().VmStats(id).rejects); });
+    registry->RegisterCounter(qp + "bad_op",
+                              [ce, id] { return double(ce->validator().VmStats(id).bad_op); });
+    registry->RegisterCounter(
+        qp + "bad_identity", [ce, id] { return double(ce->validator().VmStats(id).bad_identity); });
+    registry->RegisterCounter(qp + "bad_chunk",
+                              [ce, id] { return double(ce->validator().VmStats(id).bad_chunk); });
+    registry->RegisterCounter(qp + "replayed_chunk", [ce, id] {
+      return double(ce->validator().VmStats(id).replayed_chunk);
+    });
+    registry->RegisterCounter(qp + "credit_violations", [ce, id] {
+      return double(ce->validator().VmStats(id).credit_violations);
+    });
   }
   for (const auto& nsm : nsms_) {
     const std::string np = "nsm" + std::to_string(nsm->id_) + ".";
@@ -306,6 +340,8 @@ void Host::BuildMetricsRegistry(obs::MetricsRegistry* registry) const {
                                 "liveness beacons this NSM sent to CoreEngine");
       registry->RegisterCounter(sp + "flight_events",
                                 [sl] { return double(sl->recorder().total_recorded()); });
+      registry->RegisterCounter(sp + "guard_drops", [sl] { return double(sl->guard_drops()); },
+                                "NQEs refused by the NSM-side guard prefilter or evictions");
     }
     // Shared-memory NSMs (pure pool-to-pool copying) carry their own, smaller
     // counter set; before this block their drops and doorbells were invisible
@@ -320,8 +356,36 @@ void Host::BuildMetricsRegistry(obs::MetricsRegistry* registry) const {
       registry->RegisterCounter(sp + "doorbells", [sh] { return double(sh->doorbells()); });
       registry->RegisterCounter(sp + "doorbells_coalesced",
                                 [sh] { return double(sh->doorbells_coalesced()); });
+      registry->RegisterCounter(sp + "guard_drops", [sh] { return double(sh->guard_drops()); },
+                                "NQEs refused by the NSM-side guard prefilter or detaches");
     }
   }
+  // nkguard validator surface (guard.* namespace, aggregate over all VMs).
+  const guard::GuardStats* gs = &ce_->validator().stats();
+  registry->RegisterCounter("guard.validated", [gs] { return double(gs->validated); },
+                            "guest NQEs admitted at the ring boundary");
+  registry->RegisterCounter("guard.rejects", [gs] { return double(gs->rejects); },
+                            "guest NQEs refused at the ring boundary");
+  registry->RegisterCounter("guard.bad_op", [gs] { return double(gs->bad_op); },
+                            "ops not admissible for their ring/direction");
+  registry->RegisterCounter("guard.bad_identity", [gs] { return double(gs->bad_identity); },
+                            "NQEs with a forged vm_id/queue_set (corrected in place)");
+  registry->RegisterCounter("guard.bad_chunk", [gs] { return double(gs->bad_chunk); },
+                            "chunk references outside the owning pool or unallocated");
+  registry->RegisterCounter("guard.replayed_chunk", [gs] { return double(gs->replayed_chunk); },
+                            "resubmissions of an already-consumed chunk incarnation");
+  registry->RegisterCounter("guard.credit_violations",
+                            [gs] { return double(gs->credit_violations); },
+                            "datagram receive credits claimed beyond what was delivered");
+  registry->RegisterCounter("guard.flags_scrubbed", [gs] { return double(gs->flags_scrubbed); },
+                            "guest NQEs whose reserved flag bytes were zeroed at consume");
+  registry->RegisterCounter("guard.nsm_bad_op", [gs] { return double(gs->nsm_bad_op); },
+                            "NSM-emitted NQEs with ops outside the nsm->guest contract");
+  registry->RegisterCounter("guard.quarantines", [gs] { return double(gs->quarantines); },
+                            "VMs tripped into quarantine by repeat violations");
+  registry->RegisterCounter("guard.quarantine_drops",
+                            [gs] { return double(gs->quarantine_drops); },
+                            "NQEs drained from quarantined VMs' rings");
   // Failover controller surface (ce.* namespace: failover acts on the switch).
   const FailoverStats* fs = &failover_stats_;
   registry->RegisterCounter("ce.nsm_failovers", [fs] { return double(fs->nsm_failovers); },
@@ -519,6 +583,114 @@ void Host::RehomeVm(Vm* vm, Nsm* to) {
   }
   vm->nsm_ = to;
   EmitRehomeNqe(vm, to->id());
+}
+
+void Host::QuarantineVm(Vm* vm) {
+  NK_CHECK(vm != nullptr);
+  if (!vm->netkernel_mode() || vm->quarantined_) return;
+  const uint8_t vm_id = vm->id();
+  vm->quarantined_ = true;
+  // Mark in the validator first: any NQE of this VM still inside a polling
+  // round drains as a quarantine drop instead of dispatching.
+  ce_->validator().SetQuarantined(vm_id, true);
+  // Pull the device out of the switch — co-tenants' DRR slots simply stop
+  // seeing this VM. Pending in-switch deliveries toward it unwind through
+  // the usual FailVmNqe error path.
+  ce_->DeregisterVmDevice(vm_id);
+  // Sweep whatever the deregistered rings still hold: nothing polls them
+  // until an un-quarantine, and a send-family NQE parked there pins a live
+  // hugepage chunk. Each carried chunk unwinds like a CE error completion
+  // (unconsumed flag, credit in op_data) so the still-running GuestLib frees
+  // it and reclaims the send credit; if the completion ring is full the chunk
+  // goes straight back to the pool and only the credit pairing relaxes.
+  for (int qs = 0; qs < vm->dev_->num_queue_sets(); ++qs) {
+    shm::QueueSet& q = vm->dev_->queue_set(qs);
+    shm::Nqe nqe;
+    auto sweep = [&](shm::SpscRing<shm::Nqe>& ring) {
+      while (ring.TryDequeue(&nqe)) {
+        shm::NqeOp comp = shm::NqeOp::kInvalid;
+        switch (nqe.Op()) {
+          case shm::NqeOp::kSend: comp = shm::NqeOp::kSendResult; break;
+          case shm::NqeOp::kSendZc: comp = shm::NqeOp::kSendZcComplete; break;
+          case shm::NqeOp::kSendTo:
+          case shm::NqeOp::kSendToZc: comp = shm::NqeOp::kSendToResult; break;
+          case shm::NqeOp::kInvalid:
+          case shm::NqeOp::kSocket:
+          case shm::NqeOp::kBind:
+          case shm::NqeOp::kListen:
+          case shm::NqeOp::kConnect:
+          case shm::NqeOp::kAccept:
+          case shm::NqeOp::kSetsockopt:
+          case shm::NqeOp::kGetsockopt:
+          case shm::NqeOp::kIoctl:
+          case shm::NqeOp::kShutdown:
+          case shm::NqeOp::kClose:
+          case shm::NqeOp::kSocketUdp:
+          case shm::NqeOp::kBindUdp:
+          case shm::NqeOp::kRecvFrom:
+          case shm::NqeOp::kOpResult:
+          case shm::NqeOp::kConnectResult:
+          case shm::NqeOp::kAcceptedConn:
+          case shm::NqeOp::kSendResult:
+          case shm::NqeOp::kRecvData:
+          case shm::NqeOp::kFinReceived:
+          case shm::NqeOp::kSendToResult:
+          case shm::NqeOp::kDgramRecv:
+          case shm::NqeOp::kSendZcComplete:
+          case shm::NqeOp::kDgramRecvZc:
+          case shm::NqeOp::kNsmRehomed:
+          case shm::NqeOp::kRegisterDevice:
+          case shm::NqeOp::kDeregisterDevice:
+          case shm::NqeOp::kHeartbeat:
+            break;  // no chunk pinned: drains valueless
+        }
+        // Non-enumerator bytes off the hostile ring match no case and drain
+        // valueless too.
+        if (comp == shm::NqeOp::kInvalid) continue;
+        if (!vm->pool_->IsAllocated(nqe.data_ptr)) continue;
+        shm::Nqe resp = shm::MakeNqe(comp, vm_id, nqe.queue_set, nqe.vm_sock);
+        resp.size = static_cast<uint32_t>(kCeNetUnreach);
+        resp.reserved[0] = nqe.op;
+        resp.reserved[1] = shm::kNqeFlagChunkUnconsumed;
+        resp.op_data = nqe.size;  // send credit to return
+        resp.data_ptr = nqe.data_ptr;
+        if (!q.completion.TryEnqueue(resp)) vm->pool_->Free(nqe.data_ptr);
+      }
+    };
+    sweep(q.send);
+    sweep(q.job);
+  }
+  vm->dev_->Wake();
+  // Every NSM the VM ever attached to evicts its state; in-flight chunks
+  // return to the VM's pool, which the VM keeps through the quarantine.
+  for (Nsm* n : vm->attached_nsms_) {
+    if (n->kind() == NsmKind::kShm) {
+      if (n->shm_servicelib() != nullptr) n->shm_servicelib()->DetachVm(vm_id);
+    } else {
+      if (n->servicelib() != nullptr) n->servicelib()->EvictVm(vm_id);
+    }
+  }
+  failover_recorder_->Record(obs::FlightEventType::kVmQuarantined, vm_id, 0, 0, 0,
+                             ce_->validator().VmStats(vm_id).rejects);
+}
+
+void Host::UnquarantineVm(Vm* vm) {
+  NK_CHECK(vm != nullptr);
+  if (!vm->netkernel_mode() || !vm->quarantined_) return;
+  const uint8_t vm_id = vm->id();
+  Nsm* nsm = vm->nsm_;
+  NK_CHECK(nsm != nullptr);
+  vm->quarantined_ = false;
+  // Clear the validator verdict history (violation count resets; the chunk
+  // replay ledger stays — generations only move forward) and re-admit.
+  ce_->validator().SetQuarantined(vm_id, false);
+  ce_->RegisterVmDevice(vm_id, vm->dev_.get());
+  ce_->AssignVmToNsm(vm_id, nsm->id());
+  // Re-attach exactly like a failover re-home: same address, fresh NSM-side
+  // state, and a kNsmRehomed nudge so the guest replays its datagram
+  // sockets. Stream connections died with the eviction and surface to the
+  // app as errored FINs / reconnects.
+  RehomeVm(vm, nsm);
 }
 
 void Host::EmitRehomeNqe(Vm* vm, uint8_t new_nsm_id) {

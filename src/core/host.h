@@ -98,6 +98,10 @@ class Vm {
   udp::UdpStack* guest_udp_stack() { return udp_stack_.get(); }
   Nsm* nsm() { return nsm_; }
   shm::HugepagePool* pool() { return pool_.get(); }
+  shm::NkDevice* dev() { return dev_.get(); }
+  // nkguard: quarantined VMs are deregistered from the switch (see
+  // Host::QuarantineVm) but keep their device, pool and GuestLib.
+  bool quarantined() const { return quarantined_; }
 
   // The address this VM's connections use on a given NSM. Multi-NSM setups
   // (Table 4) give the VM one alias address per NSM so the fabric can route
@@ -137,6 +141,7 @@ class Vm {
   std::unique_ptr<udp::UdpStack> udp_stack_;
   std::unique_ptr<BaselineSocketApi> baseline_;
   netsim::Nic* vnic_ = nullptr;
+  bool quarantined_ = false;
 };
 
 class Host {
@@ -217,6 +222,19 @@ class Host {
   // each guest with kNsmRehomed. Returns the number of VMs re-homed; no-op
   // (returns 0) without a standby.
   size_t FailoverNsm(Nsm* sick);
+
+  // ---- nkguard quarantine ----
+  // Pulls a misbehaving VM out of the datapath without disturbing
+  // co-tenants: its device deregisters from the CoreEngine, every NSM it
+  // attached to evicts its state (in-flight chunks reclaimed into its
+  // still-owned pool), and the validator marks it so any residual ring
+  // entries drain unrouted. The VM object, device, pool and GuestLib stay —
+  // UnquarantineVm re-registers the device, re-attaches the NSM and replays
+  // datagram state through the usual kNsmRehomed path. The CoreEngine
+  // triggers this automatically through the quarantine callback when
+  // GuardPolicy::kQuarantine trips; tests and operators call it directly.
+  void QuarantineVm(Vm* vm);
+  void UnquarantineVm(Vm* vm);
 
   const FailoverStats& failover_stats() const { return failover_stats_; }
   // Per-failover blackout: how long the sick NSM was dark before the standby

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/common/check.h"
+#include "src/guard/nqe_validator.h"
 
 namespace netkernel::core {
 
@@ -49,7 +50,10 @@ void ServiceLib::AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr
                                                            uint8_t** data, uint32_t* cap) {
     if (!*alive) return false;
     auto it = vms_.find(vm_id);
-    if (it == vms_.end()) return false;
+    // An evicted (quarantined) VM must not grow its footprint: refusing the
+    // alloc makes the stack fall back to its own buffering, and the eviction
+    // sweep has already reclaimed what the pool held.
+    if (it == vms_.end() || it->second.evicted) return false;
     shm::HugepagePool* p = it->second.pool;
     uint32_t want = std::min<uint32_t>(size > 0 ? size : 1, shm::HugepagePool::kMaxChunk);
     uint64_t off = p->Alloc(want);
@@ -235,6 +239,22 @@ void ServiceLib::ProcessQueueSet(int qs) {
 }
 
 void ServiceLib::Dispatch(const Nqe& nqe) {
+  // nkguard boundary: only guest->NSM request verbs may dispatch. The
+  // CoreEngine validator already refuses everything else at ring-consume
+  // time, so anything that still lands here (a harness bypassing the switch,
+  // a rehome race) is dropped and counted rather than poking stack state.
+  if (!guard::IsGuestToNsmOp(nqe.Op())) {
+    ++guard_drops_;
+    return;
+  }
+  // A quarantined VM's in-flight stragglers unwind their payload chunks into
+  // its still-reachable pool instead of dispatching against torn-down state.
+  auto evit = vms_.find(nqe.vm_id);
+  if (evit != vms_.end() && evit->second.evicted) {
+    ++guard_drops_;
+    FreeNqeChunk(nqe);
+    return;
+  }
   switch (nqe.Op()) {
     case NqeOp::kSocket:
       DoSocket(nqe);
@@ -245,9 +265,37 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
     case NqeOp::kAccept:
       DoAcceptLink(nqe);
       return;
-    // nklint-allow(switch-default): prefilter for the ops that create state; everything else falls through to the socket lookup below.
-    default:
-      break;
+    case NqeOp::kBind:
+    case NqeOp::kBindUdp:
+    case NqeOp::kListen:
+    case NqeOp::kConnect:
+    case NqeOp::kSend:
+    case NqeOp::kSendZc:
+    case NqeOp::kSendTo:
+    case NqeOp::kSendToZc:
+    case NqeOp::kRecvFrom:
+    case NqeOp::kClose:
+    case NqeOp::kSetsockopt:
+    case NqeOp::kGetsockopt:
+    case NqeOp::kIoctl:
+    case NqeOp::kShutdown:
+      break;  // per-socket verbs: resolved against the conn table below
+    case NqeOp::kInvalid:
+    case NqeOp::kOpResult:
+    case NqeOp::kConnectResult:
+    case NqeOp::kAcceptedConn:
+    case NqeOp::kSendResult:
+    case NqeOp::kRecvData:
+    case NqeOp::kFinReceived:
+    case NqeOp::kSendToResult:
+    case NqeOp::kDgramRecv:
+    case NqeOp::kSendZcComplete:
+    case NqeOp::kDgramRecvZc:
+    case NqeOp::kNsmRehomed:
+    case NqeOp::kRegisterDevice:
+    case NqeOp::kDeregisterDevice:
+    case NqeOp::kHeartbeat:
+      return;  // excluded by the IsGuestToNsmOp prefilter above
   }
   Conn* c = FindByVm(nqe.vm_id, nqe.vm_sock);
   if (c == nullptr) {
@@ -308,9 +356,25 @@ void ServiceLib::Dispatch(const Nqe& nqe) {
     case NqeOp::kShutdown:
       Respond(*c, NqeOp::kOpResult, nqe.Op(), 0);
       break;
-    // nklint-allow(switch-default): the op byte comes off a shared ring a buggy or hostile guest writes; completion-direction or malformed ops must be dropped here, not UB.
-    default:
-      break;
+    case NqeOp::kSocket:
+    case NqeOp::kSocketUdp:
+    case NqeOp::kAccept:
+    case NqeOp::kInvalid:
+    case NqeOp::kOpResult:
+    case NqeOp::kConnectResult:
+    case NqeOp::kAcceptedConn:
+    case NqeOp::kSendResult:
+    case NqeOp::kRecvData:
+    case NqeOp::kFinReceived:
+    case NqeOp::kSendToResult:
+    case NqeOp::kDgramRecv:
+    case NqeOp::kSendZcComplete:
+    case NqeOp::kDgramRecvZc:
+    case NqeOp::kNsmRehomed:
+    case NqeOp::kRegisterDevice:
+    case NqeOp::kDeregisterDevice:
+    case NqeOp::kHeartbeat:
+      break;  // handled or excluded before the conn lookup
   }
 }
 
@@ -1076,6 +1140,105 @@ void ServiceLib::Shutdown() {
   by_vm_.clear();
   by_sid_.clear();
   by_usid_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// nkguard quarantine: per-VM eviction
+// ---------------------------------------------------------------------------
+
+void ServiceLib::EvictVm(uint8_t vm_id) {
+  auto vmit = vms_.find(vm_id);
+  if (vmit == vms_.end() || vmit->second.evicted) return;
+  // Mark first: any callback fired by the teardown below (rx allocator
+  // alloc, zc frees) sees the eviction and refuses to grow new state.
+  vmit->second.evicted = true;
+  shm::HugepagePool* pool = vmit->second.pool;
+
+  // 1. Abort the VM's stream connections (Shutdown step 1, scoped to one
+  //    VM): queued-but-unadmitted TX chunks free here; zc chunks still in
+  //    the stack's send buffer fire their exactly-once free callbacks.
+  std::vector<tcp::SocketId> sids;
+  for (auto& [sid, conn] : by_sid_) {
+    if (conn->vm_id == vm_id) sids.push_back(sid);
+  }
+  for (tcp::SocketId sid : sids) {
+    Conn* c = FindBySid(sid);
+    if (c == nullptr) continue;
+    for (const PendingTx& tx : c->pending_tx) pool->Free(tx.ptr);
+    c->pending_tx.clear();
+    stack_->SetCallbacks(sid, {});
+    if (stack_->Exists(sid)) {
+      if (c->listener) {
+        stack_->Close(sid);
+      } else {
+        stack_->Abort(sid);
+      }
+    }
+    by_vm_.erase(VmKey(vm_id, c->vm_sock));
+    by_sid_.erase(sid);
+  }
+
+  // 2. Close the VM's datagram sockets: UdpStack frees pool-landed queued
+  //    datagrams through the rx allocator's free hook.
+  std::vector<udp::SocketId> usids;
+  for (auto& [usid, conn] : by_usid_) {
+    if (conn->vm_id == vm_id) usids.push_back(usid);
+  }
+  for (udp::SocketId usid : usids) {
+    Conn* c = FindByUsid(usid);
+    if (c == nullptr) continue;
+    if (udp_stack_ != nullptr) udp_stack_->Close(usid);
+    by_vm_.erase(VmKey(vm_id, c->vm_sock));
+    by_usid_.erase(usid);
+  }
+
+  // 3. Sweep the VM's NQEs out of the (shared) device rings, returning
+  //    payload chunks to its pool; co-tenant NQEs are re-enqueued in order.
+  //    The single-threaded DES makes the consumer-side drain-and-refill
+  //    safe, and a full drain guarantees the re-enqueues fit.
+  Nqe nqe;
+  for (int qs = 0; qs < dev_->num_queue_sets(); ++qs) {
+    shm::QueueSet& q = dev_->queue_set(qs);
+    const auto sweep = [&](shm::SpscRing<Nqe>& ring, auto reclaim) {
+      std::vector<Nqe> keep;
+      while (ring.TryDequeue(&nqe)) {
+        if (nqe.vm_id == vm_id) {
+          reclaim(nqe);
+        } else {
+          keep.push_back(nqe);
+        }
+      }
+      for (const Nqe& k : keep) NK_CHECK(ring.TryEnqueue(k));
+    };
+    sweep(q.send, [&](const Nqe& n) { FreeNqeChunk(n); });
+    sweep(q.job, [&](const Nqe& n) { FreeNqeChunk(n); });
+    sweep(q.receive, [&](const Nqe& n) {
+      if ((n.Op() == NqeOp::kRecvData || n.Op() == NqeOp::kDgramRecv ||
+           n.Op() == NqeOp::kDgramRecvZc) &&
+          pool->IsAllocated(n.data_ptr)) {
+        pool->Free(n.data_ptr);
+      }
+    });
+    sweep(q.completion, [&](const Nqe& n) {
+      // A completion still carrying its (unconsumed) chunk owns it.
+      if (n.reserved[1] == shm::kNqeFlagChunkUnconsumed && pool->IsAllocated(n.data_ptr)) {
+        pool->Free(n.data_ptr);
+      }
+    });
+  }
+
+  // 4. Orphan sends parked for an accept-link that will never arrive.
+  for (auto it = orphan_sends_.begin(); it != orphan_sends_.end();) {
+    if (static_cast<uint8_t>(it->first >> 32) == vm_id) {
+      for (const Nqe& orphan : it->second) FreeNqeChunk(orphan);
+      it = orphan_sends_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  recorder_.Record(obs::FlightEventType::kShutdownDrain, vm_id, 0, 0, 0,
+                   sids.size() + usids.size());
 }
 
 }  // namespace netkernel::core

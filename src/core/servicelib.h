@@ -56,6 +56,16 @@ class ServiceLib {
   void AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr vm_ip);
   void DetachVm(uint8_t vm_id);
 
+  // Per-VM mirror of Shutdown() for nkguard quarantine: tears down exactly
+  // one VM's NSM-side state — its stream connections aborted (zc frees
+  // fire), dgram sockets closed, its NQEs swept out of the device rings with
+  // payload chunks returned to its pool, orphan sends freed — while every
+  // co-tenant's connections and ring entries stay untouched. The VmInfo
+  // entry is kept (marked evicted) so stragglers already charged to a stack
+  // core unwind their chunks into the pool instead of leaking; a later
+  // AttachVm reinstates the VM cleanly.
+  void EvictVm(uint8_t vm_id);
+
   // Kills this NSM with recoverable accounting: call after the device was
   // deregistered from CoreEngine. Every connection is aborted (firing the
   // exactly-once free callbacks of zc chunks still queued in the stack),
@@ -96,6 +106,10 @@ class ServiceLib {
   uint64_t nqes_processed() const { return nqes_processed_; }
   // NSM->VM NQEs lost to a full NSM-side ring (severe overload).
   uint64_t nqes_dropped() const { return nqes_dropped_; }
+  // Inbound NQEs refused by the guest->nsm prefilter (defense in depth
+  // behind nkguard — nonzero means something got past the CoreEngine) or
+  // unwound because their VM was evicted mid-flight.
+  uint64_t guard_drops() const { return guard_drops_; }
   // RX zero-copy accounting: kRecvData ships that detached the stack's own
   // pool chunk (no rcvbuf->hugepage copy) vs ships that had to copy because
   // the pool was exhausted when the segment landed (heap fallback chunk) or
@@ -123,6 +137,10 @@ class ServiceLib {
   struct VmInfo {
     shm::HugepagePool* pool = nullptr;
     netsim::IpAddr ip = 0;
+    // Quarantined (EvictVm'd) VM: the entry stays so in-flight dispatch
+    // stragglers can still unwind chunks into the pool, but no new state is
+    // built and the rx allocator refuses new landings.
+    bool evicted = false;
     tcp::CcFactory cc_factory;  // optional override
     // Chunk allocator handed to the stacks so inbound bytes land directly in
     // this VM's hugepage pool (the RX zero-copy datapath). Shared by every
@@ -240,6 +258,7 @@ class ServiceLib {
   obs::FlightRecorder recorder_;
   uint64_t nqes_processed_ = 0;
   uint64_t nqes_dropped_ = 0;
+  uint64_t guard_drops_ = 0;
   uint64_t rx_zc_ships_ = 0;
   uint64_t rx_copy_ships_ = 0;
   uint64_t dgram_zc_ships_ = 0;

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/guard/nqe_validator.h"
 #include "src/udpstack/udp_types.h"
 
 namespace netkernel::core {
@@ -100,6 +101,13 @@ void ShmServiceLib::ProcessQueueSet(int qs) {
 }
 
 void ShmServiceLib::Dispatch(const Nqe& nqe) {
+  // nkguard boundary: only guest->NSM request verbs may dispatch (the
+  // CoreEngine validator already refuses everything else at ring-consume
+  // time; this is defense in depth for harnesses that bypass the switch).
+  if (!guard::IsGuestToNsmOp(nqe.Op())) {
+    ++guard_drops_;
+    return;
+  }
   switch (nqe.Op()) {
     case NqeOp::kSocket: {
       auto ep = std::make_unique<Endpoint>();
@@ -148,9 +156,37 @@ void ShmServiceLib::Dispatch(const Nqe& nqe) {
       if (peer != nullptr) PumpCopy(peer->ep_id);  // peer may have queued data
       return;
     }
-    // nklint-allow(switch-default): prefilter for the ops that create state; everything else falls through to the endpoint lookup below.
-    default:
-      break;
+    case NqeOp::kBind:
+    case NqeOp::kBindUdp:
+    case NqeOp::kListen:
+    case NqeOp::kConnect:
+    case NqeOp::kSend:
+    case NqeOp::kSendZc:
+    case NqeOp::kSendTo:
+    case NqeOp::kSendToZc:
+    case NqeOp::kRecvFrom:
+    case NqeOp::kClose:
+    case NqeOp::kSetsockopt:
+    case NqeOp::kGetsockopt:
+    case NqeOp::kIoctl:
+    case NqeOp::kShutdown:
+      break;  // per-socket verbs: resolved against the endpoint table below
+    case NqeOp::kInvalid:
+    case NqeOp::kOpResult:
+    case NqeOp::kConnectResult:
+    case NqeOp::kAcceptedConn:
+    case NqeOp::kSendResult:
+    case NqeOp::kRecvData:
+    case NqeOp::kFinReceived:
+    case NqeOp::kSendToResult:
+    case NqeOp::kDgramRecv:
+    case NqeOp::kSendZcComplete:
+    case NqeOp::kDgramRecvZc:
+    case NqeOp::kNsmRehomed:
+    case NqeOp::kRegisterDevice:
+    case NqeOp::kDeregisterDevice:
+    case NqeOp::kHeartbeat:
+      return;  // excluded by the IsGuestToNsmOp prefilter above
   }
 
   Endpoint* ep = FindByVm(nqe.vm_id, nqe.vm_sock);
@@ -192,10 +228,46 @@ void ShmServiceLib::Dispatch(const Nqe& nqe) {
       MaybeFinishClose(ep->ep_id);
       return;
     }
-    // nklint-allow(switch-default): the op byte comes off a shared ring a buggy or hostile guest writes; setsockopt-family and malformed ops alike get a benign kOpResult.
-    default:
+    case NqeOp::kSendTo:
+    case NqeOp::kSendToZc: {
+      // No datagram transport here (kSocketUdp fails), so a stray datagram
+      // send cannot be delivered — but its payload chunk must not strand.
+      auto vit = vms_.find(ep->vm_id);
+      if (vit != vms_.end() && vit->second.pool->IsAllocated(nqe.data_ptr)) {
+        vit->second.pool->Free(nqe.data_ptr);
+      }
+      Respond(*ep, NqeOp::kOpResult, nqe.Op(), udp::kBadSocket);
+      return;
+    }
+    case NqeOp::kBindUdp:
+    case NqeOp::kRecvFrom:
+    case NqeOp::kSetsockopt:
+    case NqeOp::kGetsockopt:
+    case NqeOp::kIoctl:
+    case NqeOp::kShutdown:
+      // Setsockopt-family verbs (and dgram verbs with no transport behind
+      // them) get a benign kOpResult.
       Respond(*ep, NqeOp::kOpResult, nqe.Op(), 0);
       return;
+    case NqeOp::kSocket:
+    case NqeOp::kSocketUdp:
+    case NqeOp::kAccept:
+    case NqeOp::kInvalid:
+    case NqeOp::kOpResult:
+    case NqeOp::kConnectResult:
+    case NqeOp::kAcceptedConn:
+    case NqeOp::kSendResult:
+    case NqeOp::kRecvData:
+    case NqeOp::kFinReceived:
+    case NqeOp::kSendToResult:
+    case NqeOp::kDgramRecv:
+    case NqeOp::kSendZcComplete:
+    case NqeOp::kDgramRecvZc:
+    case NqeOp::kNsmRehomed:
+    case NqeOp::kRegisterDevice:
+    case NqeOp::kDeregisterDevice:
+    case NqeOp::kHeartbeat:
+      return;  // handled or excluded before the endpoint lookup
   }
 }
 
@@ -261,7 +333,10 @@ void ShmServiceLib::PumpCopy(uint64_t src_ep_id) {
   core->Charge(copy, [this, src_ep_id, chunk, doff, spool, dpool] {
     Endpoint* src2 = FindByEp(src_ep_id);
     if (src2 == nullptr) {
+      // Endpoint torn down mid-copy (DetachVm): unwind both sides — the
+      // destination landing chunk and the still-allocated source chunk.
       dpool->Free(doff);
+      if (spool->IsAllocated(chunk.ptr)) spool->Free(chunk.ptr);
       return;
     }
     src2->copy_pending = false;
@@ -300,6 +375,85 @@ void ShmServiceLib::MaybeFinishClose(uint64_t ep_id) {
   by_vm_.erase(VmKey(ep->vm_id, ep->vm_sock));
   eps_.erase(ep_id);
   if (peer_id != 0) DeliverFin(peer_id, 0);
+}
+
+void ShmServiceLib::DetachVm(uint8_t vm_id) {
+  auto vit = vms_.find(vm_id);
+  if (vit == vms_.end()) return;
+  shm::HugepagePool* pool = vit->second.pool;
+
+  // 1. Close the VM's endpoints: queued copy chunks return to its pool,
+  //    listener entries unlink, peers get a reset-FIN. In-flight copies
+  //    unwind in their completion lambda (src endpoint gone -> both chunks
+  //    free through the captured pool pointers).
+  std::vector<uint64_t> victims;
+  for (auto& [id, ep] : eps_) {
+    if (ep->vm_id == vm_id) victims.push_back(id);
+  }
+  for (uint64_t id : victims) {
+    Endpoint* ep = FindByEp(id);
+    if (ep == nullptr) continue;
+    for (const PendingChunk& chunk : ep->pending) {
+      if (pool->IsAllocated(chunk.ptr)) pool->Free(chunk.ptr);
+    }
+    ep->pending.clear();
+    if (ep->listening) {
+      listeners_.erase((static_cast<uint64_t>(ep->bound_ip) << 16) | ep->bound_port);
+    }
+    uint64_t peer_id = ep->peer;
+    by_vm_.erase(VmKey(ep->vm_id, ep->vm_sock));
+    eps_.erase(id);
+    if (peer_id != 0) DeliverFin(peer_id, tcp::kConnReset);
+  }
+
+  // 2. Sweep the VM's NQEs out of the shared device rings; co-tenant NQEs
+  //    re-enqueue in order (full drain guarantees they fit).
+  Nqe nqe;
+  for (int qs = 0; qs < dev_->num_queue_sets(); ++qs) {
+    shm::QueueSet& q = dev_->queue_set(qs);
+    const auto sweep = [&](shm::SpscRing<Nqe>& ring, auto reclaim) {
+      std::vector<Nqe> keep;
+      while (ring.TryDequeue(&nqe)) {
+        if (nqe.vm_id == vm_id) {
+          ++guard_drops_;
+          reclaim(nqe);
+        } else {
+          keep.push_back(nqe);
+        }
+      }
+      for (const Nqe& k : keep) NK_CHECK(ring.TryEnqueue(k));
+    };
+    const auto free_send_chunk = [&](const Nqe& n) {
+      NqeOp op = n.Op();
+      if ((op == NqeOp::kSend || op == NqeOp::kSendZc || op == NqeOp::kSendTo ||
+           op == NqeOp::kSendToZc) &&
+          pool->IsAllocated(n.data_ptr)) {
+        pool->Free(n.data_ptr);
+      }
+    };
+    sweep(q.send, free_send_chunk);
+    sweep(q.job, free_send_chunk);
+    sweep(q.receive, [&](const Nqe& n) {
+      if (n.Op() == NqeOp::kRecvData && pool->IsAllocated(n.data_ptr)) {
+        pool->Free(n.data_ptr);
+      }
+    });
+    sweep(q.completion, [&](const Nqe&) {});
+  }
+
+  // 3. Orphan sends parked for an accept-link that will never arrive.
+  for (auto it = orphan_sends_.begin(); it != orphan_sends_.end();) {
+    if (static_cast<uint8_t>(it->first >> 32) == vm_id) {
+      for (const Nqe& orphan : it->second) {
+        if (pool->IsAllocated(orphan.data_ptr)) pool->Free(orphan.data_ptr);
+      }
+      it = orphan_sends_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  vms_.erase(vit);
 }
 
 void ShmServiceLib::OnRecvCredit(uint8_t vm_id, uint32_t vm_sock, uint32_t bytes) {

@@ -37,11 +37,20 @@ class ShmServiceLib {
                 std::vector<sim::CpuCore*> cores);
 
   void AttachVm(uint8_t vm_id, shm::HugepagePool* pool, netsim::IpAddr vm_ip);
+  // Per-VM teardown (nkguard quarantine): the VM's endpoints close (peers
+  // get a reset-FIN), queued copy chunks return to its pool, its NQEs are
+  // swept out of the shared device rings, and the VmInfo entry is erased.
+  // In-flight pool-to-pool copies unwind through their own captured pool
+  // pointers, which outlive the detach (the Host keeps the quarantined VM).
+  void DetachVm(uint8_t vm_id);
   void OnRecvCredit(uint8_t vm_id, uint32_t vm_sock, uint32_t bytes);
 
   uint64_t bytes_copied() const { return bytes_copied_; }
   // NSM->VM NQEs lost to a full NSM-side ring (severe overload).
   uint64_t nqes_dropped() const { return nqes_dropped_; }
+  // Inbound NQEs refused by the guest->nsm prefilter (defense in depth
+  // behind nkguard) or swept out by a DetachVm.
+  uint64_t guard_drops() const { return guard_drops_; }
   // Wakeup coalescing counters (see ServiceLib).
   uint64_t doorbells() const { return doorbell_.doorbells(); }
   uint64_t doorbells_coalesced() const { return doorbell_.coalesced(); }
@@ -111,6 +120,7 @@ class ShmServiceLib {
   uint64_t next_ep_ = 1;
   uint64_t bytes_copied_ = 0;
   uint64_t nqes_dropped_ = 0;
+  uint64_t guard_drops_ = 0;
   DoorbellCoalescer doorbell_;
 };
 

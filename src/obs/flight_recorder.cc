@@ -25,6 +25,8 @@ const char* FlightEventName(FlightEventType type) {
     case FlightEventType::kHeartbeatMiss: return "HB_MISS";
     case FlightEventType::kNsmWedged: return "NSM_WEDGED";
     case FlightEventType::kNsmFailover: return "NSM_FAILOVER";
+    case FlightEventType::kGuardReject: return "GUARD_REJECT";
+    case FlightEventType::kVmQuarantined: return "VM_QUARANTINED";
   }
   return "UNKNOWN";
 }

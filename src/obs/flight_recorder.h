@@ -36,6 +36,8 @@ enum class FlightEventType : uint8_t {
   kHeartbeatMiss = 10,   // NSM missed a heartbeat check (detail = consecutive misses)
   kNsmWedged = 11,       // NSM silent with ring backlog (stalled, not dead)
   kNsmFailover = 12,     // failover controller replaced an NSM (detail = blackout us)
+  kGuardReject = 13,     // nkguard refused a guest NQE (detail = Verdict)
+  kVmQuarantined = 14,   // nkguard quarantined a VM (detail = violation count)
 };
 
 const char* FlightEventName(FlightEventType type);

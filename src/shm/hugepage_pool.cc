@@ -15,7 +15,12 @@ constexpr int kNumClasses = 11;  // 64 .. 64K in powers of two
 // the free list (exactly-once ownership is a datapath invariant).
 constexpr uint8_t kStateFree = 0;
 constexpr uint8_t kStateAllocated = 0xa7;
-constexpr uint64_t kStateByte = 4;  // header layout: [int class_idx][state][..]
+constexpr uint64_t kStateByte = 4;  // header layout: [int class_idx][state][gen]
+// 16-bit allocation generation at header bytes 5-6: bumped on every Alloc()
+// of the chunk so a (offset, generation) pair names one incarnation. The
+// region is zero-initialized, so fresh chunks start at generation 0 and the
+// first Alloc hands out generation 1.
+constexpr uint64_t kGenBytes = 5;
 }
 
 HugepagePool::HugepagePool(uint64_t region_bytes)
@@ -64,6 +69,10 @@ uint64_t HugepagePool::Alloc(uint32_t size) {
     std::memcpy(&region_[header_at], &idx, sizeof(int));
   }
   region_[offset - kHeader + kStateByte] = kStateAllocated;
+  uint16_t gen;
+  std::memcpy(&gen, &region_[offset - kHeader + kGenBytes], sizeof(gen));
+  ++gen;
+  std::memcpy(&region_[offset - kHeader + kGenBytes], &gen, sizeof(gen));
   bytes_in_use_ += chunk;
   ++allocs_;
   return offset;
@@ -85,6 +94,13 @@ void HugepagePool::Free(uint64_t offset) {
 bool HugepagePool::IsAllocated(uint64_t offset) const {
   if (offset == kInvalidOffset || offset < kHeader || offset >= region_.size()) return false;
   return region_[offset - kHeader + kStateByte] == kStateAllocated;
+}
+
+uint16_t HugepagePool::Generation(uint64_t offset) const {
+  NK_CHECK(offset != kInvalidOffset && offset >= kHeader && offset < region_.size());
+  uint16_t gen;
+  std::memcpy(&gen, &region_[offset - kHeader + kGenBytes], sizeof(gen));
+  return gen;
 }
 
 uint32_t HugepagePool::ChunkCapacity(uint64_t offset) const {

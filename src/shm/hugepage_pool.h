@@ -39,6 +39,13 @@ class HugepagePool {
   bool IsAllocated(uint64_t offset) const;
   // Usable capacity of an allocated chunk (its size class).
   uint32_t ChunkCapacity(uint64_t offset) const;
+  // Allocation generation of the chunk at `offset`: bumped every time the
+  // chunk is handed out by Alloc(), wrapping at 16 bits. Together with the
+  // offset this names one *incarnation* of a chunk, which is what nkguard
+  // needs to tell a replayed NQE (same offset, stale incarnation already
+  // consumed) from a legitimate reuse after free+realloc. `offset` must lie
+  // inside the region but need not be currently allocated.
+  uint16_t Generation(uint64_t offset) const;
 
   uint8_t* Data(uint64_t offset);
   const uint8_t* Data(uint64_t offset) const;
@@ -55,7 +62,8 @@ class HugepagePool {
 
  private:
   static constexpr uint32_t kMinChunk = 64;
-  static constexpr uint64_t kHeader = 8;  // stores the size class index
+  // Header layout: [int class_idx][u8 state][u16 generation][u8 unused].
+  static constexpr uint64_t kHeader = 8;
 
   int ClassIndex(uint32_t size) const;
 

@@ -18,12 +18,18 @@
 // either trailing the enumerator or on the comment line directly above it:
 //
 //   // nklint: dir=<guest->nsm|nsm->guest|control|none> [ring=<completion|receive>]
-//   //         [carries-chunk] [completion=kOp] [reclaim=kOp]
+//   //         [guard=<send|job>] [carries-chunk] [completion=kOp] [reclaim=kOp]
 //
 //   dir            which way the op travels across the shared-memory device.
 //   ring           the guest-facing ring that delivers it (nsm->guest only):
 //                  `completion` retires a request, `receive` carries inbound
 //                  payload/events.
+//   guard          (guest->nsm only, required) the guest-writable ring that
+//                  admits the op past nkguard: `send` or `job`. The
+//                  guard-coverage check cross-references every annotated op
+//                  against the admission tables in src/guard/ so the
+//                  validator cannot silently fall out of sync with the
+//                  contract.
 //   carries-chunk  data_ptr references a hugepage chunk whose *ownership*
 //                  crosses with the NQE (send payloads, zc receives).
 //   completion     the nsm->guest op that answers this request; must exist
@@ -53,49 +59,49 @@ enum class NqeOp : uint8_t {
   // nklint: dir=none
   kInvalid = 0,
   // VM -> NSM socket operations (job queue unless noted).
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kSocket = 1,
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kBind = 2,
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kListen = 3,
-  // nklint: dir=guest->nsm completion=kConnectResult
+  // nklint: dir=guest->nsm guard=job completion=kConnectResult
   kConnect = 4,
-  // nklint: dir=guest->nsm completion=kAcceptedConn
+  // nklint: dir=guest->nsm guard=job completion=kAcceptedConn
   kAccept = 5,  // pipelined: NSM replies as connections arrive
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kSetsockopt = 6,
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kGetsockopt = 7,
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kIoctl = 8,
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kShutdown = 9,
-  // nklint: dir=guest->nsm
+  // nklint: dir=guest->nsm guard=job
   kClose = 10,  // fire-and-forget: no guest thread waits on a close
-  // nklint: dir=guest->nsm carries-chunk completion=kSendResult reclaim=kSendResult
+  // nklint: dir=guest->nsm guard=send carries-chunk completion=kSendResult reclaim=kSendResult
   kSend = 11,  // send queue: data_ptr/size reference hugepage payload
   // Datagram (SOCK_DGRAM) operations: connectionless, so CoreEngine routes
   // them by socket key alone — no connection-table completion handshake.
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kSocketUdp = 12,  // job: create a UDP socket in the NSM
-  // nklint: dir=guest->nsm completion=kOpResult
+  // nklint: dir=guest->nsm guard=job completion=kOpResult
   kBindUdp = 13,    // job: bind ip:port carried in op_data
-  // nklint: dir=guest->nsm carries-chunk completion=kSendToResult reclaim=kSendToResult
+  // nklint: dir=guest->nsm guard=send carries-chunk completion=kSendToResult reclaim=kSendToResult
   kSendTo = 14,     // send queue: op_data = packed destination, payload in hugepages
-  // nklint: dir=guest->nsm
+  // nklint: dir=guest->nsm guard=job
   kRecvFrom = 15,   // job: datagram receive credit return (op_data = bytes freed)
   // Zero-copy send (registered-buffer datapath): the guest filled the chunk
   // in place and transfers ownership. The NSM's stack transmits (and
   // retransmits) directly from the chunk and frees it into the shared pool
   // only once the byte range is ACKed, answering with kSendZcComplete.
-  // nklint: dir=guest->nsm carries-chunk completion=kSendZcComplete reclaim=kSendZcComplete
+  // nklint: dir=guest->nsm guard=send carries-chunk completion=kSendZcComplete reclaim=kSendZcComplete
   kSendZc = 16,  // send queue: data_ptr/size reference the loaned chunk
   // Zero-copy datagram send: like kSendTo (op_data = packed destination) but
   // the guest filled the chunk in place and transfers ownership; the NSM's
   // UDP stack builds the wire datagram straight from the chunk and frees it
   // once the skb is committed, answering with kSendToResult (orig kSendToZc).
-  // nklint: dir=guest->nsm carries-chunk completion=kSendToResult reclaim=kSendToResult
+  // nklint: dir=guest->nsm guard=send carries-chunk completion=kSendToResult reclaim=kSendToResult
   kSendToZc = 17,  // send queue: data_ptr/size reference the loaned chunk
   // NSM -> VM results and events.
   // nklint: dir=nsm->guest ring=completion

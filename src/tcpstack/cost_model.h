@@ -149,6 +149,11 @@ struct NetkernelCosts {
   // Connection-table operations.
   Cycles ce_table_lookup = 40;
   Cycles ce_table_insert = 120;
+  // nkguard admission check per consumed guest NQE: a short chain of
+  // always-predicted compares against the ring's op table plus the identity
+  // pin; the chunk/replay hash probes only run for pool-backed VMs, whose
+  // per-NQE budget is dominated by the copy/translate costs anyway.
+  Cycles ce_guard_check = 1;
   // GuestLib NK device interrupt-driven polling (paper §4.6).
   SimTime guest_poll_period = 20 * kMicrosecond;  // poll before sleeping
   SimTime guest_poll_interval = 1 * kMicrosecond;

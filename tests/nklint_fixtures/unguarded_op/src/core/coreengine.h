@@ -1,0 +1,12 @@
+// Fixture: control-plane ops and a registry-backed stats struct.
+enum class CeOp : uint32_t {
+  kRegisterVm = 1,
+  kOk = 100,
+  kError = 101,
+};
+
+// nklint: stats
+struct CoreEngineStats {
+  uint64_t nqes_switched = 0;
+  uint64_t nqes_dropped = 0;
+};

@@ -1,0 +1,19 @@
+// Fixture: guest-side reap switch — fully enumerated, no default.
+#include "src/shm/nqe.h"
+void GuestLib::ApplyInbound(const Nqe& nqe) {
+  switch (nqe.Op()) {
+    case NqeOp::kOpResult:
+      ReapControl(nqe);
+      break;
+    case NqeOp::kSendResult:
+      ReapSend(nqe);
+      break;
+    case NqeOp::kRecvData:
+      ReapPayload(nqe);
+      break;
+    case NqeOp::kInvalid:
+    case NqeOp::kSend:
+    case NqeOp::kBind:
+      break;
+  }
+}

@@ -5,7 +5,7 @@ enum class NqeOp : uint8_t {
   kInvalid = 0,
   // nklint: dir=guest->nsm carries-chunk completion=kSendResult reclaim=kSendResult guard=send
   kSend = 1,
-  // nklint: dir=guest->nsm completion=kOpResult guard=job
+  // nklint: dir=guest->nsm completion=kOpResult
   kBind = 2,
   // nklint: dir=nsm->guest ring=completion
   kOpResult = 32,

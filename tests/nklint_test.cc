@@ -68,6 +68,15 @@ TEST(NkLintFixtures, DefaultOverNqeOpIsDetected) {
   EXPECT_NE(diags[0].message.find("NqeOp"), std::string::npos) << diags[0].message;
 }
 
+TEST(NkLintFixtures, UnguardedOpIsDetected) {
+  const auto diags = RunFixture("unguarded_op");
+  ASSERT_EQ(diags.size(), 1u) << Dump(diags);
+  EXPECT_EQ(diags[0].check, "guard-coverage");
+  EXPECT_EQ(diags[0].file, "src/shm/nqe.h");
+  EXPECT_NE(diags[0].message.find("kBind"), std::string::npos) << diags[0].message;
+  EXPECT_NE(diags[0].message.find("guard="), std::string::npos) << diags[0].message;
+}
+
 TEST(NkLintFixtures, BadSuppressionIsDetected) {
   const auto diags = RunFixture("bad_suppression");
   ASSERT_EQ(diags.size(), 1u) << Dump(diags);
@@ -83,7 +92,7 @@ TEST(NkLint, DiagnosticFormatIsGreppable) {
 TEST(NkLint, CheckNameRegistry) {
   for (const char* check : {"op-annotation", "op-name", "op-routing", "reclaim-closure",
                             "completion-pairing", "stats-drift", "flight-coverage",
-                            "switch-default"}) {
+                            "switch-default", "guard-coverage"}) {
     EXPECT_TRUE(nklint::IsKnownCheck(check)) << check;
   }
   // bad-suppression cannot itself be suppressed, so it is not a valid

@@ -47,7 +47,15 @@ LOWER_IS_BETTER = {
 GATED = {
     ("fig11_raw_switch", "nqes_per_sec"): None,
     ("fig11_sharded_switch", "nqes_per_sec"): None,
+    # nkguard: switching with validation on must stay within 3% of guard-off.
+    # Tighter than the generic default on purpose — this is the subsystem's
+    # headline cost claim (see bench_fig11_nqe_switch --smoke).
+    ("fig11_guard_switch", "nqes_per_sec"): 0.03,
     ("table6_cpu", "cycles_per_byte"): None,
+    ("ce_shard_scaling", "nqes_per_sec"): None,
+    ("fig10_shm", "gbps"): 0.05,
+    ("fig17_short_conns", "krps"): 0.05,
+    ("table5_latency", "p50_us"): 0.15,
     # Paper figures 13-16: single-/multi-stream send and recv goodput.
     ("fig13_send", "gbps"): 0.05,
     ("fig14_recv", "gbps"): 0.05,

@@ -1,0 +1,92 @@
+// Copyright (c) NetKernel reproduction authors.
+// nkfuzz: seeded deterministic protocol fuzzer for the nkguard NQE boundary.
+//
+// Each iteration builds the faultinj-style two-host topology (2-shard
+// CoreEngine, one netkernel VM running zc stream + zc datagram traffic
+// against a baseline peer), then attacks the VM's *live* guest-writable
+// rings mid-workload from a seeded Rng:
+//
+//   * injection — adversarial NQEs enqueued between the guest's own
+//     entries: wrong-direction ops, non-enumerator op bytes, chunk offsets
+//     the guest does not own, forged vm_id / queue_set identities, datagram
+//     credit far beyond anything delivered, and valid ops seeded with
+//     garbage infrastructure flag bytes;
+//   * in-place mutation — a legitimate in-flight send NQE is pulled off the
+//     ring, its size field corrupted past the chunk's capacity, and the ring
+//     replayed in order (the one live-ring mutation whose reject path hands
+//     the chunk back to the guest, so conservation stays assertable).
+//
+// After the chaos window the iteration closes every guest fd and settles;
+// the invariants are the PR-5 conservation set plus exact guard accounting:
+//   * the VM's hugepage pool is empty and allocs() == frees() (every chunk
+//     freed exactly once — the pool aborts on double free),
+//   * zc send credits pair with completions (relaxed when completions can
+//     legitimately drop: ring backpressure or a quarantine round-trip),
+//   * guard rejects == injected protocol violations (every attack refused,
+//     no false rejects of the legitimate workload; relaxed to an interval
+//     when the quarantine drain consumes attacks without rejecting them),
+//   * flags_scrubbed covers every flag-seeded injection.
+//
+// Determinism: pure DES + seeded Rng — a failing seed replays exactly.
+// Replay with NK_FUZZ_SEED=<n>, widen with NK_FUZZ_ITERS=<n> (the gtest
+// harness in tests/nqe_fuzz_test.cc reads both; tools/nkfuzz is the
+// standalone driver).
+
+#ifndef TOOLS_NKFUZZ_NKFUZZ_H_
+#define TOOLS_NKFUZZ_NKFUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netkernel::nkfuzz {
+
+// Seed of iteration i in a sweep is kBaseSeed + i.
+inline constexpr uint64_t kBaseSeed = 0xfa220u;
+
+struct FuzzResult {
+  // Mutation bookkeeping (what the iteration actually landed on rings).
+  uint64_t injected = 0;          // mutations that made it onto a ring
+  uint64_t injected_invalid = 0;  // of those, protocol violations (must reject)
+  uint64_t injected_scrub = 0;    // valid ops seeded with garbage flag bytes
+  // Rejects of injected zc-send-family forgeries draw synthesized
+  // completions for sends the guest never issued; GuestLib cannot tell them
+  // from a closed socket's late completion, so the pairing invariant carries
+  // them explicitly.
+  uint64_t phantom_zc = 0;
+  uint64_t phantom_dgram_zc = 0;
+  bool drop_policy = false;       // iteration ran under GuardPolicy::kDrop
+  bool quarantine_policy = false; // iteration ran under GuardPolicy::kQuarantine
+  bool vm_quarantined = false;    // the quarantine actually tripped
+  bool ring_chaos = false;        // tiny pending bound: completions may drop
+
+  // Guard counters after settle.
+  uint64_t guard_validated = 0;
+  uint64_t guard_rejects = 0;
+  uint64_t guard_quarantine_drops = 0;
+  uint64_t guard_flags_scrubbed = 0;
+
+  // Conservation counters (the attacked VM).
+  uint64_t pool_in_use = 0;
+  uint64_t pool_allocs = 0;
+  uint64_t pool_frees = 0;
+  uint64_t zc_sends = 0;
+  uint64_t zc_completions = 0;
+  uint64_t dgram_zc_sends = 0;
+  uint64_t dgram_zc_completions = 0;
+
+  // Flight-recorder tail captured before teardown: printed next to a failing
+  // seed so the replay number comes with a datapath post-mortem.
+  std::string flight_tail;
+};
+
+// Runs one seeded fuzz iteration to completion. Deterministic per seed.
+FuzzResult RunFuzzIteration(uint64_t seed);
+
+// Invariant evaluation shared by the gtest harness and the standalone tool:
+// returns one human-readable line per violated invariant (empty == clean).
+std::vector<std::string> CheckInvariants(const FuzzResult& r);
+
+}  // namespace netkernel::nkfuzz
+
+#endif  // TOOLS_NKFUZZ_NKFUZZ_H_

@@ -32,6 +32,7 @@ constexpr const char* kFlightNames = "src/obs/flight_recorder.cc";
 const char* const kCheckNames[] = {
     "op-annotation",  "op-name",     "op-routing",      "reclaim-closure",
     "completion-pairing", "stats-drift", "flight-coverage", "switch-default",
+    "guard-coverage",
 };
 
 // ---------------------------------------------------------------------------
@@ -133,6 +134,7 @@ struct OpInfo {
   bool carries_chunk = false;
   std::string completion;  // "" or kOp
   std::string reclaim;     // "" or kOp
+  std::string guard;       // "" | send | job — ring nkguard admits the op on
 };
 
 struct Allow {
@@ -317,6 +319,8 @@ void ParseAnnotation(const std::string& body, const std::string& file, int line,
       op->completion = tok.substr(11);
     } else if (tok.rfind("reclaim=", 0) == 0) {
       op->reclaim = tok.substr(8);
+    } else if (tok.rfind("guard=", 0) == 0) {
+      op->guard = tok.substr(6);
     } else {
       diags->push_back({file, line, "op-annotation",
                         op->name + ": unknown annotation token '" + tok + "'"});
@@ -344,6 +348,14 @@ void ParseAnnotation(const std::string& body, const std::string& file, int line,
   if (!op->reclaim.empty() && !(op->dir == "guest->nsm" && op->carries_chunk)) {
     diags->push_back({file, line, "op-annotation",
                       op->name + ": reclaim= only applies to carries-chunk guest->nsm ops"});
+  }
+  if (!op->guard.empty() && op->guard != "send" && op->guard != "job") {
+    diags->push_back({file, line, "op-annotation",
+                      op->name + ": guard= must be send or job (got '" + op->guard + "')"});
+  }
+  if (!op->guard.empty() && op->dir != "guest->nsm") {
+    diags->push_back({file, line, "op-annotation",
+                      op->name + ": guard= only applies to dir=guest->nsm ops"});
   }
 }
 
@@ -651,6 +663,45 @@ std::vector<Diagnostic> Run(const std::string& root) {
       }
     }
     // dir=none (kInvalid) is exempt from routing.
+  }
+
+  // ---- guard-coverage ----
+  // The guard= annotations name the ring nkguard admits each guest->nsm op
+  // on; the admission tables in src/guard/ must mention every such op (and
+  // every nsm->guest op, for the direction check) or the validator has
+  // drifted from the contract. Trees without a src/guard/ directory predate
+  // nkguard and skip the check.
+  {
+    std::set<std::string> guard_mentions;
+    bool have_guard = false;
+    for (const auto& [rel, f] : files) {
+      if (rel.rfind("src/guard/", 0) != 0) continue;
+      have_guard = true;
+      const std::set<std::string> m = MentionsOf(f, "NqeOp");
+      guard_mentions.insert(m.begin(), m.end());
+    }
+    if (have_guard && nqe_h != nullptr) {
+      for (const OpInfo& op : ops) {
+        if (!op.annotated) continue;
+        if (op.dir == "guest->nsm") {
+          if (op.guard.empty()) {
+            diags.push_back({nqe_h->rel, op.line, "guard-coverage",
+                             op.name + " (guest->nsm) declares no guard= ring — nkguard cannot "
+                                       "admit it at the boundary"});
+          } else if (guard_mentions.count(op.name) == 0) {
+            diags.push_back({nqe_h->rel, op.line, "guard-coverage",
+                             op.name + " (guard=" + op.guard + ") never appears in src/guard/ — "
+                                       "the admission tables have drifted from the contract"});
+          }
+        } else if (op.dir == "nsm->guest") {
+          if (guard_mentions.count(op.name) == 0) {
+            diags.push_back({nqe_h->rel, op.line, "guard-coverage",
+                             op.name + " (nsm->guest) never appears in src/guard/ — the "
+                                       "NSM-direction table has drifted from the contract"});
+          }
+        }
+      }
+    }
   }
 
   // ---- reclaim-closure ----
